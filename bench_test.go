@@ -1,0 +1,111 @@
+package mipp
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the experiment through the shared harness in internal/exp;
+// `go run ./cmd/experiments -run <id>` prints the same rows readably.
+//
+// The benches run on shortened traces and a workload subset so the full
+// `go test -bench=. -benchmem` sweep finishes in minutes; cmd/experiments
+// defaults to the full suite at 300k uops.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"mipp/internal/exp"
+)
+
+const benchN = 60_000
+
+var benchSuite = struct {
+	once  sync.Once
+	suite *exp.Suite
+}{}
+
+// suite returns a process-wide memoized experiment suite so consecutive
+// benches share profiles and simulation results.
+func suite() *exp.Suite {
+	benchSuite.once.Do(func() {
+		s := exp.NewSuite(benchN)
+		// A representative subset: memory-bound chaser, streamer,
+		// compute-bound FP, branchy integer, phased mix, stencil.
+		s.Workloads = []string{"mcf", "libquantum", "gamess", "gobmk", "gcc", "bwaves", "soplex", "h264ref"}
+		benchSuite.suite = s
+	})
+	return benchSuite.suite
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(s, io.Discard)
+	}
+}
+
+// Chapter 3 — modeling the core.
+
+func BenchmarkFig3_1_UopsPerInstruction(b *testing.B)   { runExp(b, "fig3.1") }
+func BenchmarkFig3_4_DependenceChains(b *testing.B)     { runExp(b, "fig3.4") }
+func BenchmarkFig3_6_DispatchRateLimiters(b *testing.B) { runExp(b, "fig3.6") }
+func BenchmarkFig3_7_BaseComponentError(b *testing.B)   { runExp(b, "fig3.7") }
+func BenchmarkFig3_9_EntropyLinearFit(b *testing.B)     { runExp(b, "fig3.9") }
+func BenchmarkFig3_10_PredictorAccuracy(b *testing.B)   { runExp(b, "fig3.10") }
+
+// Chapter 4 — modeling the memory subsystem.
+
+func BenchmarkFig4_2_CacheMPKI(b *testing.B)        { runExp(b, "fig4.2") }
+func BenchmarkFig4_3_MLPImpact(b *testing.B)        { runExp(b, "fig4.3") }
+func BenchmarkFig4_4_ColdVsCapacity(b *testing.B)   { runExp(b, "fig4.4") }
+func BenchmarkFig4_7_StrideCategories(b *testing.B) { runExp(b, "fig4.7") }
+func BenchmarkFig4_9_LLCChaining(b *testing.B)      { runExp(b, "fig4.9") }
+
+// Chapter 5 — sampling methodology.
+
+func BenchmarkFig5_2_InstrMixSampling(b *testing.B)   { runExp(b, "fig5.2") }
+func BenchmarkFig5_4_ChainInterpolation(b *testing.B) { runExp(b, "fig5.4") }
+func BenchmarkFig5_5_ChainSampling(b *testing.B)      { runExp(b, "fig5.5") }
+func BenchmarkFig5_6_BranchShare(b *testing.B)        { runExp(b, "fig5.6") }
+
+// Chapter 6 — evaluation.
+
+func BenchmarkTable6_1_ReferenceConfig(b *testing.B)     { runExp(b, "tab6.1") }
+func BenchmarkFig6_1_CPIStacks(b *testing.B)             { runExp(b, "fig6.1") }
+func BenchmarkFig6_3_SamplingError(b *testing.B)         { runExp(b, "fig6.3") }
+func BenchmarkTable6_2_ComponentErrors(b *testing.B)     { runExp(b, "tab6.2") }
+func BenchmarkTable6_3_DesignSpace(b *testing.B)         { runExp(b, "tab6.3") }
+func BenchmarkFig6_4_SeparateVsCombined(b *testing.B)    { runExp(b, "fig6.4") }
+func BenchmarkFig6_5_PerfErrorDesignSpace(b *testing.B)  { runExp(b, "fig6.5") }
+func BenchmarkFig6_6_CPIScatter(b *testing.B)            { runExp(b, "fig6.6") }
+func BenchmarkFig6_7_PowerStacks(b *testing.B)           { runExp(b, "fig6.7") }
+func BenchmarkFig6_8_PowerErrorCDF(b *testing.B)         { runExp(b, "fig6.8") }
+func BenchmarkFig6_9_PowerErrorDesignSpace(b *testing.B) { runExp(b, "fig6.9") }
+func BenchmarkFig6_10_PowerScatter(b *testing.B)         { runExp(b, "fig6.10") }
+func BenchmarkFig6_11_BaseComponent(b *testing.B)        { runExp(b, "fig6.11") }
+func BenchmarkFig6_12_DRAMComponent(b *testing.B)        { runExp(b, "fig6.12") }
+func BenchmarkFig6_13_LowPowerCore(b *testing.B)         { runExp(b, "fig6.13") }
+func BenchmarkFig6_14_PhaseAnalysis(b *testing.B)        { runExp(b, "fig6.14") }
+func BenchmarkFig6_15_MLPModelError(b *testing.B)        { runExp(b, "fig6.15") }
+func BenchmarkFig6_16_MLPPerfError(b *testing.B)         { runExp(b, "fig6.16") }
+func BenchmarkFig6_17_MLPErrorCDF(b *testing.B)          { runExp(b, "fig6.17") }
+func BenchmarkFig6_18_PrefetchMLPError(b *testing.B)     { runExp(b, "fig6.18") }
+
+// Chapter 7 — applications.
+
+func BenchmarkFig7_1_LibquantumWhatIf(b *testing.B)   { runExp(b, "fig7.1") }
+func BenchmarkFig7_2_AppSpecificCore(b *testing.B)    { runExp(b, "fig7.2") }
+func BenchmarkTable7_1_PowerConstrained(b *testing.B) { runExp(b, "tab7.1") }
+func BenchmarkTable7_2_DVFSSettings(b *testing.B)     { runExp(b, "tab7.2") }
+func BenchmarkFig7_3_ED2P(b *testing.B)               { runExp(b, "fig7.3") }
+func BenchmarkFig7_4_ParetoFrontiers(b *testing.B)    { runExp(b, "fig7.4") }
+func BenchmarkFig7_6_DesignSpaceError(b *testing.B)   { runExp(b, "fig7.6") }
+func BenchmarkFig7_7_ParetoMetrics(b *testing.B)      { runExp(b, "fig7.7") }
+func BenchmarkFig7_9_HVR(b *testing.B)                { runExp(b, "fig7.9") }
+func BenchmarkFig7_10_EmpiricalPareto(b *testing.B)   { runExp(b, "fig7.10") }
+func BenchmarkFig7_11_EmpiricalMetrics(b *testing.B)  { runExp(b, "fig7.11") }

@@ -1,0 +1,62 @@
+// Command aip is the Architecture Independent Profiler: it synthesizes a
+// workload's dynamic micro-op stream and writes its micro-architecture
+// independent profile as JSON (the one-time profiling step of §2.6).
+//
+// Usage:
+//
+//	aip -workload mcf -n 1000000 -o mcf.profile.json
+//	aip -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mipp/internal/profiler"
+	"mipp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aip: ")
+	var (
+		name  = flag.String("workload", "", "benchmark name (see -list)")
+		n     = flag.Int("n", 1_000_000, "trace length in micro-ops")
+		seed  = flag.Int64("seed", 0, "generator seed (0 = per-benchmark default)")
+		out   = flag.String("o", "", "output JSON file (default stdout)")
+		micro = flag.Int("micro", 1000, "micro-trace length in uops")
+		win   = flag.Int("window", 0, "sampling window in uops (0 = auto)")
+		list  = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+	if *list {
+		for _, d := range workload.Describe() {
+			fmt.Println(d)
+		}
+		return
+	}
+	if *name == "" {
+		log.Fatal("missing -workload (try -list)")
+	}
+	stream, err := workload.Generate(*name, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := profiler.Run(stream, profiler.Options{MicroUops: *micro, WindowUops: *win})
+	enc, err := json.Marshal(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d uops, %d micro-traces, entropy %.3f\n",
+		*out, p.TotalUops, len(p.Micros), p.Entropy)
+}

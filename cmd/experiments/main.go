@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6.1
+//	experiments -run all -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mipp/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run  = flag.String("run", "", "experiment id (see -list), comma-separated, or 'all'")
+		n    = flag.Int("n", 300_000, "trace length in micro-ops")
+		list = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+	if *list || *run == "" {
+		for _, e := range exp.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	suite := exp.NewSuite(*n)
+	var ids []string
+	if *run == "all" {
+		for _, e := range exp.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, ok := exp.ByID(strings.TrimSpace(id))
+		if !ok {
+			log.Fatalf("unknown experiment %q (try -list)", id)
+		}
+		t0 := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		e.Run(suite, os.Stdout)
+		fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

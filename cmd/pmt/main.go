@@ -1,0 +1,96 @@
+// Command pmt is the Processor Modeling Tool: it evaluates the
+// micro-architecture independent interval model for a profile (from aip) or
+// a workload name against a processor configuration, and prints predicted
+// CPI and power stacks (the analysis step of §2.6).
+//
+// Usage:
+//
+//	pmt -workload gcc -n 1000000
+//	pmt -profile gcc.profile.json -config lowpower
+//	pmt -workload mcf -mlp cold -combined
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mipp/internal/config"
+	"mipp/internal/core"
+	"mipp/internal/mlp"
+	"mipp/internal/power"
+	"mipp/internal/profiler"
+	"mipp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pmt: ")
+	var (
+		profPath = flag.String("profile", "", "profile JSON produced by aip")
+		name     = flag.String("workload", "", "workload to profile on the fly")
+		n        = flag.Int("n", 1_000_000, "trace length when profiling on the fly")
+		cfgName  = flag.String("config", "reference", "reference | reference+pf | lowpower")
+		mlpMode  = flag.String("mlp", "stride", "stride | cold | none")
+		combined = flag.Bool("combined", false, "evaluate one combined profile instead of per micro-trace")
+	)
+	flag.Parse()
+
+	var p *profiler.Profile
+	switch {
+	case *profPath != "":
+		data, err := os.ReadFile(*profPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = &profiler.Profile{}
+		if err := json.Unmarshal(data, p); err != nil {
+			log.Fatal(err)
+		}
+	case *name != "":
+		stream, err := workload.Generate(*name, *n, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = profiler.Run(stream, profiler.Options{})
+	default:
+		log.Fatal("need -profile or -workload")
+	}
+
+	var cfg *config.Config
+	switch *cfgName {
+	case "reference":
+		cfg = config.Reference()
+	case "reference+pf":
+		cfg = config.ReferenceWithPrefetcher()
+	case "lowpower":
+		cfg = config.LowPower()
+	default:
+		log.Fatalf("unknown config %q", *cfgName)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Combined = *combined
+	switch *mlpMode {
+	case "stride":
+		opts.MLPMode = mlp.StrideMLP
+	case "cold":
+		opts.MLPMode = mlp.ColdMiss
+	case "none":
+		opts.MLPMode = mlp.None
+	default:
+		log.Fatalf("unknown mlp mode %q", *mlpMode)
+	}
+
+	res := core.New(p, nil).Evaluate(cfg, opts)
+	pw := power.Estimate(cfg, &res.Activity)
+	stack := res.Stack.PerInstruction(int64(res.Instructions))
+	fmt.Printf("workload:  %s on %s\n", res.Workload, cfg.Name)
+	fmt.Printf("cycles:    %.0f (CPI %.3f, Deff %.2f, MLP %.2f)\n", res.Cycles, res.CPI(), res.Deff, res.MLP)
+	fmt.Printf("time:      %.6f s at %.2f GHz\n", res.TimeSeconds(cfg.FrequencyGHz), cfg.FrequencyGHz)
+	fmt.Printf("CPI stack: %s\n", stack.String())
+	fmt.Printf("power:     %s\n", pw.String())
+	fmt.Printf("branch missrate: %.4f (entropy %.4f)\n", res.BranchMissRate, p.Entropy)
+}

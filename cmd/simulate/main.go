@@ -1,0 +1,69 @@
+// Command simulate runs the cycle-level reference simulator (the ground
+// truth the analytical model is validated against) and prints measured CPI
+// and power stacks.
+//
+// Usage:
+//
+//	simulate -workload gcc -n 1000000
+//	simulate -workload libquantum -config reference+pf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mipp/internal/config"
+	"mipp/internal/ooo"
+	"mipp/internal/power"
+	"mipp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	var (
+		name    = flag.String("workload", "", "benchmark name")
+		n       = flag.Int("n", 1_000_000, "trace length in micro-ops")
+		cfgName = flag.String("config", "reference", "reference | reference+pf | lowpower")
+	)
+	flag.Parse()
+	if *name == "" {
+		log.Fatal("missing -workload")
+	}
+	var cfg *config.Config
+	switch *cfgName {
+	case "reference":
+		cfg = config.Reference()
+	case "reference+pf":
+		cfg = config.ReferenceWithPrefetcher()
+	case "lowpower":
+		cfg = config.LowPower()
+	default:
+		log.Fatalf("unknown config %q", *cfgName)
+	}
+	stream, err := workload.Generate(*name, *n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ooo.Simulate(cfg, stream, ooo.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw := power.Estimate(cfg, &res.Activity)
+	stack := res.Stack.PerInstruction(res.Instructions)
+	fmt.Println(res.String())
+	fmt.Printf("CPI stack: %s\n", stack.String())
+	fmt.Printf("power:     %s\n", pw.String())
+	fmt.Printf("branches:  %d (%.2f%% mispredicted)\n", res.Branches,
+		100*float64(res.BranchMispredicts)/float64(max64(res.Branches, 1)))
+	fmt.Printf("loads:     L1=%d L2=%d L3=%d Mem=%d coalesced=%d\n",
+		res.LoadsAtLevel[0], res.LoadsAtLevel[1], res.LoadsAtLevel[2], res.LoadsAtLevel[3], res.CoalescedLoads)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

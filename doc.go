@@ -1,0 +1,14 @@
+// Package mipp reproduces "Micro-architecture independent analytical
+// processor performance and power modeling" (Van den Steen et al.,
+// ISPASS 2015) and its thesis extensions: a one-pass micro-architecture
+// independent profiler (internal/profiler), an extended interval model for
+// performance and power prediction (internal/core, internal/mlp,
+// internal/power), the statistical cache and branch models it builds on
+// (internal/statstack, internal/branch), a cycle-level out-of-order
+// reference simulator used as ground truth (internal/ooo), and the
+// design-space exploration machinery (internal/dse, internal/empirical).
+//
+// The top-level benchmark suite (bench_test.go) regenerates every table and
+// figure of the paper's evaluation; cmd/experiments prints the same rows
+// interactively. See README.md, DESIGN.md and EXPERIMENTS.md.
+package mipp

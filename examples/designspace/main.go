@@ -1,0 +1,42 @@
+// Design-space exploration: the paper's headline application. One profile
+// per workload is evaluated against dozens of processor configurations in
+// milliseconds, and the performance/power Pareto frontier is extracted
+// (§7.4) — the step that replaces weeks of simulation.
+package main
+
+import (
+	"fmt"
+
+	"mipp/internal/config"
+	"mipp/internal/core"
+	"mipp/internal/dse"
+	"mipp/internal/power"
+	"mipp/internal/profiler"
+	"mipp/internal/workload"
+)
+
+func main() {
+	for _, name := range []string{"bzip2", "gromacs"} {
+		stream := workload.MustGenerate(name, 200_000, 0)
+		profile := profiler.Run(stream, profiler.Options{})
+		model := core.New(profile, nil)
+
+		var points []dse.Point
+		for _, cfg := range config.DesignSpace() {
+			res := model.Evaluate(cfg, core.DefaultOptions())
+			pw := power.Estimate(cfg, &res.Activity)
+			points = append(points, dse.Point{
+				Config: cfg.Name,
+				Time:   res.TimeSeconds(cfg.FrequencyGHz),
+				Power:  pw.Total(),
+			})
+		}
+		front := dse.ParetoFront(points)
+		fmt.Printf("%s: evaluated %d configurations, %d Pareto-optimal:\n",
+			name, len(points), len(front))
+		for _, p := range front {
+			fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", p.Config, p.Time, p.Power)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// DVFS exploration (§7.3): sweep the Nehalem-based voltage/frequency
+// operating points of Table 7.2 and pick the ED²P-optimal setting per
+// workload, using only the analytical model.
+package main
+
+import (
+	"fmt"
+
+	"mipp/internal/config"
+	"mipp/internal/core"
+	"mipp/internal/power"
+	"mipp/internal/profiler"
+	"mipp/internal/workload"
+)
+
+func main() {
+	base := config.Reference()
+	for _, name := range []string{"gamess", "mcf", "libquantum"} {
+		stream := workload.MustGenerate(name, 200_000, 0)
+		profile := profiler.Run(stream, profiler.Options{})
+		model := core.New(profile, nil)
+
+		fmt.Printf("%s:\n", name)
+		bestED2P, bestF := 0.0, 0.0
+		for _, pt := range config.DVFSPoints() {
+			cfg := config.WithDVFS(base, pt)
+			res := model.Evaluate(cfg, core.DefaultOptions())
+			t := res.TimeSeconds(cfg.FrequencyGHz)
+			pw := power.Estimate(cfg, &res.Activity)
+			ed2p := power.ED2P(pw, t)
+			fmt.Printf("  %.2f GHz @ %.2fV: time=%.5fs power=%5.1fW ED2P=%.3e\n",
+				pt.FrequencyGHz, pt.VoltageV, t, pw.Total(), ed2p)
+			if bestF == 0 || ed2p < bestED2P {
+				bestED2P, bestF = ed2p, pt.FrequencyGHz
+			}
+		}
+		fmt.Printf("  ED2P optimum: %.2f GHz\n\n", bestF)
+	}
+}

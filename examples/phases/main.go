@@ -1,0 +1,49 @@
+// Phase analysis (§6.5): the model's per-micro-trace evaluation tracks how
+// CPI varies over a phased workload's execution, compared window-by-window
+// against the cycle-level simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mipp/internal/config"
+	"mipp/internal/core"
+	"mipp/internal/ooo"
+	"mipp/internal/profiler"
+	"mipp/internal/workload"
+)
+
+func main() {
+	const n = 300_000
+	const window = n / 25
+	cfg := config.Reference()
+	stream := workload.MustGenerate("gcc", n, 0)
+
+	sim, err := ooo.Simulate(cfg, stream, ooo.Options{WindowUops: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simCPI := sim.WindowCPI(window)
+
+	profile := profiler.Run(stream, profiler.Options{})
+	res := core.New(profile, nil).Evaluate(cfg, core.DefaultOptions())
+	upi := res.Uops / res.Instructions
+
+	fmt.Println("gcc CPI over time (simulator vs model):")
+	for i, sc := range simCPI {
+		k := i * len(res.MicroCPI) / len(simCPI)
+		if k >= len(res.MicroCPI) {
+			break
+		}
+		mc := res.MicroCPI[k] * upi
+		bar := func(v float64) string {
+			s := ""
+			for j := 0; j < int(v*4); j++ {
+				s += "#"
+			}
+			return s
+		}
+		fmt.Printf("w%02d sim %6.3f %-30s mod %6.3f %s\n", i, sc, bar(sc), mc, bar(mc))
+	}
+}

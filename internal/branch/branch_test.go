@@ -1,0 +1,111 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"mipp/internal/trace"
+	"mipp/internal/workload"
+)
+
+// patternStream builds a branch-only stream whose outcomes follow a periodic
+// pattern with flip probability eps.
+func patternStream(name string, n, period int, eps float64, seed int64) *trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	uops := make([]trace.Uop, n)
+	for i := range uops {
+		taken := i%period < period/2
+		if rng.Float64() < eps {
+			taken = !taken
+		}
+		uops[i] = trace.Uop{PC: 0x400, Static: 0, Class: trace.Branch, First: true, Taken: taken}
+	}
+	return &trace.Stream{Name: name, Uops: uops, Statics: 1}
+}
+
+func TestPredictorsLearnPeriodicPattern(t *testing.T) {
+	for _, name := range StandardNames() {
+		p, err := NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := patternStream("periodic", 20000, 8, 0, 1)
+		rate, branches := MissRate(p, s)
+		if branches != 20000 {
+			t.Fatalf("%s: branch count %d", name, branches)
+		}
+		if rate > 0.05 {
+			t.Errorf("%s: miss rate %.3f on a perfectly periodic branch", name, rate)
+		}
+	}
+}
+
+func TestPredictorsCannotLearnNoise(t *testing.T) {
+	p := NewGshare(14)
+	s := patternStream("noisy", 20000, 8, 0.4, 2)
+	rate, _ := MissRate(p, s)
+	if rate < 0.3 {
+		t.Errorf("gshare miss rate %.3f on 40%% noise; should approach 0.4", rate)
+	}
+}
+
+func TestEntropyTracksNoise(t *testing.T) {
+	prev := -1.0
+	for _, eps := range []float64{0, 0.1, 0.25, 0.5} {
+		s := patternStream("e", 30000, 8, eps, 3)
+		e := Entropy(s, 12)
+		if e < prev-0.02 {
+			t.Errorf("entropy not increasing with noise: eps=%v e=%v prev=%v", eps, e, prev)
+		}
+		prev = e
+		// Linear entropy of flip-noise eps approaches 2*eps.
+		want := 2 * eps
+		if eps > 0 && (e < want*0.6 || e > want*1.4+0.05) {
+			t.Errorf("eps=%v: entropy %.3f, want ≈ %.3f", eps, e, want)
+		}
+	}
+}
+
+func TestTrainProducesPositiveSlope(t *testing.T) {
+	var streams []*trace.Stream
+	for i, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.45} {
+		streams = append(streams, patternStream("t", 20000, 8, eps, int64(10+i)))
+	}
+	model, pts := Train("gshare", func() Predictor { return NewGshare(14) }, streams, 12)
+	if len(pts) != len(streams) {
+		t.Fatalf("training points = %d", len(pts))
+	}
+	if model.Fit.B <= 0 {
+		t.Errorf("entropy fit slope %.3f not positive", model.Fit.B)
+	}
+	if model.Fit.R2 < 0.8 {
+		t.Errorf("entropy fit R2 %.3f too low", model.Fit.R2)
+	}
+	// Predicted missrate for a held-out noise level should track eps.
+	held := patternStream("held", 20000, 8, 0.15, 99)
+	pred := model.Predict(Entropy(held, 12))
+	actual, _ := MissRate(NewGshare(14), held)
+	if diff := pred - actual; diff > 0.1 || diff < -0.1 {
+		t.Errorf("held-out prediction %.3f vs actual %.3f", pred, actual)
+	}
+}
+
+func TestMPKIOnWorkload(t *testing.T) {
+	s := workload.MustGenerate("gobmk", 60_000, 0)
+	for _, name := range StandardNames() {
+		p, err := NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpki := MPKI(p, s)
+		if mpki <= 0 || mpki > 200 {
+			t.Errorf("%s MPKI = %.1f out of plausible range", name, mpki)
+		}
+	}
+}
+
+func TestNewByNameUnknown(t *testing.T) {
+	if _, err := NewByName("nope"); err == nil {
+		t.Error("expected error for unknown predictor")
+	}
+}

@@ -1,0 +1,267 @@
+// Package branch implements the branch-prediction substrate: the five
+// history-based predictors the paper trains its linear-branch-entropy model
+// against (GAg, GAp, PAp, gshare and a tournament predictor, §3.5), the
+// linear branch entropy metric itself (Equations 3.13-3.15), and the
+// training flow of Figure 3.8 that turns entropy into per-predictor
+// misprediction-rate estimates.
+package branch
+
+import "fmt"
+
+// Predictor is a functional branch predictor simulator: Lookup returns the
+// predicted direction for the branch at pc; Update trains with the actual
+// outcome. Callers invoke Lookup then Update for every dynamic branch.
+type Predictor interface {
+	Name() string
+	Lookup(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+// counter is a 2-bit saturating counter; values 0-1 predict not-taken,
+// 2-3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// maskBits returns a mask of n low bits.
+func maskBits(n uint) uint64 { return (1 << n) - 1 }
+
+// GAg is a global-history predictor: a single global history register
+// indexes one shared pattern history table.
+type GAg struct {
+	hist     uint64
+	histBits uint
+	pht      []counter
+}
+
+// NewGAg builds a GAg with histBits of global history; the PHT has
+// 2^histBits 2-bit counters (histBits=14 ≈ 4 KB).
+func NewGAg(histBits uint) *GAg {
+	return &GAg{histBits: histBits, pht: make([]counter, 1<<histBits)}
+}
+
+// Name implements Predictor.
+func (p *GAg) Name() string { return "GAg" }
+
+// Lookup implements Predictor.
+func (p *GAg) Lookup(pc uint64) bool {
+	return p.pht[p.hist&maskBits(p.histBits)].taken()
+}
+
+// Update implements Predictor.
+func (p *GAg) Update(pc uint64, taken bool) {
+	i := p.hist & maskBits(p.histBits)
+	p.pht[i] = p.pht[i].update(taken)
+	p.hist = p.hist<<1 | bit(taken)
+}
+
+// GAp uses global history but per-address pattern tables: the index
+// concatenates PC bits with global history bits.
+type GAp struct {
+	hist     uint64
+	histBits uint
+	pcBits   uint
+	pht      []counter
+}
+
+// NewGAp builds a GAp with histBits of global history and pcBits of PC
+// index (total table 2^(histBits+pcBits) counters).
+func NewGAp(histBits, pcBits uint) *GAp {
+	return &GAp{histBits: histBits, pcBits: pcBits, pht: make([]counter, 1<<(histBits+pcBits))}
+}
+
+// Name implements Predictor.
+func (p *GAp) Name() string { return "GAp" }
+
+func (p *GAp) index(pc uint64) uint64 {
+	return (pc>>2)&maskBits(p.pcBits)<<p.histBits | p.hist&maskBits(p.histBits)
+}
+
+// Lookup implements Predictor.
+func (p *GAp) Lookup(pc uint64) bool { return p.pht[p.index(pc)].taken() }
+
+// Update implements Predictor.
+func (p *GAp) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.pht[i] = p.pht[i].update(taken)
+	p.hist = p.hist<<1 | bit(taken)
+}
+
+// PAp keeps a per-address (local) history table; each branch's local history
+// indexes a per-address pattern table.
+type PAp struct {
+	histBits uint
+	pcBits   uint
+	bht      []uint64 // local histories, indexed by PC
+	pht      []counter
+}
+
+// NewPAp builds a PAp with histBits of local history per branch and pcBits
+// of PC index into both tables.
+func NewPAp(histBits, pcBits uint) *PAp {
+	return &PAp{
+		histBits: histBits, pcBits: pcBits,
+		bht: make([]uint64, 1<<pcBits),
+		pht: make([]counter, 1<<(histBits+pcBits)),
+	}
+}
+
+// Name implements Predictor.
+func (p *PAp) Name() string { return "PAp" }
+
+func (p *PAp) index(pc uint64) uint64 {
+	pci := (pc >> 2) & maskBits(p.pcBits)
+	return pci<<p.histBits | p.bht[pci]&maskBits(p.histBits)
+}
+
+// Lookup implements Predictor.
+func (p *PAp) Lookup(pc uint64) bool { return p.pht[p.index(pc)].taken() }
+
+// Update implements Predictor.
+func (p *PAp) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.pht[i] = p.pht[i].update(taken)
+	pci := (pc >> 2) & maskBits(p.pcBits)
+	p.bht[pci] = p.bht[pci]<<1 | bit(taken)
+}
+
+// Gshare XORs the global history with the PC to index a shared PHT.
+type Gshare struct {
+	hist     uint64
+	histBits uint
+	pht      []counter
+}
+
+// NewGshare builds a gshare with histBits of history (PHT of 2^histBits).
+func NewGshare(histBits uint) *Gshare {
+	return &Gshare{histBits: histBits, pht: make([]counter, 1<<histBits)}
+}
+
+// Name implements Predictor.
+func (p *Gshare) Name() string { return "gshare" }
+
+func (p *Gshare) index(pc uint64) uint64 {
+	return (p.hist ^ (pc >> 2)) & maskBits(p.histBits)
+}
+
+// Lookup implements Predictor.
+func (p *Gshare) Lookup(pc uint64) bool { return p.pht[p.index(pc)].taken() }
+
+// Update implements Predictor.
+func (p *Gshare) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.pht[i] = p.pht[i].update(taken)
+	p.hist = p.hist<<1 | bit(taken)
+}
+
+// Tournament combines a GAp and a PAp with a per-PC chooser, matching the
+// paper's fifth evaluated predictor.
+type Tournament struct {
+	global  *GAp
+	local   *PAp
+	chooser []counter // 2-bit: >=2 selects the global component
+	pcBits  uint
+}
+
+// NewTournament builds a tournament of a GAp and PAp with a 2^pcBits chooser.
+func NewTournament(histBits, pcBits uint) *Tournament {
+	return &Tournament{
+		global:  NewGAp(histBits, pcBits),
+		local:   NewPAp(histBits, pcBits),
+		chooser: make([]counter, 1<<pcBits),
+		pcBits:  pcBits,
+	}
+}
+
+// Name implements Predictor.
+func (p *Tournament) Name() string { return "tournament" }
+
+// Lookup implements Predictor.
+func (p *Tournament) Lookup(pc uint64) bool {
+	if p.chooser[(pc>>2)&maskBits(p.pcBits)].taken() {
+		return p.global.Lookup(pc)
+	}
+	return p.local.Lookup(pc)
+}
+
+// Update implements Predictor.
+func (p *Tournament) Update(pc uint64, taken bool) {
+	g := p.global.Lookup(pc)
+	l := p.local.Lookup(pc)
+	ci := (pc >> 2) & maskBits(p.pcBits)
+	// Train the chooser towards the component that was right.
+	if g != l {
+		p.chooser[ci] = p.chooser[ci].update(g == taken)
+	}
+	p.global.Update(pc, taken)
+	p.local.Update(pc, taken)
+}
+
+// Bimodal is a simple per-PC 2-bit counter predictor (no history), used as a
+// baseline and for the simulator's cheapest configurations.
+type Bimodal struct {
+	pcBits uint
+	pht    []counter
+}
+
+// NewBimodal builds a bimodal predictor with 2^pcBits counters.
+func NewBimodal(pcBits uint) *Bimodal {
+	return &Bimodal{pcBits: pcBits, pht: make([]counter, 1<<pcBits)}
+}
+
+// Name implements Predictor.
+func (p *Bimodal) Name() string { return "bimodal" }
+
+// Lookup implements Predictor.
+func (p *Bimodal) Lookup(pc uint64) bool { return p.pht[(pc>>2)&maskBits(p.pcBits)].taken() }
+
+// Update implements Predictor.
+func (p *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & maskBits(p.pcBits)
+	p.pht[i] = p.pht[i].update(taken)
+}
+
+func bit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// NewByName constructs one of the standard ~4 KB predictors by name:
+// "GAg", "GAp", "PAp", "gshare", "tournament" or "bimodal".
+func NewByName(name string) (Predictor, error) {
+	switch name {
+	case "GAg":
+		return NewGAg(14), nil
+	case "GAp":
+		return NewGAp(8, 6), nil
+	case "PAp":
+		return NewPAp(8, 6), nil
+	case "gshare":
+		return NewGshare(14), nil
+	case "tournament":
+		return NewTournament(7, 6), nil
+	case "bimodal":
+		return NewBimodal(14), nil
+	}
+	return nil, fmt.Errorf("branch: unknown predictor %q", name)
+}
+
+// StandardNames lists the five predictors of Figure 3.10.
+func StandardNames() []string {
+	return []string{"GAg", "GAp", "PAp", "gshare", "tournament"}
+}

@@ -1,0 +1,248 @@
+// Package cache implements the memory-hierarchy substrate: set-associative
+// LRU caches, a multi-level inclusive hierarchy with functional simulation,
+// and an exact LRU stack-distance simulator used to validate the StatStack
+// statistical model (§4.2).
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int64
+	Assoc     int
+	LineBytes int64
+	// LatencyCycles is the load-to-use latency of a hit in this level.
+	LatencyCycles int
+}
+
+// Lines returns the capacity in cache lines.
+func (c Config) Lines() int64 { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int64 { return c.Lines() / int64(c.Assoc) }
+
+// String formats the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("%s %dKB %d-way %dB/line %dcyc",
+		c.Name, c.SizeBytes>>10, c.Assoc, c.LineBytes, c.LatencyCycles)
+}
+
+// Stats accumulates per-level access statistics, the activity factors the
+// power model consumes (§4.10).
+type Stats struct {
+	Accesses    int64
+	Misses      int64
+	LoadAcc     int64
+	LoadMisses  int64
+	StoreAcc    int64
+	StoreMisses int64
+	Writebacks  int64
+}
+
+// MPKI returns misses per kilo-instruction given an instruction count.
+func (s Stats) MPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative LRU cache. Ways of a set are kept in recency
+// order (way 0 = most recently used), which makes LRU update a small rotate.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	Stats    Stats
+}
+
+// New builds a cache from cfg. Size, associativity and line size must yield
+// a power-of-two set count.
+func New(cfg Config) *Cache {
+	nsets := cfg.Sets()
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, nsets))
+	}
+	lineBits := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*int64(cfg.Assoc))
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineBits: lineBits}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-granular address of addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Access performs a load or store to addr, updating LRU state. It returns
+// hit and, when the installed victim was dirty, writeback=true. Misses
+// allocate the line (write-allocate for stores).
+func (c *Cache) Access(addr uint64, store bool) (hit, writeback bool) {
+	la := addr >> c.lineBits
+	set := c.sets[la&c.setMask]
+	tag := la // the full line address doubles as the tag
+	c.Stats.Accesses++
+	if store {
+		c.Stats.StoreAcc++
+	} else {
+		c.Stats.LoadAcc++
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			// Move to MRU position.
+			l := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			if store {
+				set[0].dirty = true
+			}
+			return true, false
+		}
+	}
+	// Miss: evict LRU (last way), install at MRU.
+	c.Stats.Misses++
+	if store {
+		c.Stats.StoreMisses++
+	} else {
+		c.Stats.LoadMisses++
+	}
+	victim := set[len(set)-1]
+	writeback = victim.valid && victim.dirty
+	if writeback {
+		c.Stats.Writebacks++
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line{tag: tag, valid: true, dirty: store}
+	return false, writeback
+}
+
+// Probe reports whether addr is present without updating LRU state or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	la := addr >> c.lineBits
+	set := c.sets[la&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.Stats = Stats{}
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels; Mem means the access went to main memory.
+const (
+	L1 Level = iota
+	L2
+	L3
+	Mem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	default:
+		return "Mem"
+	}
+}
+
+// Hierarchy is an inclusive multi-level cache hierarchy. Access walks the
+// levels in order until a hit, allocating the line in every level above the
+// hit (inclusive fill), matching the modeling assumption of §4.2.
+type Hierarchy struct {
+	Levels []*Cache
+	// ColdTracker, when non-nil, records first-touch lines so cold misses
+	// can be separated from capacity/conflict misses (Figure 4.4).
+	cold     map[uint64]struct{}
+	ColdMiss int64
+}
+
+// NewHierarchy builds a hierarchy from level configs (ordered L1 first).
+func NewHierarchy(cfgs ...Config) *Hierarchy {
+	h := &Hierarchy{cold: make(map[uint64]struct{})}
+	for _, cfg := range cfgs {
+		h.Levels = append(h.Levels, New(cfg))
+	}
+	return h
+}
+
+// Access performs a load/store; it returns the level that satisfied the
+// access (Mem if no level hit).
+func (h *Hierarchy) Access(addr uint64, store bool) Level {
+	hitLevel := Mem
+	for i, c := range h.Levels {
+		hit, _ := c.Access(addr, store && i == 0)
+		if hit {
+			hitLevel = Level(i)
+			break
+		}
+	}
+	if hitLevel == Mem {
+		la := h.Levels[0].LineAddr(addr)
+		if _, seen := h.cold[la]; !seen {
+			h.cold[la] = struct{}{}
+			h.ColdMiss++
+		}
+	}
+	return hitLevel
+}
+
+// Probe reports the level that currently holds addr without side effects.
+func (h *Hierarchy) Probe(addr uint64) Level {
+	for i, c := range h.Levels {
+		if c.Probe(addr) {
+			return Level(i)
+		}
+	}
+	return Mem
+}
+
+// Latency returns the load-to-use latency of a hit at level l, or memLatency
+// (the caller-supplied DRAM latency) for Mem.
+func (h *Hierarchy) Latency(l Level, memLatency int) int {
+	if int(l) < len(h.Levels) {
+		return h.Levels[l].cfg.LatencyCycles
+	}
+	return memLatency
+}
+
+// Reset clears all levels and the cold-miss tracker.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+	h.cold = make(map[uint64]struct{})
+	h.ColdMiss = 0
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig(size int64, assoc int) Config {
+	return Config{Name: "t", SizeBytes: size, Assoc: assoc, LineBytes: 64, LatencyCycles: 1}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := New(testConfig(4096, 4))
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Fatal("first access should miss")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access should hit")
+	}
+	if hit, _ := c.Access(0x1038, false); !hit {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines mapping to set 0 differ by 128B.
+	c := New(testConfig(256, 2))
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should still be cached")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be cached")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(testConfig(128, 1)) // 2 sets, direct-mapped
+	c.Access(0, true)            // dirty
+	_, wb := c.Access(128, false)
+	if !wb {
+		t.Error("evicting a dirty line should report a writeback")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestHierarchyInclusiveFill(t *testing.T) {
+	h := NewHierarchy(testConfig(1024, 2), testConfig(4096, 4), testConfig(16384, 8))
+	if lvl := h.Access(0x100000, false); lvl != Mem {
+		t.Fatalf("first access level = %v", lvl)
+	}
+	if lvl := h.Access(0x100000, false); lvl != L1 {
+		t.Fatalf("second access level = %v", lvl)
+	}
+	if h.ColdMiss != 1 {
+		t.Errorf("cold misses = %d", h.ColdMiss)
+	}
+}
+
+func TestStackSimMatchesBruteForce(t *testing.T) {
+	// Deterministic pseudo-random line stream.
+	var lines []uint64
+	state := uint64(12345)
+	for i := 0; i < 3000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		lines = append(lines, state%64)
+	}
+	sim := NewStackSim()
+	lastSeen := map[uint64]int{}
+	for i, ln := range lines {
+		got := sim.Access(ln)
+		prev, ok := lastSeen[ln]
+		if !ok {
+			if got != ColdDistance {
+				t.Fatalf("access %d: want cold, got %d", i, got)
+			}
+		} else {
+			// Brute force: unique lines between prev and i.
+			uniq := map[uint64]struct{}{}
+			for j := prev + 1; j < i; j++ {
+				if lines[j] != ln {
+					uniq[lines[j]] = struct{}{}
+				}
+			}
+			if got != len(uniq) {
+				t.Fatalf("access %d: stack distance %d, brute force %d", i, got, len(uniq))
+			}
+		}
+		lastSeen[ln] = i
+	}
+}
+
+func TestStackSimQuickProperty(t *testing.T) {
+	// Stack distance is always <= reuse distance (accesses in between).
+	f := func(raw []uint8) bool {
+		sim := NewStackSim()
+		last := map[uint64]int{}
+		for i, b := range raw {
+			ln := uint64(b % 32)
+			d := sim.Access(ln)
+			if prev, ok := last[ln]; ok {
+				if d > i-prev-1 {
+					return false
+				}
+			} else if d != ColdDistance {
+				return false
+			}
+			last[ln] = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

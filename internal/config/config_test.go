@@ -1,0 +1,73 @@
+package config
+
+import (
+	"testing"
+
+	"mipp/internal/trace"
+)
+
+func TestReferenceValidates(t *testing.T) {
+	for _, c := range []*Config{Reference(), ReferenceWithPrefetcher(), LowPower()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestDesignSpaceSizeAndValidity(t *testing.T) {
+	space := DesignSpace()
+	if len(space) != 243 {
+		t.Fatalf("design space has %d points, want 3^5 = 243", len(space))
+	}
+	names := map[string]bool{}
+	for _, c := range space {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate config name %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+}
+
+func TestMemConfigScalesWithFrequency(t *testing.T) {
+	c := Reference()
+	base := c.MemConfig().LatencyCycles
+	c.FrequencyGHz = 2 * c.FrequencyGHz
+	if got := c.MemConfig().LatencyCycles; got < base*2-2 || got > base*2+2 {
+		t.Errorf("doubling frequency should double memory cycles: %d -> %d", base, got)
+	}
+}
+
+func TestPortsCoverAllClasses(t *testing.T) {
+	for _, w := range []int{2, 4, 6} {
+		c := Reference()
+		c.DispatchWidth = w
+		c.Ports = portsForWidth(w)
+		for cl := trace.Class(0); cl < trace.NumClasses; cl++ {
+			if c.UnitCount(cl) == 0 {
+				t.Errorf("width %d: class %v has no port", w, cl)
+			}
+		}
+	}
+}
+
+func TestDVFS(t *testing.T) {
+	pts := DVFSPoints()
+	if len(pts) != 5 {
+		t.Fatalf("DVFS points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FrequencyGHz <= pts[i-1].FrequencyGHz || pts[i].VoltageV < pts[i-1].VoltageV {
+			t.Error("DVFS points must have increasing f and non-decreasing V")
+		}
+	}
+	c := WithDVFS(Reference(), pts[0])
+	if c.FrequencyGHz != pts[0].FrequencyGHz || c.VoltageV != pts[0].VoltageV {
+		t.Error("WithDVFS did not apply the point")
+	}
+	if Reference().FrequencyGHz == c.FrequencyGHz {
+		t.Error("WithDVFS mutated the base config")
+	}
+}

@@ -1,0 +1,183 @@
+// Package dse implements the design-space exploration machinery of
+// Chapter 7: Pareto frontiers over (execution time, power), the pruning
+// quality metrics — sensitivity, specificity, accuracy and the hypervolume
+// ratio (HVR, Figure 7.8) — and helpers for power-constrained optimization
+// (Table 7.1) and ED²P-based DVFS selection (§7.3).
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one design evaluated for one workload: lower Time and lower
+// Power are better.
+type Point struct {
+	Config string
+	Time   float64 // seconds (or any monotone performance cost)
+	Power  float64 // watts
+}
+
+// Dominates reports whether a dominates b (no worse in both, better in one).
+func (a Point) Dominates(b Point) bool {
+	if a.Time <= b.Time && a.Power <= b.Power {
+		return a.Time < b.Time || a.Power < b.Power
+	}
+	return false
+}
+
+// ParetoFront returns the non-dominated subset of points, sorted by Time.
+func ParetoFront(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Power < sorted[j].Power
+	})
+	var front []Point
+	bestPower := math.Inf(1)
+	for _, p := range sorted {
+		if p.Power < bestPower {
+			front = append(front, p)
+			bestPower = p.Power
+		}
+	}
+	return front
+}
+
+// Metrics summarizes how well a predicted Pareto front matches the true one
+// (§7.4): the predicted-optimal configs are a classifier over the design
+// space, scored against the actually-optimal set.
+type Metrics struct {
+	Sensitivity float64 // true positives / actual positives
+	Specificity float64 // true negatives / actual negatives
+	Accuracy    float64 // correct classifications / all
+	HVR         float64 // hypervolume(predicted picks) / hypervolume(true front)
+}
+
+// Evaluate compares a predicted design-space evaluation against the true
+// one. `predicted` and `actual` must cover the same configs (matched by
+// Config name); the predicted front's configs are looked up in the actual
+// space for the HVR computation, exactly as the thesis evaluates pruning: a
+// designer simulates the predicted picks and obtains their *actual*
+// time/power.
+func Evaluate(predicted, actual []Point) Metrics {
+	actualByName := make(map[string]Point, len(actual))
+	for _, p := range actual {
+		actualByName[p.Config] = p
+	}
+	trueFront := ParetoFront(actual)
+	predFront := ParetoFront(predicted)
+
+	inTrue := make(map[string]bool, len(trueFront))
+	for _, p := range trueFront {
+		inTrue[p.Config] = true
+	}
+	inPred := make(map[string]bool, len(predFront))
+	for _, p := range predFront {
+		inPred[p.Config] = true
+	}
+
+	var tp, fp, tn, fn float64
+	for _, p := range actual {
+		switch {
+		case inTrue[p.Config] && inPred[p.Config]:
+			tp++
+		case inTrue[p.Config] && !inPred[p.Config]:
+			fn++
+		case !inTrue[p.Config] && inPred[p.Config]:
+			fp++
+		default:
+			tn++
+		}
+	}
+	var m Metrics
+	if tp+fn > 0 {
+		m.Sensitivity = tp / (tp + fn)
+	}
+	if tn+fp > 0 {
+		m.Specificity = tn / (tn + fp)
+	}
+	if n := tp + fp + tn + fn; n > 0 {
+		m.Accuracy = (tp + tn) / n
+	}
+
+	// HVR: hypervolume of the *actual* points of the predicted picks,
+	// relative to the true front's hypervolume (Figure 7.8). The
+	// reference point is the worst corner of the actual space.
+	ref := worstCorner(actual)
+	var picks []Point
+	for _, p := range predFront {
+		if ap, ok := actualByName[p.Config]; ok {
+			picks = append(picks, ap)
+		}
+	}
+	hvTrue := Hypervolume(trueFront, ref)
+	if hvTrue > 0 {
+		m.HVR = Hypervolume(ParetoFront(picks), ref) / hvTrue
+	}
+	return m
+}
+
+func worstCorner(points []Point) Point {
+	ref := Point{Time: 0, Power: 0}
+	for _, p := range points {
+		if p.Time > ref.Time {
+			ref.Time = p.Time
+		}
+		if p.Power > ref.Power {
+			ref.Power = p.Power
+		}
+	}
+	// Nudge outwards so boundary points contribute volume.
+	ref.Time *= 1.01
+	ref.Power *= 1.01
+	return ref
+}
+
+// Hypervolume computes the 2D dominated hypervolume of a front with respect
+// to a reference (worst) point. Points beyond the reference contribute
+// nothing.
+func Hypervolume(front []Point, ref Point) float64 {
+	f := ParetoFront(front)
+	hv := 0.0
+	prevPower := ref.Power
+	for _, p := range f {
+		if p.Time >= ref.Time || p.Power >= prevPower {
+			continue
+		}
+		hv += (ref.Time - p.Time) * (prevPower - p.Power)
+		prevPower = p.Power
+	}
+	return hv
+}
+
+// BestUnderPowerCap returns the fastest point whose power does not exceed
+// cap (Table 7.1's optimization); ok is false when nothing fits.
+func BestUnderPowerCap(points []Point, cap float64) (Point, bool) {
+	best := Point{Time: math.Inf(1)}
+	ok := false
+	for _, p := range points {
+		if p.Power <= cap && p.Time < best.Time {
+			best = p
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// BestByED2P returns the point minimizing energy-delay-squared
+// (power × time³, since E = P·t), the DVFS selection metric of §7.3.
+func BestByED2P(points []Point) (Point, bool) {
+	best := Point{}
+	bestV := math.Inf(1)
+	ok := false
+	for _, p := range points {
+		v := p.Power * p.Time * p.Time * p.Time
+		if v < bestV {
+			best, bestV, ok = p, v, true
+		}
+	}
+	return best, ok
+}

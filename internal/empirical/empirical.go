@@ -1,0 +1,161 @@
+// Package empirical implements the black-box empirical model the thesis
+// compares the mechanistic model against (§7.5): ridge-regularized linear
+// regression over micro-architectural design parameters (with quadratic
+// terms), trained on simulation results for a sampled subset of the design
+// space, then used to predict performance and power for the rest.
+//
+// The section's finding — empirical models interpolate averages well but
+// miss the trends that decide Pareto membership — is reproduced by feeding
+// both models into the dse metrics.
+package empirical
+
+import (
+	"fmt"
+	"math"
+
+	"mipp/internal/config"
+)
+
+// Features extracts the design parameters of a configuration as a feature
+// vector (the knobs of Table 6.3), log-scaled where sizes span decades.
+func Features(c *config.Config) []float64 {
+	return []float64{
+		float64(c.DispatchWidth),
+		math.Log2(float64(c.ROB)),
+		math.Log2(float64(c.L2.SizeBytes) / 1024),
+		math.Log2(float64(c.L3.SizeBytes) / (1 << 20)),
+		c.FrequencyGHz,
+	}
+}
+
+// expand adds quadratic and pairwise interaction terms plus a bias.
+func expand(x []float64) []float64 {
+	out := make([]float64, 0, 1+len(x)+len(x)*(len(x)+1)/2)
+	out = append(out, 1)
+	out = append(out, x...)
+	for i := range x {
+		for j := i; j < len(x); j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// Model is a trained ridge regression.
+type Model struct {
+	weights []float64
+	// means/scales standardize features before fitting.
+	means, scales []float64
+}
+
+// Train fits y ≈ f(features) with ridge regularization strength lambda.
+// Rows of xs are raw feature vectors (use Features).
+func Train(xs [][]float64, ys []float64, lambda float64) (*Model, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("empirical: need matching non-empty training data, got %d/%d", len(xs), len(ys))
+	}
+	ex := make([][]float64, len(xs))
+	for i, x := range xs {
+		ex[i] = expand(x)
+	}
+	d := len(ex[0])
+	// Standardize columns (except bias).
+	means := make([]float64, d)
+	scales := make([]float64, d)
+	for j := 1; j < d; j++ {
+		for i := range ex {
+			means[j] += ex[i][j]
+		}
+		means[j] /= float64(len(ex))
+		for i := range ex {
+			dv := ex[i][j] - means[j]
+			scales[j] += dv * dv
+		}
+		scales[j] = math.Sqrt(scales[j] / float64(len(ex)))
+		if scales[j] == 0 {
+			scales[j] = 1
+		}
+		for i := range ex {
+			ex[i][j] = (ex[i][j] - means[j]) / scales[j]
+		}
+	}
+	// Normal equations with ridge: (XᵀX + λI) w = Xᵀy.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	for i := range ex {
+		for r := 0; r < d; r++ {
+			b[r] += ex[i][r] * ys[i]
+			for c := r; c < d; c++ {
+				a[r][c] += ex[i][r] * ex[i][c]
+			}
+		}
+	}
+	for r := 0; r < d; r++ {
+		for c := 0; c < r; c++ {
+			a[r][c] = a[c][r]
+		}
+		if r > 0 {
+			a[r][r] += lambda
+		}
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{weights: w, means: means, scales: scales}, nil
+}
+
+// Predict evaluates the model on a raw feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	ex := expand(x)
+	y := 0.0
+	for j, w := range m.weights {
+		v := ex[j]
+		if j > 0 {
+			v = (v - m.means[j]) / m.scales[j]
+		}
+		y += w * v
+	}
+	return y
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Augment.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("empirical: singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		x[r] = m[r][n]
+		for c := r + 1; c < n; c++ {
+			x[r] -= m[r][c] * x[c]
+		}
+		x[r] /= m[r][r]
+	}
+	return x, nil
+}

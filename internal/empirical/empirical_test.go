@@ -1,0 +1,68 @@
+package empirical
+
+import (
+	"math"
+	"testing"
+
+	"mipp/internal/config"
+)
+
+func TestTrainRecoversLinearFunction(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{float64(i % 5), float64((i * 3) % 7), float64(i % 2)}
+		xs = append(xs, x)
+		ys = append(ys, 2+3*x[0]-x[1]+0.5*x[2])
+	}
+	m, err := Train(xs, ys, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if math.Abs(m.Predict(x)-ys[i]) > 1e-6 {
+			t.Fatalf("prediction %v vs %v", m.Predict(x), ys[i])
+		}
+	}
+}
+
+func TestTrainRecoversQuadratic(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		a, b := float64(i%9), float64((i*5)%11)
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 1+a*a-2*a*b+b)
+	}
+	m, err := Train(xs, ys, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{3, 4})
+	want := 1 + 9.0 - 24 + 4
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("quadratic prediction %v, want %v", got, want)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, 1); err == nil {
+		t.Error("empty training set should error")
+	}
+}
+
+func TestFeaturesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range config.DesignSpace() {
+		f := Features(c)
+		key := ""
+		for _, v := range f {
+			key += string(rune(int(v*16) % 1000))
+		}
+		_ = key
+		if len(f) != 5 {
+			t.Fatalf("feature length %d", len(f))
+		}
+	}
+	_ = seen
+}

@@ -1,0 +1,166 @@
+// Package exp is the experiment harness: one function per table and figure
+// of the paper's evaluation (Chapters 3-7), each regenerating the same rows
+// or series the paper reports. The functions are shared by cmd/experiments
+// and the top-level benchmark suite (bench_test.go).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"mipp/internal/config"
+	"mipp/internal/core"
+	"mipp/internal/ooo"
+	"mipp/internal/profiler"
+	"mipp/internal/trace"
+	"mipp/internal/workload"
+)
+
+// Suite memoizes workload streams, profiles and simulation results so the
+// individual experiments can share them.
+type Suite struct {
+	// N is the trace length in uops for reference-architecture
+	// experiments; design-space sweeps use N/3.
+	N int
+	// Workloads is the benchmark subset to run (default: all 29).
+	Workloads []string
+
+	mu       sync.Mutex
+	streams  map[string]*trace.Stream
+	profiles map[string]*profiler.Profile
+	sims     map[string]*ooo.Result
+	models   map[string]*core.Model
+}
+
+// NewSuite returns a Suite with the given trace length (0 = 300000).
+func NewSuite(n int) *Suite {
+	if n <= 0 {
+		n = 300_000
+	}
+	return &Suite{
+		N:         n,
+		Workloads: workload.Names(),
+		streams:   make(map[string]*trace.Stream),
+		profiles:  make(map[string]*profiler.Profile),
+		sims:      make(map[string]*ooo.Result),
+		models:    make(map[string]*core.Model),
+	}
+}
+
+// Stream returns the memoized trace of a workload at length n.
+func (s *Suite) Stream(name string, n int) *trace.Stream {
+	key := fmt.Sprintf("%s/%d", name, n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[key]; ok {
+		return st
+	}
+	st := workload.MustGenerate(name, n, 0)
+	s.streams[key] = st
+	return st
+}
+
+// Profile returns the memoized profile of a workload at length n.
+func (s *Suite) Profile(name string, n int) *profiler.Profile {
+	key := fmt.Sprintf("%s/%d", name, n)
+	s.mu.Lock()
+	if p, ok := s.profiles[key]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	st := s.Stream(name, n)
+	p := profiler.Run(st, profiler.Options{})
+	s.mu.Lock()
+	s.profiles[key] = p
+	s.mu.Unlock()
+	return p
+}
+
+// Model returns a memoized analytical model for a workload at length n.
+func (s *Suite) Model(name string, n int) *core.Model {
+	key := fmt.Sprintf("%s/%d", name, n)
+	s.mu.Lock()
+	if m, ok := s.models[key]; ok {
+		s.mu.Unlock()
+		return m
+	}
+	s.mu.Unlock()
+	m := core.New(s.Profile(name, n), nil)
+	s.mu.Lock()
+	s.models[key] = m
+	s.mu.Unlock()
+	return m
+}
+
+// Sim returns the memoized simulation of workload name on cfg at length n.
+func (s *Suite) Sim(name string, cfg *config.Config, n int) *ooo.Result {
+	key := fmt.Sprintf("%s/%s/%d", name, cfg.Name, n)
+	s.mu.Lock()
+	if r, ok := s.sims[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	st := s.Stream(name, n)
+	r, err := ooo.Simulate(cfg, st, ooo.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("exp: simulate %s on %s: %v", name, cfg.Name, err))
+	}
+	s.mu.Lock()
+	s.sims[key] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Experiment is a registered table/figure generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Suite, w io.Writer)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(*Suite, io.Writer)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// SpaceSample returns a stratified sample of the 243-point design space:
+// every k-th configuration, which cycles through all parameter values
+// because the enumeration is lexicographic.
+func SpaceSample(k int) []*config.Config {
+	all := config.DesignSpace()
+	if k <= 1 {
+		return all
+	}
+	var out []*config.Config
+	for i := 0; i < len(all); i += k {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// header prints a section header for experiment output.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 40 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	// Every id resolvable; titles non-empty.
+	for _, e := range all {
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("%s not resolvable", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestSpaceSampleCoversParameters(t *testing.T) {
+	sample := SpaceSample(13)
+	if len(sample) < 15 {
+		t.Fatalf("sample too small: %d", len(sample))
+	}
+	widths := map[int]bool{}
+	for _, c := range sample {
+		widths[c.DispatchWidth] = true
+	}
+	if len(widths) < 3 {
+		t.Errorf("sample misses widths: %v", widths)
+	}
+}
+
+func TestQuickExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments")
+	}
+	s := NewSuite(20_000)
+	s.Workloads = []string{"gamess", "mcf"}
+	for _, id := range []string{"fig3.1", "fig3.4", "fig4.7", "tab6.1", "tab6.3", "tab7.2"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		e.Run(s, &buf)
+		if !strings.Contains(buf.String(), "==") {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}

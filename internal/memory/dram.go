@@ -1,0 +1,77 @@
+// Package memory models main memory timing for the cycle-level simulator:
+// a fixed DRAM access latency plus a shared memory bus whose per-line
+// transfer time serializes concurrent misses, producing the queuing delays
+// the analytical model captures with Equation 4.5.
+package memory
+
+// Config describes the main-memory timing.
+type Config struct {
+	// LatencyCycles is the DRAM access latency in core cycles (device
+	// latency, excluding bus queuing).
+	LatencyCycles int
+	// BusCyclesPerLine is the bus occupancy of one cache-line transfer in
+	// core cycles; the inverse of the memory bandwidth.
+	BusCyclesPerLine int
+	// Channels is the number of independent memory channels (the paper's
+	// reference machine has one; Eq 4.5 assumes one).
+	Channels int
+}
+
+// DefaultConfig matches the reference architecture: ~200-cycle DRAM latency
+// and a bus that transfers one 64-byte line every 8 core cycles.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 200, BusCyclesPerLine: 8, Channels: 1}
+}
+
+// DRAM tracks bus occupancy and serves access requests.
+type DRAM struct {
+	cfg Config
+	// busFree[i] is the first cycle channel i's bus is idle.
+	busFree []int64
+	// Accesses counts line transfers (reads + writes), the DRAM activity
+	// factor for the power model.
+	Accesses int64
+	// TotalWait accumulates queuing delay cycles, for diagnostics.
+	TotalWait int64
+}
+
+// New builds a DRAM model.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	return &DRAM{cfg: cfg, busFree: make([]int64, cfg.Channels)}
+}
+
+// Config returns the memory configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Access requests one cache-line transfer starting no earlier than cycle
+// now; it returns the cycle at which the data is available to the core.
+// The line occupies the least-loaded channel's bus for BusCyclesPerLine.
+func (d *DRAM) Access(now int64) (ready int64) {
+	d.Accesses++
+	// Pick the channel that frees up first.
+	ch := 0
+	for i := 1; i < len(d.busFree); i++ {
+		if d.busFree[i] < d.busFree[ch] {
+			ch = i
+		}
+	}
+	start := now
+	if d.busFree[ch] > start {
+		d.TotalWait += d.busFree[ch] - start
+		start = d.busFree[ch]
+	}
+	d.busFree[ch] = start + int64(d.cfg.BusCyclesPerLine)
+	return start + int64(d.cfg.LatencyCycles) + int64(d.cfg.BusCyclesPerLine)
+}
+
+// Reset clears occupancy and counters.
+func (d *DRAM) Reset() {
+	for i := range d.busFree {
+		d.busFree[i] = 0
+	}
+	d.Accesses = 0
+	d.TotalWait = 0
+}

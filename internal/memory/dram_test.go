@@ -1,0 +1,48 @@
+package memory
+
+import "testing"
+
+func TestSingleAccessLatency(t *testing.T) {
+	d := New(Config{LatencyCycles: 200, BusCyclesPerLine: 8, Channels: 1})
+	if ready := d.Access(100); ready != 100+200+8 {
+		t.Errorf("ready = %d, want 308", ready)
+	}
+	if d.Accesses != 1 {
+		t.Errorf("accesses = %d", d.Accesses)
+	}
+}
+
+func TestBusQueuingSerializes(t *testing.T) {
+	d := New(Config{LatencyCycles: 200, BusCyclesPerLine: 8, Channels: 1})
+	r1 := d.Access(0)
+	r2 := d.Access(0)
+	r3 := d.Access(0)
+	if r2 != r1+8 || r3 != r2+8 {
+		t.Errorf("bus should add 8 cycles per queued line: %d %d %d", r1, r2, r3)
+	}
+	if d.TotalWait != 8+16 {
+		t.Errorf("total wait = %d, want 24", d.TotalWait)
+	}
+}
+
+func TestMultipleChannels(t *testing.T) {
+	d := New(Config{LatencyCycles: 200, BusCyclesPerLine: 8, Channels: 2})
+	r1 := d.Access(0)
+	r2 := d.Access(0)
+	if r1 != r2 {
+		t.Errorf("two channels should serve two accesses in parallel: %d vs %d", r1, r2)
+	}
+	r3 := d.Access(0)
+	if r3 != r1+8 {
+		t.Errorf("third access queues: %d, want %d", r3, r1+8)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0)
+	d.Reset()
+	if d.Accesses != 0 || d.TotalWait != 0 {
+		t.Error("reset did not clear counters")
+	}
+}

@@ -1,0 +1,646 @@
+// Package ooo is the cycle-level reference simulator: a superscalar
+// out-of-order core with a branch-predicting front-end, dispatch into an
+// ROB + issue queue, per-port issue with pipelined and non-pipelined
+// functional units, a load/store queue, an MSHR-limited non-blocking
+// three-level cache hierarchy, a stride prefetcher and a bandwidth-limited
+// DRAM backend.
+//
+// It plays the role Sniper plays in the paper: the ground truth the
+// analytical model's performance and power predictions are validated
+// against. It implements exactly the first-order mechanisms the interval
+// model abstracts — miss-event serialization at dispatch, memory-level
+// parallelism bounded by the ROB and MSHRs, issue-port contention and
+// front-end redirect penalties — so model-versus-simulator errors are
+// meaningful in the same way as the paper's.
+package ooo
+
+import (
+	"fmt"
+	"math"
+
+	"mipp/internal/branch"
+	"mipp/internal/cache"
+	"mipp/internal/config"
+	"mipp/internal/memory"
+	"mipp/internal/perf"
+	"mipp/internal/prefetch"
+	"mipp/internal/trace"
+)
+
+const farFuture = int64(math.MaxInt64 / 4)
+
+// Options modify a simulation run.
+type Options struct {
+	// PerfectBP disables branch misprediction penalties (used to isolate
+	// the base component, Figure 3.7).
+	PerfectBP bool
+	// PerfectICache makes every instruction fetch hit the L1I.
+	PerfectICache bool
+	// PerfectDCache makes every load and store hit the L1D (the "perfect
+	// processor" of §3.4's validation).
+	PerfectDCache bool
+	// WindowUops, when positive, records the cycle count after every
+	// window of that many committed uops, for phase analysis (§6.5).
+	WindowUops int
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Config       string
+	Workload     string
+	Cycles       int64
+	Uops         int64
+	Instructions int64
+	// Stack attributes every cycle to a CPI-stack component.
+	Stack perf.CPIStack
+	// Activity holds power-model activity factors.
+	Activity perf.Activity
+	// MLP is the measured memory-level parallelism: the average number of
+	// outstanding DRAM loads over cycles with at least one outstanding.
+	MLP float64
+	// DRAMStallPerMiss is the average number of stall cycles attributed
+	// to DRAM per long-latency load miss (the "time waiting on DRAM"
+	// metric of Figure 6.15).
+	DRAMStallPerMiss float64
+	// Branches and BranchMispredicts count dynamic conditional branches.
+	Branches          int64
+	BranchMispredicts int64
+	// LoadsAtLevel counts demand loads satisfied at each level
+	// (L1, L2, L3, Mem). Loads that coalesce onto an in-flight fill are
+	// counted in CoalescedLoads instead.
+	LoadsAtLevel [4]int64
+	// CoalescedLoads counts loads that merged with an outstanding fill of
+	// the same line (they share the MSHR entry and cause no new transfer).
+	CoalescedLoads int64
+	// ColdMisses counts first-touch LLC misses.
+	ColdMisses int64
+	// BusWaitCycles is the accumulated memory-bus queuing delay.
+	BusWaitCycles int64
+	// WindowCycles[i] is the cycle count when window i completed
+	// (present when Options.WindowUops > 0).
+	WindowCycles []int64
+}
+
+// CPI returns cycles per macro-instruction.
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// UPC returns micro-ops per cycle.
+func (r *Result) UPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Uops) / float64(r.Cycles)
+}
+
+// TimeSeconds returns wall-clock execution time at the config frequency.
+func (r *Result) TimeSeconds(freqGHz float64) float64 {
+	return float64(r.Cycles) / (freqGHz * 1e9)
+}
+
+// WindowCPI converts WindowCycles into per-window CPI values (cycles per
+// committed uop in the window, scaled by uops/instruction).
+func (r *Result) WindowCPI(windowUops int) []float64 {
+	if len(r.WindowCycles) == 0 || windowUops == 0 {
+		return nil
+	}
+	upi := float64(r.Uops) / float64(r.Instructions)
+	out := make([]float64, len(r.WindowCycles))
+	prev := int64(0)
+	for i, c := range r.WindowCycles {
+		out[i] = float64(c-prev) / float64(windowUops) * upi
+		prev = c
+	}
+	return out
+}
+
+type fetchReason int
+
+const (
+	fetchOK fetchReason = iota
+	fetchBranch
+	fetchICache
+)
+
+type robEntry struct {
+	idx     int32
+	done    int64
+	cls     trace.Class
+	issued  bool
+	mispred bool
+	level   int8 // cache.Level for loads; -1 otherwise
+}
+
+type sim struct {
+	cfg    *config.Config
+	stream *trace.Stream
+	opt    Options
+
+	pred  branch.Predictor
+	l1i   *cache.Cache
+	dhier *cache.Hierarchy
+	dram  *memory.DRAM
+	pf    *prefetch.Stride
+
+	// Pipeline state.
+	cycle     int64
+	rob       []robEntry
+	head      int
+	robCount  int
+	iq        []int // rob slots of un-issued uops, oldest first
+	lsqCount  int
+	doneAt    []int64
+	nextUop   int
+	committed int64
+	instrs    int64
+
+	fetchAvail   int64
+	fetchWhy     fetchReason
+	lastFetchPC  uint64
+	haveFetchPC  bool
+	pendingRedir int // rob slot of the unresolved mispredicted branch; -1 none
+
+	// Issue resources.
+	portUsed []bool
+	npBusy   [][trace.NumClasses]int64
+
+	// Memory state.
+	inflight    map[uint64]int64 // line -> data-ready cycle
+	mshrReady   []int64          // outstanding L1D miss completion times
+	dramPending []int64          // outstanding DRAM demand-load completion times
+
+	// Accounting.
+	res       Result
+	mlpSum    float64
+	mlpCycles int64
+	memLat    memory.Config
+	winNext   int64
+}
+
+// Simulate runs stream on cfg and returns the measured result.
+func Simulate(cfg *config.Config, stream *trace.Stream, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := branch.NewByName(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:          cfg,
+		stream:       stream,
+		opt:          opt,
+		pred:         pred,
+		l1i:          cache.New(cfg.L1I),
+		dhier:        cache.NewHierarchy(cfg.L1D, cfg.L2, cfg.L3),
+		dram:         memory.New(cfg.MemConfig()),
+		pf:           prefetch.NewStride(cfg.Prefetcher),
+		rob:          make([]robEntry, cfg.ROB),
+		iq:           make([]int, 0, cfg.IQ),
+		doneAt:       make([]int64, len(stream.Uops)),
+		portUsed:     make([]bool, len(cfg.Ports)),
+		npBusy:       make([][trace.NumClasses]int64, len(cfg.Ports)),
+		inflight:     make(map[uint64]int64),
+		pendingRedir: -1,
+		memLat:       cfg.MemConfig(),
+	}
+	for i := range s.doneAt {
+		s.doneAt[i] = farFuture
+	}
+	if opt.WindowUops > 0 {
+		s.winNext = int64(opt.WindowUops)
+	}
+	s.run()
+	r := s.res
+	r.Config = cfg.Name
+	r.Workload = stream.Name
+	r.Cycles = s.cycle
+	r.Uops = s.committed
+	r.Instructions = s.instrs
+	if s.mlpCycles > 0 {
+		r.MLP = s.mlpSum / float64(s.mlpCycles)
+	} else {
+		r.MLP = 1
+	}
+	if r.LoadsAtLevel[3] > 0 {
+		r.DRAMStallPerMiss = r.Stack.Cycles[perf.DRAM] / float64(r.LoadsAtLevel[3])
+	}
+	r.ColdMisses = s.dhier.ColdMiss
+	r.BusWaitCycles = s.dram.TotalWait
+	s.fillActivity(&r)
+	return &r, nil
+}
+
+func (s *sim) fillActivity(r *Result) {
+	a := &r.Activity
+	a.Cycles = float64(s.cycle)
+	a.UopsDispatched = float64(s.committed)
+	a.UopsCommitted = float64(s.committed)
+	l1d := s.dhier.Levels[0].Stats
+	l2 := s.dhier.Levels[1].Stats
+	l3 := s.dhier.Levels[2].Stats
+	a.L1IAccesses = float64(s.l1i.Stats.Accesses)
+	a.L1IMisses = float64(s.l1i.Stats.Misses)
+	a.L1DAccesses = float64(l1d.Accesses)
+	a.L1DMisses = float64(l1d.Misses)
+	a.L2Accesses = float64(l2.Accesses)
+	a.L2Misses = float64(l2.Misses)
+	a.L3Accesses = float64(l3.Accesses)
+	a.L3Misses = float64(l3.Misses)
+	a.DRAMAccesses = float64(s.dram.Accesses)
+	a.BranchLookups = float64(r.Branches)
+	a.PrefetchIssued = float64(s.pf.Issued)
+}
+
+func (s *sim) run() {
+	n := len(s.stream.Uops)
+	for s.committed < int64(n) {
+		committed := s.commit()
+		if committed == 0 {
+			s.attributeStall(1)
+		} else {
+			s.res.Stack.Cycles[perf.Base]++
+		}
+		issued := s.issue()
+		dispatched := s.dispatch()
+		s.accountMLP(1)
+		// Idle fast-forward: when nothing moved this cycle, jump to the
+		// next event instead of spinning cycle by cycle.
+		if committed == 0 && issued == 0 && dispatched == 0 {
+			if next := s.nextEvent(); next > s.cycle+1 {
+				delta := next - s.cycle - 1
+				s.attributeStall(delta)
+				s.accountMLP(delta)
+				s.cycle = next - 1
+			}
+		}
+		s.cycle++
+	}
+}
+
+// nextEvent returns the earliest future cycle at which pipeline state can
+// change: an in-flight uop completing, the front-end redirect resolving, or
+// a non-pipelined unit freeing up.
+func (s *sim) nextEvent() int64 {
+	next := farFuture
+	for i := 0; i < s.robCount; i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		if e.issued && e.done > s.cycle && e.done < next {
+			next = e.done
+		}
+	}
+	if s.fetchAvail > s.cycle && s.fetchAvail < next {
+		next = s.fetchAvail
+	}
+	for p := range s.npBusy {
+		for c := range s.npBusy[p] {
+			if t := s.npBusy[p][c]; t > s.cycle && t < next {
+				next = t
+			}
+		}
+	}
+	if next == farFuture {
+		return s.cycle + 1
+	}
+	return next
+}
+
+// attributeStall charges delta stall cycles to the component responsible
+// for the current lack of commit progress.
+func (s *sim) attributeStall(delta int64) {
+	comp := perf.Base
+	if s.robCount > 0 {
+		e := &s.rob[s.head]
+		if e.done > s.cycle {
+			if e.cls == trace.Load {
+				switch cache.Level(e.level) {
+				case cache.Mem:
+					comp = perf.DRAM
+				case cache.L3:
+					comp = perf.LLCHit
+				}
+			}
+		}
+	} else {
+		switch s.fetchWhy {
+		case fetchBranch:
+			comp = perf.BranchComp
+		case fetchICache:
+			comp = perf.ICache
+		}
+	}
+	s.res.Stack.Cycles[comp] += float64(delta)
+}
+
+func (s *sim) accountMLP(delta int64) {
+	// Purge completed DRAM loads.
+	keep := s.dramPending[:0]
+	for _, t := range s.dramPending {
+		if t > s.cycle {
+			keep = append(keep, t)
+		}
+	}
+	s.dramPending = keep
+	if n := len(s.dramPending); n > 0 {
+		s.mlpSum += float64(n) * float64(delta)
+		s.mlpCycles += delta
+	}
+}
+
+func (s *sim) commit() int {
+	committed := 0
+	for s.robCount > 0 && committed < s.cfg.DispatchWidth {
+		e := &s.rob[s.head]
+		if !e.issued || e.done > s.cycle {
+			break
+		}
+		if e.cls == trace.Load || e.cls == trace.Store {
+			s.lsqCount--
+		}
+		s.head = (s.head + 1) % len(s.rob)
+		s.robCount--
+		s.committed++
+		committed++
+		if s.opt.WindowUops > 0 && s.committed >= s.winNext {
+			s.res.WindowCycles = append(s.res.WindowCycles, s.cycle)
+			s.winNext += int64(s.opt.WindowUops)
+		}
+	}
+	return committed
+}
+
+// ready reports whether the uop at stream index idx has all operands
+// available at the current cycle.
+func (s *sim) ready(idx int) bool {
+	u := &s.stream.Uops[idx]
+	if d := u.SrcDist1; d > 0 {
+		if p := idx - int(d); p >= 0 && s.doneAt[p] > s.cycle {
+			return false
+		}
+	}
+	if d := u.SrcDist2; d > 0 {
+		if p := idx - int(d); p >= 0 && s.doneAt[p] > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// takePort finds a free issue port for class cls, honoring non-pipelined
+// unit occupancy. It returns the port index or -1.
+func (s *sim) takePort(cls trace.Class) int {
+	spec := s.cfg.FU[cls]
+	for p, port := range s.cfg.Ports {
+		if s.portUsed[p] || !port.Serves(cls) {
+			continue
+		}
+		if !spec.Pipelined && s.npBusy[p][cls] > s.cycle {
+			continue
+		}
+		return p
+	}
+	return -1
+}
+
+func (s *sim) issue() int {
+	for p := range s.portUsed {
+		s.portUsed[p] = false
+	}
+	issued := 0
+	for i := 0; i < len(s.iq); {
+		slot := s.iq[i]
+		e := &s.rob[slot]
+		idx := int(e.idx)
+		if !s.ready(idx) {
+			i++
+			continue
+		}
+		p := s.takePort(e.cls)
+		if p < 0 {
+			i++
+			continue
+		}
+		ok := true
+		switch e.cls {
+		case trace.Load:
+			ok = s.issueLoad(e, idx)
+		case trace.Store:
+			s.issueStore(e, idx)
+		case trace.Branch:
+			e.done = s.cycle + int64(s.cfg.FU[trace.Branch].Latency)
+			if e.mispred {
+				// The branch resolves at e.done; correct-path
+				// fetch resumes after the front-end refills.
+				s.fetchAvail = e.done + int64(s.cfg.FrontEndDepth)
+				s.fetchWhy = fetchBranch
+				s.pendingRedir = -1
+			}
+		default:
+			e.done = s.cycle + int64(s.cfg.FU[e.cls].Latency)
+		}
+		if !ok {
+			// Structural stall (MSHRs exhausted): retry next cycle.
+			i++
+			continue
+		}
+		spec := s.cfg.FU[e.cls]
+		s.portUsed[p] = true
+		if !spec.Pipelined {
+			s.npBusy[p][e.cls] = e.done
+		}
+		e.issued = true
+		s.doneAt[idx] = e.done
+		s.iq = append(s.iq[:i], s.iq[i+1:]...)
+		issued++
+	}
+	return issued
+}
+
+// issueLoad performs the memory access of a load; it returns false if the
+// load cannot issue because the MSHR file is exhausted.
+func (s *sim) issueLoad(e *robEntry, idx int) bool {
+	u := &s.stream.Uops[idx]
+	l1lat := int64(s.cfg.L1D.LatencyCycles)
+	if s.opt.PerfectDCache {
+		e.level = int8(cache.L1)
+		e.done = s.cycle + l1lat
+		s.res.LoadsAtLevel[0]++
+		return true
+	}
+	line := u.Addr >> 6
+	// Coalesce with an already in-flight fill of the same line: the load
+	// shares the outstanding MSHR entry and completes with the fill.
+	if ready, ok := s.inflight[line]; ok {
+		if ready <= s.cycle {
+			delete(s.inflight, line)
+		} else {
+			e.level = int8(cache.Mem)
+			if ready-s.cycle < int64(s.memLat.LatencyCycles)/2 {
+				e.level = int8(cache.L3)
+			}
+			e.done = ready
+			s.res.CoalescedLoads++
+			return true
+		}
+	}
+	// An L1 miss needs a free MSHR entry.
+	if !s.dhier.Levels[0].Probe(u.Addr) {
+		if s.activeMSHRs() >= s.cfg.MSHRs {
+			return false
+		}
+	}
+	level := s.dhier.Access(u.Addr, false)
+	var done int64
+	switch level {
+	case cache.L1:
+		done = s.cycle + l1lat
+	case cache.L2:
+		done = s.cycle + int64(s.cfg.L2.LatencyCycles)
+	case cache.L3:
+		done = s.cycle + int64(s.cfg.L3.LatencyCycles)
+	default:
+		done = s.dram.Access(s.cycle + int64(s.cfg.L3.LatencyCycles))
+		s.dramPending = append(s.dramPending, done)
+	}
+	e.level = int8(level)
+	e.done = done
+	s.res.LoadsAtLevel[level]++
+	if level != cache.L1 {
+		s.mshrReady = append(s.mshrReady, done)
+		s.inflight[line] = done
+	}
+	s.trainPrefetcher(u.PC, u.Addr)
+	return true
+}
+
+func (s *sim) issueStore(e *robEntry, idx int) {
+	u := &s.stream.Uops[idx]
+	e.level = -1
+	e.done = s.cycle + int64(s.cfg.FU[trace.Store].Latency)
+	if s.opt.PerfectDCache {
+		return
+	}
+	level := s.dhier.Access(u.Addr, true)
+	if level == cache.Mem {
+		// Write-allocate fetch consumes memory bandwidth but does not
+		// stall the core (§4.7's store-bandwidth rescaling).
+		s.dram.Access(s.cycle + int64(s.cfg.L3.LatencyCycles))
+	}
+}
+
+func (s *sim) trainPrefetcher(pc, addr uint64) {
+	for _, pa := range s.pf.Train(pc, addr) {
+		pline := pa >> 6
+		if _, busy := s.inflight[pline]; busy {
+			continue
+		}
+		if s.dhier.Levels[0].Probe(pa) {
+			continue
+		}
+		level := s.dhier.Access(pa, false)
+		var done int64
+		if level == cache.Mem {
+			done = s.dram.Access(s.cycle + int64(s.cfg.L3.LatencyCycles))
+		} else {
+			done = s.cycle + int64(s.dhier.Latency(level, s.memLat.LatencyCycles))
+		}
+		s.inflight[pline] = done
+	}
+}
+
+func (s *sim) activeMSHRs() int {
+	n := 0
+	keep := s.mshrReady[:0]
+	for _, t := range s.mshrReady {
+		if t > s.cycle {
+			keep = append(keep, t)
+			n++
+		}
+	}
+	s.mshrReady = keep
+	return n
+}
+
+func (s *sim) dispatch() int {
+	if s.cycle < s.fetchAvail || s.pendingRedir >= 0 {
+		return 0
+	}
+	s.fetchWhy = fetchOK
+	dispatched := 0
+	n := len(s.stream.Uops)
+	for dispatched < s.cfg.DispatchWidth && s.nextUop < n {
+		if s.robCount >= len(s.rob) || len(s.iq) >= s.cfg.IQ {
+			break
+		}
+		u := &s.stream.Uops[s.nextUop]
+		if u.Class.IsMem() && s.lsqCount >= s.cfg.LSQ {
+			break
+		}
+		// Instruction fetch: a new cache line may miss in the L1I.
+		if pcLine := u.PC >> 6; !s.haveFetchPC || pcLine != s.lastFetchPC {
+			s.lastFetchPC = pcLine
+			s.haveFetchPC = true
+			if !s.opt.PerfectICache {
+				if hit, _ := s.l1i.Access(u.PC, false); !hit {
+					lat := s.ifetchMissLatency(u.PC)
+					s.fetchAvail = s.cycle + lat
+					s.fetchWhy = fetchICache
+					break
+				}
+			}
+		}
+		slot := (s.head + s.robCount) % len(s.rob)
+		e := &s.rob[slot]
+		*e = robEntry{idx: int32(s.nextUop), done: farFuture, cls: u.Class, level: -1}
+		if u.Class == trace.Branch {
+			s.res.Branches++
+			predTaken := s.pred.Lookup(u.PC)
+			s.pred.Update(u.PC, u.Taken)
+			if !s.opt.PerfectBP && predTaken != u.Taken {
+				s.res.BranchMispredicts++
+				e.mispred = true
+			}
+		}
+		if u.Class.IsMem() {
+			s.lsqCount++
+		}
+		s.res.Activity.PerClass[u.Class]++
+		if u.First {
+			s.instrs++
+		}
+		s.robCount++
+		s.iq = append(s.iq, slot)
+		s.nextUop++
+		dispatched++
+		if e.mispred {
+			// Subsequent uops are wrong-path until the branch
+			// resolves; block dispatch.
+			s.pendingRedir = slot
+			s.fetchAvail = farFuture
+			s.fetchWhy = fetchBranch
+			break
+		}
+	}
+	return dispatched
+}
+
+// ifetchMissLatency resolves an L1I miss through the shared L2/L3.
+func (s *sim) ifetchMissLatency(pc uint64) int64 {
+	if hit, _ := s.dhier.Levels[1].Access(pc, false); hit {
+		return int64(s.cfg.L2.LatencyCycles)
+	}
+	if hit, _ := s.dhier.Levels[2].Access(pc, false); hit {
+		return int64(s.cfg.L3.LatencyCycles)
+	}
+	return s.dram.Access(s.cycle+int64(s.cfg.L3.LatencyCycles)) - s.cycle
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s on %s: %d cycles, %d uops (%d instr), CPI %.3f, MLP %.2f",
+		r.Workload, r.Config, r.Cycles, r.Uops, r.Instructions, r.CPI(), r.MLP)
+}

@@ -1,0 +1,183 @@
+package ooo
+
+import (
+	"testing"
+
+	"mipp/internal/config"
+	"mipp/internal/perf"
+	"mipp/internal/trace"
+	"mipp/internal/workload"
+)
+
+func simulate(t *testing.T, name string, n int, opt Options) *Result {
+	t.Helper()
+	s := workload.MustGenerate(name, n, 0)
+	r, err := Simulate(config.Reference(), s, opt)
+	if err != nil {
+		t.Fatalf("Simulate(%s): %v", name, err)
+	}
+	if r.Uops != int64(s.Len()) {
+		t.Fatalf("%s: committed %d of %d uops", name, r.Uops, s.Len())
+	}
+	return r
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	for _, name := range []string{"gamess", "mcf", "libquantum", "gobmk"} {
+		r := simulate(t, name, 50_000, Options{})
+		if r.Cycles <= 0 {
+			t.Fatalf("%s: non-positive cycles %d", name, r.Cycles)
+		}
+		if r.Instructions <= 0 || r.Instructions > r.Uops {
+			t.Errorf("%s: instructions %d out of range (uops %d)", name, r.Instructions, r.Uops)
+		}
+		// A core of width D cannot beat D uops/cycle.
+		if upc := r.UPC(); upc > 4.0001 {
+			t.Errorf("%s: UPC %.3f exceeds dispatch width", name, upc)
+		}
+		// The CPI stack must account for every cycle.
+		if total := r.Stack.Total(); int64(total+0.5) != r.Cycles {
+			t.Errorf("%s: stack total %.0f != cycles %d", name, total, r.Cycles)
+		}
+		if r.MLP < 1 {
+			t.Errorf("%s: MLP %.3f < 1", name, r.MLP)
+		}
+	}
+}
+
+func TestPerfectFlagsReduceStalls(t *testing.T) {
+	base := simulate(t, "mcf", 50_000, Options{})
+	perfect := simulate(t, "mcf", 50_000, Options{PerfectBP: true, PerfectICache: true, PerfectDCache: true})
+	if perfect.Cycles >= base.Cycles {
+		t.Errorf("perfect core not faster: %d vs %d cycles", perfect.Cycles, base.Cycles)
+	}
+	if perfect.Stack.Cycles[perf.DRAM] != 0 {
+		t.Errorf("perfect D-cache still shows DRAM stalls: %.0f", perfect.Stack.Cycles[perf.DRAM])
+	}
+	if perfect.BranchMispredicts != 0 {
+		t.Errorf("perfect BP still mispredicts: %d", perfect.BranchMispredicts)
+	}
+}
+
+func TestMemoryBoundVsComputeBound(t *testing.T) {
+	// Long enough that cold-start effects amortize for the resident
+	// workload (the suite sees no warmup, exactly like the paper's
+	// sampled traces).
+	mem := simulate(t, "mcf", 200_000, Options{})
+	cpu := simulate(t, "gamess", 200_000, Options{})
+	if mem.Stack.Fraction(perf.DRAM) < 0.2 {
+		t.Errorf("mcf DRAM fraction %.2f, want >= 0.2 (stack %v)", mem.Stack.Fraction(perf.DRAM), &mem.Stack)
+	}
+	if cpu.Stack.Fraction(perf.DRAM) > 0.2 {
+		t.Errorf("gamess DRAM fraction %.2f, want < 0.2", cpu.Stack.Fraction(perf.DRAM))
+	}
+	if mem.CPI() <= cpu.CPI() {
+		t.Errorf("mcf CPI %.2f should exceed gamess CPI %.2f", mem.CPI(), cpu.CPI())
+	}
+}
+
+func TestStreamingHasHigherMLPThanChasing(t *testing.T) {
+	stream := simulate(t, "libquantum", 50_000, Options{})
+	chase := simulate(t, "mcf", 50_000, Options{})
+	if stream.MLP <= chase.MLP {
+		t.Errorf("libquantum MLP %.2f should exceed mcf MLP %.2f", stream.MLP, chase.MLP)
+	}
+	if chase.MLP > 2.5 {
+		t.Errorf("single-chain mcf MLP %.2f unexpectedly high", chase.MLP)
+	}
+}
+
+func TestROBScalingHelpsMemoryBound(t *testing.T) {
+	s := workload.MustGenerate("libquantum", 50_000, 0)
+	small := config.Reference()
+	small.ROB = 32
+	small.IQ = 16
+	small.Name = "small-rob"
+	big := config.Reference()
+	big.ROB = 256
+	big.IQ = 72
+	big.Name = "big-rob"
+	rs, err := Simulate(small, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(big, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Cycles >= rs.Cycles {
+		t.Errorf("bigger ROB not faster on streaming workload: %d vs %d", rb.Cycles, rs.Cycles)
+	}
+	if rb.MLP <= rs.MLP {
+		t.Errorf("bigger ROB should expose more MLP: %.2f vs %.2f", rb.MLP, rs.MLP)
+	}
+}
+
+func TestPrefetcherHelpsStreaming(t *testing.T) {
+	s := workload.MustGenerate("libquantum", 50_000, 0)
+	noPF, err := Simulate(config.Reference(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPF, err := Simulate(config.ReferenceWithPrefetcher(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPF.Cycles >= noPF.Cycles {
+		t.Errorf("prefetcher did not help streaming workload: %d vs %d cycles", withPF.Cycles, noPF.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := simulate(t, "gcc", 30_000, Options{})
+	b := simulate(t, "gcc", 30_000, Options{})
+	if a.Cycles != b.Cycles || a.Stack != b.Stack {
+		t.Errorf("simulation not deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestWindowCycles(t *testing.T) {
+	r := simulate(t, "gcc", 40_000, Options{WindowUops: 5_000})
+	if len(r.WindowCycles) < 7 {
+		t.Fatalf("expected ~8 windows, got %d", len(r.WindowCycles))
+	}
+	for i := 1; i < len(r.WindowCycles); i++ {
+		if r.WindowCycles[i] <= r.WindowCycles[i-1] {
+			t.Errorf("window cycles not increasing at %d", i)
+		}
+	}
+	cpis := r.WindowCPI(5_000)
+	for i, c := range cpis {
+		if c <= 0 {
+			t.Errorf("window %d CPI %.3f not positive", i, c)
+		}
+	}
+}
+
+func TestBranchyWorkloadShowsBranchComponent(t *testing.T) {
+	r := simulate(t, "sjeng", 50_000, Options{})
+	if r.Branches == 0 {
+		t.Fatal("no branches in sjeng")
+	}
+	missRate := float64(r.BranchMispredicts) / float64(r.Branches)
+	if missRate < 0.02 {
+		t.Errorf("sjeng branch miss rate %.3f suspiciously low", missRate)
+	}
+	if r.Stack.Cycles[perf.BranchComp] == 0 {
+		t.Error("no cycles attributed to branch component")
+	}
+}
+
+func TestUopClassesAccounted(t *testing.T) {
+	r := simulate(t, "povray", 30_000, Options{})
+	var sum float64
+	for _, c := range r.Activity.PerClass {
+		sum += c
+	}
+	if int64(sum) != r.Uops {
+		t.Errorf("per-class activity %d != uops %d", int64(sum), r.Uops)
+	}
+	if r.Activity.PerClass[trace.FPDiv] == 0 {
+		t.Error("povray should execute FP divides")
+	}
+}

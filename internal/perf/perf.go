@@ -1,0 +1,146 @@
+// Package perf defines the performance-accounting types shared by the
+// cycle-level reference simulator and the analytical model: CPI stacks
+// (where the cycles go, §6.4) and activity factors (what the power model
+// consumes, §3.6 and §4.10).
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"mipp/internal/trace"
+)
+
+// Component enumerates CPI-stack components. The set matches the stacks of
+// Figure 6.1: the base component (useful dispatch plus core contention),
+// branch misprediction recovery, instruction-cache stalls, chained LLC-hit
+// stalls and DRAM stalls (including memory-bus queuing).
+type Component int
+
+// CPI stack components.
+const (
+	Base Component = iota
+	BranchComp
+	ICache
+	LLCHit
+	DRAM
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{"base", "branch", "icache", "llc", "dram"}
+
+// String names the component.
+func (c Component) String() string {
+	if int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// CPIStack attributes execution cycles to components.
+type CPIStack struct {
+	// Cycles per component.
+	Cycles [NumComponents]float64
+}
+
+// Total returns the total cycle count.
+func (s *CPIStack) Total() float64 {
+	t := 0.0
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Add accumulates other into s.
+func (s *CPIStack) Add(other *CPIStack) {
+	for i := range s.Cycles {
+		s.Cycles[i] += other.Cycles[i]
+	}
+}
+
+// Scale multiplies every component by f.
+func (s *CPIStack) Scale(f float64) {
+	for i := range s.Cycles {
+		s.Cycles[i] *= f
+	}
+}
+
+// PerInstruction returns the stack normalized to CPI components for a given
+// number of macro-instructions.
+func (s *CPIStack) PerInstruction(instructions int64) CPIStack {
+	out := *s
+	if instructions > 0 {
+		out.Scale(1 / float64(instructions))
+	}
+	return out
+}
+
+// Fraction returns component c's share of the total.
+func (s *CPIStack) Fraction(c Component) float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return s.Cycles[c] / t
+}
+
+// String formats the stack as "total (base=…, branch=…, …)".
+func (s *CPIStack) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.3f (", s.Total())
+	for i := Component(0); i < NumComponents; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.3f", i, s.Cycles[i])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Activity holds the activity factors the McPAT-style power model consumes:
+// how often each processor structure is exercised (§3.6, Eq 3.16).
+type Activity struct {
+	Cycles         float64
+	UopsDispatched float64
+	UopsCommitted  float64
+	// PerClass counts issued uops per class (functional-unit activity).
+	PerClass [trace.NumClasses]float64
+	// Cache accesses and misses per level (data side), plus L1I.
+	L1IAccesses float64
+	L1IMisses   float64
+	L1DAccesses float64
+	L1DMisses   float64
+	L2Accesses  float64
+	L2Misses    float64
+	L3Accesses  float64
+	L3Misses    float64
+	// DRAMAccesses counts line transfers to/from main memory.
+	DRAMAccesses float64
+	// BranchLookups counts branch-predictor reads.
+	BranchLookups float64
+	// PrefetchIssued counts prefetch requests.
+	PrefetchIssued float64
+}
+
+// Add accumulates other into a.
+func (a *Activity) Add(other *Activity) {
+	a.Cycles += other.Cycles
+	a.UopsDispatched += other.UopsDispatched
+	a.UopsCommitted += other.UopsCommitted
+	for i := range a.PerClass {
+		a.PerClass[i] += other.PerClass[i]
+	}
+	a.L1IAccesses += other.L1IAccesses
+	a.L1IMisses += other.L1IMisses
+	a.L1DAccesses += other.L1DAccesses
+	a.L1DMisses += other.L1DMisses
+	a.L2Accesses += other.L2Accesses
+	a.L2Misses += other.L2Misses
+	a.L3Accesses += other.L3Accesses
+	a.L3Misses += other.L3Misses
+	a.DRAMAccesses += other.DRAMAccesses
+	a.BranchLookups += other.BranchLookups
+	a.PrefetchIssued += other.PrefetchIssued
+}

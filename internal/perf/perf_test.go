@@ -1,0 +1,40 @@
+package perf
+
+import "testing"
+
+func TestCPIStack(t *testing.T) {
+	var s CPIStack
+	s.Cycles[Base] = 100
+	s.Cycles[DRAM] = 50
+	if s.Total() != 150 {
+		t.Error("total")
+	}
+	if f := s.Fraction(DRAM); f != 50.0/150 {
+		t.Errorf("fraction = %v", f)
+	}
+	per := s.PerInstruction(50)
+	if per.Cycles[Base] != 2 {
+		t.Errorf("per-instr base = %v", per.Cycles[Base])
+	}
+	var o CPIStack
+	o.Cycles[Base] = 1
+	s.Add(&o)
+	if s.Cycles[Base] != 101 {
+		t.Error("add")
+	}
+	s.Scale(2)
+	if s.Cycles[Base] != 202 {
+		t.Error("scale")
+	}
+}
+
+func TestActivityAdd(t *testing.T) {
+	var a, b Activity
+	a.Cycles = 10
+	b.Cycles = 5
+	b.L1DAccesses = 7
+	a.Add(&b)
+	if a.Cycles != 15 || a.L1DAccesses != 7 {
+		t.Error("activity add")
+	}
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"testing"
+
+	"mipp/internal/config"
+	"mipp/internal/ooo"
+	"mipp/internal/workload"
+)
+
+func activityFor(t *testing.T, name string, cfg *config.Config) *ooo.Result {
+	t.Helper()
+	s := workload.MustGenerate(name, 60_000, 0)
+	r, err := ooo.Simulate(cfg, s, ooo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEstimatePlausibleRange(t *testing.T) {
+	cfg := config.Reference()
+	r := activityFor(t, "gamess", cfg)
+	st := Estimate(cfg, &r.Activity)
+	if st.Total() < 5 || st.Total() > 60 {
+		t.Errorf("reference-core power %.1fW outside plausible 5-60W", st.Total())
+	}
+	frac := st.Watts[Static] / st.Total()
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("static share %.2f outside 0.2-0.8", frac)
+	}
+}
+
+func TestComputeBoundDrawsMoreDynamicPower(t *testing.T) {
+	cfg := config.Reference()
+	cpu := activityFor(t, "gamess", cfg)
+	mem := activityFor(t, "mcf", cfg)
+	pc := Estimate(cfg, &cpu.Activity)
+	pm := Estimate(cfg, &mem.Activity)
+	dynC := pc.Total() - pc.Watts[Static]
+	dynM := pm.Total() - pm.Watts[Static]
+	if dynC <= dynM {
+		t.Errorf("compute-bound dynamic %.2fW should exceed memory-bound %.2fW", dynC, dynM)
+	}
+}
+
+func TestVoltageFrequencyScaling(t *testing.T) {
+	base := config.Reference()
+	r := activityFor(t, "gcc", base)
+	p0 := Estimate(base, &r.Activity)
+	hi := config.WithDVFS(base, config.DVFSPoint{FrequencyGHz: 3.2, VoltageV: 1.2})
+	p1 := Estimate(hi, &r.Activity)
+	if p1.Total() <= p0.Total() {
+		t.Errorf("higher V/f should draw more power: %.2f vs %.2f", p1.Total(), p0.Total())
+	}
+	lo := config.WithDVFS(base, config.DVFSPoint{FrequencyGHz: 1.6, VoltageV: 0.95})
+	p2 := Estimate(lo, &r.Activity)
+	if p2.Total() >= p0.Total() {
+		t.Errorf("lower V/f should draw less power: %.2f vs %.2f", p2.Total(), p0.Total())
+	}
+}
+
+func TestBiggerCachesLeakMore(t *testing.T) {
+	small := config.Reference()
+	big := config.Reference()
+	big.L3.SizeBytes = 16 << 20
+	r := activityFor(t, "gcc", small)
+	if Estimate(big, &r.Activity).Watts[Static] <= Estimate(small, &r.Activity).Watts[Static] {
+		t.Error("doubling the L3 should increase leakage")
+	}
+}
+
+func TestEnergyMetrics(t *testing.T) {
+	var s Stack
+	s.Watts[Static] = 10
+	if Energy(s, 2) != 20 {
+		t.Error("energy")
+	}
+	if EDP(s, 2) != 40 {
+		t.Error("EDP")
+	}
+	if ED2P(s, 2) != 80 {
+		t.Error("ED2P")
+	}
+}

@@ -1,0 +1,123 @@
+// Package prefetch implements the per-PC stride prefetcher of §4.9: a
+// limited-size table tracks the last address and stride of recent static
+// loads; once a load's stride is confirmed, the next lines along the stride
+// are prefetched, but never across a DRAM page boundary.
+package prefetch
+
+// Config parameterizes the stride prefetcher.
+type Config struct {
+	Enabled bool
+	// TableSize is the number of static loads tracked concurrently; loads
+	// whose recurrence distance exceeds the table are untrackable (§4.9).
+	TableSize int
+	// Degree is how many strides ahead a confirmed entry prefetches.
+	Degree int
+	// PageBytes bounds prefetches to a DRAM page.
+	PageBytes uint64
+	// MinConfidence is the number of consecutive identical strides needed
+	// before prefetching starts (2 in the paper's example).
+	MinConfidence int
+}
+
+// DefaultConfig is the reference stride prefetcher (64-entry table,
+// degree-2, 4 KB pages).
+func DefaultConfig() Config {
+	return Config{Enabled: true, TableSize: 64, Degree: 2, PageBytes: 4096, MinConfidence: 2}
+}
+
+type entry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int
+	lruTick  uint64
+}
+
+// Stride is a per-PC stride prefetcher with an LRU-managed table.
+type Stride struct {
+	cfg   Config
+	table map[uint64]*entry
+	tick  uint64
+	// Issued counts prefetch requests, an activity factor for power.
+	Issued int64
+}
+
+// NewStride builds a stride prefetcher; a nil-equivalent disabled prefetcher
+// is returned when cfg.Enabled is false.
+func NewStride(cfg Config) *Stride {
+	if cfg.TableSize <= 0 {
+		cfg.TableSize = 64
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 4096
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 2
+	}
+	return &Stride{cfg: cfg, table: make(map[uint64]*entry, cfg.TableSize)}
+}
+
+// Config returns the prefetcher configuration.
+func (p *Stride) Config() Config { return p.cfg }
+
+// Train observes a demand load by static pc to addr and returns the
+// addresses to prefetch (possibly none). Addresses crossing the DRAM page of
+// the trigger access are suppressed.
+func (p *Stride) Train(pc uint64, addr uint64) []uint64 {
+	if !p.cfg.Enabled {
+		return nil
+	}
+	p.tick++
+	e, ok := p.table[pc]
+	if !ok {
+		// Evict the LRU entry if the table is full: loads that recur
+		// further apart than the table capacity are not trackable.
+		if len(p.table) >= p.cfg.TableSize {
+			var victim *entry
+			for _, cand := range p.table {
+				if victim == nil || cand.lruTick < victim.lruTick {
+					victim = cand
+				}
+			}
+			delete(p.table, victim.pc)
+		}
+		p.table[pc] = &entry{pc: pc, lastAddr: addr, lruTick: p.tick}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < p.cfg.MinConfidence {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+	}
+	e.lastAddr = addr
+	e.lruTick = p.tick
+	if e.conf < p.cfg.MinConfidence || e.stride == 0 {
+		return nil
+	}
+	// Issue up to Degree prefetches along the stride, within the page.
+	page := addr / p.cfg.PageBytes
+	var out []uint64
+	for d := 1; d <= p.cfg.Degree; d++ {
+		next := uint64(int64(addr) + int64(d)*e.stride)
+		if next/p.cfg.PageBytes != page {
+			break
+		}
+		out = append(out, next)
+		p.Issued++
+	}
+	return out
+}
+
+// Reset clears the table and counters.
+func (p *Stride) Reset() {
+	p.table = make(map[uint64]*entry, p.cfg.TableSize)
+	p.tick = 0
+	p.Issued = 0
+}

@@ -1,0 +1,67 @@
+package prefetch
+
+import "testing"
+
+func TestStrideDetection(t *testing.T) {
+	p := NewStride(DefaultConfig())
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = p.Train(0x400, uint64(0x1000+64*i))
+	}
+	if len(got) == 0 {
+		t.Fatal("confirmed stride issued no prefetches")
+	}
+	// Next addresses continue the +64 stride.
+	if got[0] != 0x1000+64*6 {
+		t.Errorf("prefetch addr %#x, want %#x", got[0], 0x1000+64*6)
+	}
+}
+
+func TestNoPrefetchAcrossPage(t *testing.T) {
+	cfg := DefaultConfig()
+	p := NewStride(cfg)
+	// Stride of 3000 bytes: second prefetch would cross the 4KB page.
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = p.Train(0x400, uint64(0x10000+3000*i))
+	}
+	for _, a := range got {
+		base := uint64(0x10000 + 3000*5)
+		if a/cfg.PageBytes != base/cfg.PageBytes {
+			t.Errorf("prefetch %#x crosses the page of %#x", a, base)
+		}
+	}
+}
+
+func TestRandomPatternNoPrefetch(t *testing.T) {
+	p := NewStride(DefaultConfig())
+	addrs := []uint64{0x1000, 0x9000, 0x2000, 0xF000, 0x3000, 0x30000}
+	for _, a := range addrs {
+		if got := p.Train(0x400, a); len(got) != 0 {
+			t.Errorf("random pattern prefetched %v", got)
+		}
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableSize = 4
+	p := NewStride(cfg)
+	// Train 5 PCs round-robin: with table 4, a PC is evicted before it
+	// recurs, so no stride is ever confirmed.
+	for i := 0; i < 40; i++ {
+		pc := uint64(0x400 + 8*(i%5))
+		if got := p.Train(pc, uint64(0x1000+64*i)); len(got) != 0 {
+			t.Errorf("evicted PC still prefetched: %v", got)
+		}
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	p := NewStride(Config{Enabled: false})
+	for i := 0; i < 6; i++ {
+		if got := p.Train(0x400, uint64(64*i)); got != nil {
+			t.Error("disabled prefetcher issued prefetches")
+		}
+	}
+}

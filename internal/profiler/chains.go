@@ -1,0 +1,198 @@
+package profiler
+
+import (
+	"mipp/internal/stats"
+	"mipp/internal/trace"
+)
+
+// StandardROBs is the default set of profiled ROB sizes (§5.2): every
+// multiple of 16 from 16 to 256. Dependence-chain lengths for other sizes
+// are interpolated with the logarithmic fit of Equation 5.2.
+func StandardROBs() []int {
+	robs := make([]int, 0, 16)
+	for r := 16; r <= 256; r += 16 {
+		robs = append(robs, r)
+	}
+	return robs
+}
+
+// ChainSet holds the three dependence-chain statistics of §3.3 — average
+// path (AP), average branch path (ABP) and critical path (CP) — for a set of
+// profiled ROB sizes.
+type ChainSet struct {
+	ROBs []int     `json:"robs"`
+	AP   []float64 `json:"ap"`
+	ABP  []float64 `json:"abp"`
+	CP   []float64 `json:"cp"`
+}
+
+// newChainSet allocates a zeroed ChainSet over robs.
+func newChainSet(robs []int) *ChainSet {
+	return &ChainSet{
+		ROBs: robs,
+		AP:   make([]float64, len(robs)),
+		ABP:  make([]float64, len(robs)),
+		CP:   make([]float64, len(robs)),
+	}
+}
+
+// At returns (AP, ABP, CP) for an arbitrary ROB size. Sizes between two
+// profiled points are interpolated with a per-segment logarithmic fit
+// (Equations 5.2-5.4); sizes outside the profiled range extrapolate the
+// nearest segment's fit.
+func (c *ChainSet) At(rob int) (ap, abp, cp float64) {
+	if len(c.ROBs) == 0 {
+		return 0, 0, 0
+	}
+	if len(c.ROBs) == 1 {
+		return c.AP[0], c.ABP[0], c.CP[0]
+	}
+	// Find the segment [i, i+1] bracketing rob.
+	i := 0
+	for i < len(c.ROBs)-2 && rob > c.ROBs[i+1] {
+		i++
+	}
+	xs := []float64{float64(c.ROBs[i]), float64(c.ROBs[i+1])}
+	interp := func(ys []float64) float64 {
+		fit := stats.FitLog(xs, []float64{ys[i], ys[i+1]})
+		v := fit.Eval(float64(rob))
+		// Chain lengths include the instruction itself, so 1 is the
+		// floor; extrapolating the log fit to tiny windows can
+		// otherwise go negative (§5.2).
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return interp(c.AP), interp(c.ABP), interp(c.CP)
+}
+
+// scale divides all values by n (used to average across buffers).
+func (c *ChainSet) scale(n float64) {
+	if n == 0 {
+		return
+	}
+	for i := range c.ROBs {
+		c.AP[i] /= n
+		c.ABP[i] /= n
+		c.CP[i] /= n
+	}
+}
+
+// addWeighted accumulates other × w into c (same ROB grid required).
+func (c *ChainSet) addWeighted(other *ChainSet, w float64) {
+	for i := range c.ROBs {
+		c.AP[i] += other.AP[i] * w
+		c.ABP[i] += other.ABP[i] * w
+		c.CP[i] += other.CP[i] * w
+	}
+}
+
+// chainBuffers computes AP/ABP/CP for every requested ROB size over the uops
+// window following Algorithm 3.1: a buffer of B uops slides over the window;
+// at each position the per-uop producing-chain depths are recomputed and
+// averaged.
+//
+// The depth of a uop is 1 + the maximum depth among its in-buffer producers
+// (so an independent uop has depth 1), matching the worked example of
+// Figure 3.3. Complexity is O(N·B) per ROB size.
+func chainBuffers(uops []trace.Uop, robs []int) *ChainSet {
+	out := newChainSet(robs)
+	for ri, rob := range robs {
+		ap, abp, cp := chainsForROB(uops, rob)
+		out.AP[ri] = ap
+		out.ABP[ri] = abp
+		out.CP[ri] = cp
+	}
+	return out
+}
+
+func chainsForROB(uops []trace.Uop, rob int) (ap, abp, cp float64) {
+	n := len(uops)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	b := rob
+	if b > n {
+		b = n
+	}
+	depth := make([]float64, b)
+	var apSum, abpSum, cpSum float64
+	var buffers, branchBuffers float64
+	// Slide the buffer over [start, start+b).
+	for start := 0; start+b <= n; start++ {
+		var sum, maxDepth, brSum float64
+		branches := 0.0
+		for j := 0; j < b; j++ {
+			i := start + j
+			u := &uops[i]
+			d := 0.0
+			if p := int(u.SrcDist1); p > 0 && p <= j {
+				if dp := depth[j-p]; dp > d {
+					d = dp
+				}
+			}
+			if p := int(u.SrcDist2); p > 0 && p <= j {
+				if dp := depth[j-p]; dp > d {
+					d = dp
+				}
+			}
+			d++
+			depth[j] = d
+			sum += d
+			if d > maxDepth {
+				maxDepth = d
+			}
+			if u.Class == trace.Branch {
+				branches++
+				brSum += d
+			}
+		}
+		apSum += sum / float64(b)
+		cpSum += maxDepth
+		if branches > 0 {
+			abpSum += brSum / branches
+			branchBuffers++
+		}
+		buffers++
+	}
+	if buffers == 0 {
+		return 0, 0, 0
+	}
+	ap = apSum / buffers
+	cp = cpSum / buffers
+	if branchBuffers > 0 {
+		abp = abpSum / branchBuffers
+	}
+	return ap, abp, cp
+}
+
+// loadDependenceHistogram computes the inter-load dependence distribution
+// f(ℓ) of §4.4 for a given ROB size: for every load, the number of loads on
+// its longest producing dependence path within the last rob uops (including
+// itself). ℓ=1 means the load depends on no earlier in-window load.
+func loadDependenceHistogram(uops []trace.Uop, rob int) *stats.Histogram {
+	h := stats.NewHistogram()
+	n := len(uops)
+	ldep := make([]int64, n)
+	for i := range uops {
+		u := &uops[i]
+		var d int64
+		if p := int(u.SrcDist1); p > 0 && p <= rob && i-p >= 0 {
+			if dp := ldep[i-p]; dp > d {
+				d = dp
+			}
+		}
+		if p := int(u.SrcDist2); p > 0 && p <= rob && i-p >= 0 {
+			if dp := ldep[i-p]; dp > d {
+				d = dp
+			}
+		}
+		if u.Class == trace.Load {
+			d++
+			h.Add(d)
+		}
+		ldep[i] = d
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package profiler
+
+// StrideCategory classifies a static load's access pattern (§4.5 and
+// Figure 4.7): exactly one stride, one-to-four strides found by the
+// cumulative-cutoff filter, a random pattern, or a unique (single-occurrence)
+// load.
+type StrideCategory int
+
+// Stride categories in Figure 4.7's legend order.
+const (
+	CatStride  StrideCategory = iota // exactly one stride, no filtering needed
+	CatFilter1                       // one stride after filtering (≥60%)
+	CatFilter2                       // two strides (cumulative ≥70%)
+	CatFilter3                       // three strides (cumulative ≥80%)
+	CatFilter4                       // four strides (cumulative ≥90%)
+	CatRandom                        // no stride pattern found
+	CatUnique                        // load occurs only once in the micro-trace
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"STRIDE", "FILTER-1", "FILTER-2", "FILTER-3", "FILTER-4", "RANDOM", "UNIQUE",
+}
+
+// String names the category.
+func (c StrideCategory) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "?"
+}
+
+// cutoffs[k] is the cumulative occurrence fraction the k+1 most frequent
+// strides must reach for a load to be classified as (k+1)-strided (§4.5).
+var cutoffs = [4]float64{0.60, 0.70, 0.80, 0.90}
+
+// Classification is the result of classifying one static load.
+type Classification struct {
+	Category StrideCategory
+	// Strides holds the selected stride values (byte deltas), most
+	// frequent first; empty for RANDOM and UNIQUE loads.
+	Strides []int64
+	// Weights holds each selected stride's occurrence fraction.
+	Weights []float64
+}
+
+// Classify categorizes a static load from its per-micro-trace record,
+// searching for up to four distinct strides with the paper's cumulative
+// cutoff percentages and always choosing the simplest qualifying pattern.
+func Classify(sl *StaticLoad) Classification {
+	if sl.Count < 2 {
+		return Classification{Category: CatUnique}
+	}
+	total := sl.Strides.Total()
+	if total == 0 {
+		return Classification{Category: CatUnique}
+	}
+	if sl.Strides.Len() == 1 {
+		k := sl.Strides.Keys()[0]
+		return Classification{Category: CatStride, Strides: []int64{k}, Weights: []float64{1}}
+	}
+	top := sl.Strides.TopK(4)
+	cum := 0.0
+	for k, stride := range top {
+		frac := sl.Strides.Fraction(stride)
+		cum += frac
+		if cum >= cutoffs[k] {
+			strides := make([]int64, k+1)
+			weights := make([]float64, k+1)
+			for j := 0; j <= k; j++ {
+				strides[j] = top[j]
+				weights[j] = sl.Strides.Fraction(top[j])
+			}
+			return Classification{Category: CatFilter1 + StrideCategory(k), Strides: strides, Weights: weights}
+		}
+	}
+	return Classification{Category: CatRandom}
+}
+
+// CategoryRatios returns, per stride category, the fraction of dynamic loads
+// in the profile's micro-traces whose static load falls in that category
+// (the bars of Figure 4.7).
+func (p *Profile) CategoryRatios() [NumCategories]float64 {
+	var counts [NumCategories]float64
+	var total float64
+	for _, m := range p.Micros {
+		for _, sl := range m.Loads {
+			c := Classify(sl)
+			counts[c.Category] += float64(sl.Count)
+			total += float64(sl.Count)
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}

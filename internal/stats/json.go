@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// MarshalJSON encodes the histogram as a JSON object of key → weight, so
+// profiles round-trip through cmd/aip and cmd/pmt.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, len(h.counts))
+	for k, w := range h.counts {
+		m[strconv.FormatInt(k, 10)] = w
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes the object form produced by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	h.counts = make(map[int64]float64, len(m))
+	h.total = 0
+	for ks, w := range m {
+		k, err := strconv.ParseInt(ks, 10, 64)
+		if err != nil {
+			return err
+		}
+		h.counts[k] = w
+		h.total += w
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package statstack
+
+import (
+	"testing"
+
+	"mipp/internal/config"
+)
+
+func TestPredictLevelsMonotone(t *testing.T) {
+	cfg := config.Reference()
+	for _, name := range []string{"gcc", "soplex"} {
+		p := profileOf(t, name, 100_000)
+		pred := Predict(p, cfg.CacheLevels(), cfg.L1I)
+		if len(pred.Levels) != 3 {
+			t.Fatalf("levels = %d", len(pred.Levels))
+		}
+		for i := 1; i < 3; i++ {
+			if pred.Levels[i].Misses > pred.Levels[i-1].Misses+1e-6 {
+				t.Errorf("%s: L%d misses %.0f exceed L%d misses %.0f",
+					name, i+1, pred.Levels[i].Misses, i, pred.Levels[i-1].Misses)
+			}
+		}
+		if pred.ColdFraction < 0 || pred.ColdFraction > 1 {
+			t.Errorf("%s: cold fraction %v", name, pred.ColdFraction)
+		}
+	}
+}
+
+func TestMissRatioForMicroBounded(t *testing.T) {
+	p := profileOf(t, "milc", 60_000)
+	curve := New(p.ReuseAll)
+	for _, m := range p.Micros {
+		for _, lines := range []float64{512, 4096, 131072} {
+			mr := MissRatioForMicro(curve, m, lines)
+			if mr < 0 || mr > 1 {
+				t.Fatalf("micro miss ratio %v", mr)
+			}
+		}
+	}
+}
+
+func TestThresholdReuseInvertsSD(t *testing.T) {
+	p := profileOf(t, "bzip2", 60_000)
+	c := New(p.ReuseAll)
+	for _, lines := range []float64{100, 1000, 10000} {
+		thr := c.ThresholdReuse(lines)
+		if thr >= 1<<61 {
+			// Sentinel: the curve saturates below this size — nothing
+			// but cold accesses can miss. Legitimate for small traces.
+			continue
+		}
+		if thr > 0 && c.ExpectedSD(thr) < lines-1 {
+			t.Errorf("SD(threshold %d) = %.1f < %v lines", thr, c.ExpectedSD(thr), lines)
+		}
+		if thr > 1 && c.ExpectedSD(thr-1) >= lines {
+			t.Errorf("threshold %d not minimal for %v lines", thr, lines)
+		}
+	}
+}

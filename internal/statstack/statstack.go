@@ -1,0 +1,251 @@
+// Package statstack implements the StatStack statistical cache model (§4.2):
+// it converts sampled reuse-distance distributions into expected stack
+// distances and LRU miss ratios for caches of arbitrary size, without any
+// cache simulation.
+//
+// For a reuse with reuse distance R (R intermediate accesses), the expected
+// stack distance is the expected number of *unique* lines among those
+// intermediate accesses. Each intermediate access at backward distance k
+// from the window end contributes its probability of not being re-touched
+// inside the window, which is P(rd > k); hence
+//
+//	SD(R) = Σ_{k=0}^{R-1} P(rd > k)
+//
+// where P is taken from the combined (loads+stores) reuse-distance
+// distribution. An access misses in a fully-associative LRU cache of C
+// lines iff SD(R) ≥ C; cold (first-touch) accesses always miss. Per-type
+// (load/store) miss ratios use the per-type reuse histograms with the
+// combined distribution for P (§4.2).
+package statstack
+
+import (
+	"sort"
+
+	"mipp/internal/cache"
+	"mipp/internal/profiler"
+	"mipp/internal/stats"
+)
+
+// Curve is the precomputed expected-stack-distance function S(R) of one
+// combined reuse-distance distribution.
+type Curve struct {
+	// segStart[i] is the first reuse distance of segment i; within a
+	// segment, P(rd > k) is constant at segP[i].
+	segStart []int64
+	segP     []float64
+	// segS[i] is S(segStart[i]).
+	segS []float64
+}
+
+// New builds the stack-distance curve from the combined reuse-distance
+// histogram. Cold accesses are excluded from the distribution (they have no
+// reuse); they are accounted for separately in MissRatio.
+func New(combined *stats.Histogram) *Curve {
+	keys, ccdf := combined.CCDF()
+	c := &Curve{}
+	// Segment 0: k in [0, keys[0]] has P = 1 up to (but excluding) the
+	// first key, then steps down at each key.
+	c.segStart = append(c.segStart, 0)
+	c.segP = append(c.segP, 1)
+	c.segS = append(c.segS, 0)
+	for i, k := range keys {
+		// P(rd > j) = ccdf[i] for j in [k, nextKey).
+		prev := len(c.segStart) - 1
+		s := c.segS[prev] + c.segP[prev]*float64(k-c.segStart[prev])
+		c.segStart = append(c.segStart, k)
+		c.segP = append(c.segP, ccdf[i])
+		c.segS = append(c.segS, s)
+	}
+	return c
+}
+
+// ExpectedSD returns the expected stack distance for reuse distance r.
+func (c *Curve) ExpectedSD(r int64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	// Find the segment containing r-1 (the last summed index); summing to
+	// r means S(segStart) + P*(r - segStart) for the segment with
+	// segStart <= r < nextStart... S is piecewise linear with slope segP.
+	i := sort.Search(len(c.segStart), func(i int) bool { return c.segStart[i] > r }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.segS[i] + c.segP[i]*float64(r-c.segStart[i])
+}
+
+// ThresholdReuse returns the smallest reuse distance whose expected stack
+// distance reaches lines; accesses with reuse distance ≥ the threshold miss
+// in a cache of that many lines. Returns a very large value when even the
+// longest observed reuse fits.
+func (c *Curve) ThresholdReuse(lines float64) int64 {
+	last := len(c.segS) - 1
+	if lines <= 0 {
+		return 0
+	}
+	// Find first segment whose end S exceeds lines.
+	i := sort.Search(len(c.segS), func(i int) bool { return c.segS[i] >= lines }) - 1
+	if i < 0 {
+		return 0
+	}
+	for i <= last {
+		var segEndS float64
+		if i < last {
+			segEndS = c.segS[i+1]
+		} else {
+			segEndS = c.segS[i] + c.segP[i]*1e18
+		}
+		if segEndS >= lines {
+			if c.segP[i] == 0 {
+				i++
+				continue
+			}
+			r := c.segStart[i] + int64((lines-c.segS[i])/c.segP[i]+0.9999999)
+			return r
+		}
+		i++
+	}
+	return int64(1) << 62
+}
+
+// MissRatio returns the miss ratio for accesses described by the reuse
+// histogram h plus cold first-touch accesses, in a fully-associative LRU
+// cache of the given line count. The curve supplies the reuse→stack
+// conversion.
+func (c *Curve) MissRatio(h *stats.Histogram, cold float64, lines float64) float64 {
+	total := h.Total() + cold
+	if total == 0 {
+		return 0
+	}
+	thr := c.ThresholdReuse(lines)
+	missMass := cold
+	for _, k := range h.Keys() {
+		if k >= thr {
+			missMass += h.Count(k)
+		}
+	}
+	return missMass / total
+}
+
+// LevelStats is the predicted behaviour of one cache level.
+type LevelStats struct {
+	Config cache.Config
+	// Miss ratios relative to all accesses of that type (each level
+	// modeled independently, as if it were the only cache, §4.2).
+	LoadMissRatio  float64
+	StoreMissRatio float64
+	MissRatio      float64 // combined
+	// Absolute predicted counts for the profiled stream.
+	LoadMisses  float64
+	StoreMisses float64
+	Misses      float64
+	MPKI        float64 // misses per kilo macro-instruction
+}
+
+// Prediction is the full memory-hierarchy prediction for one profile.
+type Prediction struct {
+	Levels []LevelStats
+	// ICacheMissRatio[i] is the instruction-side miss ratio of level i
+	// (only level 0 = L1I is modeled against the instruction stream).
+	ICacheMPKI float64
+	// ColdFraction is the fraction of LLC load misses that are cold.
+	ColdFraction float64
+	// Curve is the combined reuse→stack curve, reused by the MLP models.
+	Curve *Curve
+}
+
+// Predict estimates miss ratios for every level of a data-cache hierarchy
+// plus the L1I, from a micro-architecture independent profile.
+func Predict(p *profiler.Profile, levels []cache.Config, l1i cache.Config) *Prediction {
+	curve := New(p.ReuseAll)
+	out := &Prediction{Curve: curve}
+	// Per-burst conversion (§5.4.1): each burst gets its own reuse→stack
+	// curve, so phase changes in locality do not smear the prediction;
+	// miss masses aggregate across bursts.
+	type burstCurve struct {
+		curve *Curve
+		b     *profiler.ReuseBurst
+	}
+	var bcs []burstCurve
+	for _, b := range p.Bursts {
+		if b.Loads+b.Stores == 0 {
+			continue
+		}
+		bcs = append(bcs, burstCurve{New(b.All), b})
+	}
+	for _, cfg := range levels {
+		lines := float64(cfg.Lines())
+		ls := LevelStats{Config: cfg}
+		if len(bcs) > 0 {
+			var loadMiss, storeMiss float64
+			for _, bc := range bcs {
+				loadMiss += bc.curve.MissRatio(bc.b.Load, float64(bc.b.ColdLoad), lines) * float64(bc.b.Loads)
+				storeMiss += bc.curve.MissRatio(bc.b.Store, float64(bc.b.ColdStore), lines) * float64(bc.b.Stores)
+			}
+			ls.LoadMisses = loadMiss
+			ls.StoreMisses = storeMiss
+			if p.LoadCount > 0 {
+				ls.LoadMissRatio = loadMiss / float64(p.LoadCount)
+			}
+			if p.StoreCount > 0 {
+				ls.StoreMissRatio = storeMiss / float64(p.StoreCount)
+			}
+		} else {
+			ls.LoadMissRatio = curve.MissRatio(p.ReuseLoad, float64(p.ColdLoads), lines)
+			ls.StoreMissRatio = curve.MissRatio(p.ReuseStore, float64(p.ColdStores), lines)
+			ls.LoadMisses = ls.LoadMissRatio * float64(p.LoadCount)
+			ls.StoreMisses = ls.StoreMissRatio * float64(p.StoreCount)
+		}
+		ls.Misses = ls.LoadMisses + ls.StoreMisses
+		if p.MemAccesses > 0 {
+			ls.MissRatio = ls.Misses / float64(p.MemAccesses)
+		}
+		if p.TotalInstrs > 0 {
+			ls.MPKI = ls.Misses / float64(p.TotalInstrs) * 1000
+		}
+		out.Levels = append(out.Levels, ls)
+	}
+	// Instruction side: its own curve over the fetch-line stream.
+	if p.ReuseInstr.Total() > 0 || p.ColdInstr > 0 {
+		icurve := New(p.ReuseInstr)
+		ratio := icurve.MissRatio(p.ReuseInstr, float64(p.ColdInstr), float64(l1i.Lines()))
+		if p.TotalInstrs > 0 {
+			out.ICacheMPKI = ratio * float64(p.InstrFetch) / float64(p.TotalInstrs) * 1000
+		}
+	}
+	if n := len(out.Levels); n > 0 {
+		llc := out.Levels[n-1]
+		if llc.LoadMisses > 0 {
+			cold := float64(p.ColdLoads)
+			if cold > llc.LoadMisses {
+				cold = llc.LoadMisses
+			}
+			out.ColdFraction = cold / llc.LoadMisses
+		}
+	}
+	return out
+}
+
+// MissRatioForMicro estimates the load miss ratio of one micro-trace at a
+// given cache size, using the global curve for the reuse→stack conversion
+// but the micro-trace's own reuse samples (the per-window evaluation of the
+// sampled model, §5.4).
+func MissRatioForMicro(curve *Curve, m *profiler.Micro, lines float64) float64 {
+	return curve.MissRatio(m.ReuseLoads, float64(m.ColdLoadReuse), lines)
+}
+
+// StaticLoadMissRatio estimates the per-static-load miss ratio at a cache
+// size from the profile's per-static reuse samples (§4.5: "the reuse
+// distance distribution is measured per static load, hence it enables
+// estimating the miss rate per static load for any cache size").
+func StaticLoadMissRatio(p *profiler.Profile, curve *Curve, static uint32, lines float64) float64 {
+	h := p.PerStaticReuse[static]
+	cold := float64(p.PerStaticCold[static])
+	if h == nil {
+		if cold > 0 {
+			return 1
+		}
+		return 0
+	}
+	return curve.MissRatio(h, cold, lines)
+}

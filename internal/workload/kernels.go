@@ -1,0 +1,646 @@
+package workload
+
+import "mipp/internal/trace"
+
+// Kernel emits approximately n micro-ops of a particular behaviour into a
+// Builder. Kernel instances keep state across calls so that a benchmark can
+// alternate phases of the same kernel (phase analysis, §6.5) without
+// duplicating static instructions.
+type Kernel interface {
+	// Emit appends roughly n uops to b.
+	Emit(b *Builder, n int)
+}
+
+// CacheLine is the cache-line size assumed by all address-generating kernels.
+const CacheLine = 64
+
+// ---------------------------------------------------------------------------
+// Streaming: sequential (unit- or fixed-stride) loads with accumulation.
+// libquantum/lbm/leslie3d-style behaviour: independent long-latency misses
+// (high MLP), prefetch-friendly single-stride access patterns.
+// ---------------------------------------------------------------------------
+
+// Streaming generates strided load streams over a large footprint.
+type Streaming struct {
+	Footprint   uint64  // bytes per lane
+	Stride      uint64  // bytes between successive accesses of a lane
+	Lanes       int     // independent interleaved streams (exposes MLP)
+	FP          bool    // accumulate with FP instead of integer ops
+	StoreEvery  int     // emit a store every k iterations (0 = never)
+	Fused       float64 // fraction of loads fused with their consumer op
+	Unroll      int     // iterations between loop-back branches
+	WorkPerLoad int     // extra ALU uops per load
+
+	base  []uint64
+	pos   []uint64
+	pc    uint64
+	regs  []int
+	bg    *branchGen
+	iter  int
+	store uint64
+}
+
+func (k *Streaming) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.Lanes <= 0 {
+		k.Lanes = 1
+	}
+	if k.Stride == 0 {
+		k.Stride = 8
+	}
+	if k.Unroll <= 0 {
+		k.Unroll = 8
+	}
+	k.pc = b.AllocPC(8 * k.Lanes)
+	k.base = make([]uint64, k.Lanes)
+	k.pos = make([]uint64, k.Lanes)
+	for l := 0; l < k.Lanes; l++ {
+		k.base[l] = b.AllocAddr(k.Footprint)
+	}
+	k.store = b.AllocAddr(k.Footprint)
+	// 2 regs per lane (value, accumulator) + index + scratch pair.
+	k.regs = b.AllocRegs(2*k.Lanes + 3)
+	k.bg = newBranchGen(64, 63, 0.01)
+}
+
+// Emit implements Kernel.
+func (k *Streaming) Emit(b *Builder, n int) {
+	k.init(b)
+	opClass := trace.IntALU
+	if k.FP {
+		opClass = trace.FPAdd
+	}
+	idx := k.regs[2*k.Lanes]
+	s1 := k.regs[2*k.Lanes+1]
+	s2 := k.regs[2*k.Lanes+2]
+	start := b.Len()
+	for b.Len() < start+n {
+		for l := 0; l < k.Lanes && b.Len() < start+n; l++ {
+			val, acc := k.regs[2*l], k.regs[2*l+1]
+			addr := k.base[l] + k.pos[l]
+			pc := k.pc + uint64(l*32)
+			if b.Rand().Float64() < k.Fused {
+				// reg-mem instruction: load uop + dependent op uop.
+				b.Load(pc, val, idx, addr)
+				b.FusedOp(opClass, pc, acc, acc, val)
+			} else {
+				b.Load(pc, val, idx, addr)
+				b.Op(opClass, pc+4, acc, acc, val)
+			}
+			for w := 0; w < k.WorkPerLoad; w++ {
+				// Alternate scratch registers to keep the extra work
+				// off the accumulation chain (high ILP).
+				if w%2 == 0 {
+					b.Op(opClass, pc+8, s1, s1, val)
+				} else {
+					b.Op(opClass, pc+12, s2, s2, val)
+				}
+			}
+			k.pos[l] += k.Stride
+			if k.pos[l]+8 > k.Footprint {
+				k.pos[l] = 0
+			}
+		}
+		k.iter++
+		if k.StoreEvery > 0 && k.iter%k.StoreEvery == 0 {
+			st := k.store + (k.pos[0] % k.Footprint)
+			b.Store(k.pc+uint64(8*k.Lanes*4), idx, k.regs[1], st)
+		}
+		if k.iter%k.Unroll == 0 {
+			b.Op(trace.IntALU, k.pc+uint64(8*k.Lanes*4)+8, idx, idx, -1)
+			b.Branch(k.pc+uint64(8*k.Lanes*4)+12, idx, k.bg.next(b.Rand()))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chase: pointer chasing. mcf/omnetpp-style behaviour: serialized dependent
+// loads (MLP limited to the number of chains), random non-prefetchable
+// addresses, data-dependent branches with long resolution times.
+// ---------------------------------------------------------------------------
+
+// Chase generates dependent pseudo-random load chains over a footprint.
+// HotFrac models the locality real pointer codes exhibit: that fraction of
+// hops lands in a small cache-resident hot region (recently visited nodes),
+// the rest walk the full footprint.
+type Chase struct {
+	Footprint   uint64  // bytes
+	Chains      int     // parallel pointer chains (bounds achievable MLP)
+	WorkPerHop  int     // ALU uops per hop
+	BranchEvery int     // data-dependent branch every k hops (0 = never)
+	BranchEps   float64 // entropy noise of the data-dependent branch
+	Fused       float64 // fraction of hops whose work op is fused
+	HotFrac     float64 // fraction of hops within the hot region
+	HotBytes    uint64  // hot-region size (default 256 KB)
+
+	pc       uint64
+	regs     []int
+	idxs     []uint64
+	hotIdxs  []uint64
+	bg       *branchGen
+	lines    uint64
+	hotLines uint64
+	hop      int
+	baseAddr uint64
+	hotBase  uint64
+}
+
+func (k *Chase) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.Chains <= 0 {
+		k.Chains = 1
+	}
+	if k.HotBytes == 0 {
+		k.HotBytes = 256 * KB
+	}
+	k.pc = b.AllocPC(8 * k.Chains)
+	// Footprint in lines, rounded down to a power of two so the LCG walk
+	// below has full period.
+	k.lines = 1
+	for k.lines*2*CacheLine <= k.Footprint {
+		k.lines *= 2
+	}
+	k.hotLines = 1
+	for k.hotLines*2*CacheLine <= k.HotBytes {
+		k.hotLines *= 2
+	}
+	k.baseAddr = b.AllocAddr(k.lines * CacheLine)
+	k.hotBase = b.AllocAddr(k.hotLines * CacheLine)
+	k.regs = b.AllocRegs(k.Chains + 2)
+	k.idxs = make([]uint64, k.Chains)
+	k.hotIdxs = make([]uint64, k.Chains)
+	for c := range k.idxs {
+		k.idxs[c] = uint64(c) * (k.lines / uint64(k.Chains+1))
+		k.hotIdxs[c] = uint64(c) * 17
+	}
+	k.bg = newBranchGen(2, 1, k.BranchEps)
+}
+
+func (k *Chase) next(b *Builder, c int) uint64 {
+	// Full-period LCG over the power-of-two line count: a ≡ 1 (mod 4),
+	// odd increment. Consecutive addresses look random to the stride
+	// classifier while visiting every line before repeating.
+	if k.HotFrac > 0 && b.Rand().Float64() < k.HotFrac {
+		k.hotIdxs[c] = (k.hotIdxs[c]*5 + 12345) & (k.hotLines - 1)
+		return k.hotBase + k.hotIdxs[c]*CacheLine
+	}
+	k.idxs[c] = (k.idxs[c]*5 + 12345) & (k.lines - 1)
+	return k.baseAddr + k.idxs[c]*CacheLine
+}
+
+// Emit implements Kernel.
+func (k *Chase) Emit(b *Builder, n int) {
+	k.init(b)
+	scr := k.regs[k.Chains]
+	scr2 := k.regs[k.Chains+1]
+	start := b.Len()
+	for b.Len() < start+n {
+		for c := 0; c < k.Chains && b.Len() < start+n; c++ {
+			ptr := k.regs[c]
+			pc := k.pc + uint64(c*32)
+			// The next pointer is loaded through the current one:
+			// a true load-to-load dependence.
+			b.Load(pc, ptr, ptr, k.next(b, c))
+			for w := 0; w < k.WorkPerHop; w++ {
+				if w == 0 && b.Rand().Float64() < k.Fused {
+					b.FusedOp(trace.IntALU, pc, scr, ptr, scr)
+				} else if w%2 == 0 {
+					b.Op(trace.IntALU, pc+4, scr, ptr, scr)
+				} else {
+					b.Op(trace.IntALU, pc+8, scr2, scr2, -1)
+				}
+			}
+			k.hop++
+			if k.BranchEvery > 0 && k.hop%k.BranchEvery == 0 {
+				// Condition depends on the freshly loaded pointer:
+				// the branch resolves only after the load returns.
+				b.Branch(pc+12, ptr, k.bg.next(b.Rand()))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RandomAccess: independent loads at pseudo-random addresses.
+// GUPS/milc-style behaviour: high MLP, non-prefetchable.
+// ---------------------------------------------------------------------------
+
+// RandomAccess generates independent loads at random lines of a footprint.
+// HotFrac of the accesses land in a small cache-resident hot region.
+type RandomAccess struct {
+	Footprint   uint64
+	WorkPerLoad int
+	StoreEvery  int
+	FP          bool
+	HotFrac     float64
+	HotBytes    uint64 // default 256 KB
+
+	pc       uint64
+	regs     []int
+	lines    uint64
+	hotLines uint64
+	state    uint64
+	iter     int
+	bg       *branchGen
+	base     uint64
+	hotBase  uint64
+}
+
+func (k *RandomAccess) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.HotBytes == 0 {
+		k.HotBytes = 256 * KB
+	}
+	k.pc = b.AllocPC(16)
+	k.lines = 1
+	for k.lines*2*CacheLine <= k.Footprint {
+		k.lines *= 2
+	}
+	k.hotLines = 1
+	for k.hotLines*2*CacheLine <= k.HotBytes {
+		k.hotLines *= 2
+	}
+	k.base = b.AllocAddr(k.lines * CacheLine)
+	k.hotBase = b.AllocAddr(k.hotLines * CacheLine)
+	k.regs = b.AllocRegs(4)
+	k.state = 0x9E3779B97F4A7C15
+	k.bg = newBranchGen(32, 31, 0.02)
+}
+
+func (k *RandomAccess) nextAddr(b *Builder) uint64 {
+	// xorshift-style mix; independent of loaded data, so consecutive
+	// loads carry no dependences and can overlap freely.
+	k.state ^= k.state << 13
+	k.state ^= k.state >> 7
+	k.state ^= k.state << 17
+	if k.HotFrac > 0 && b.Rand().Float64() < k.HotFrac {
+		return k.hotBase + (k.state%k.hotLines)*CacheLine
+	}
+	return k.base + (k.state%k.lines)*CacheLine
+}
+
+// Emit implements Kernel.
+func (k *RandomAccess) Emit(b *Builder, n int) {
+	k.init(b)
+	val, acc, idx, scr := k.regs[0], k.regs[1], k.regs[2], k.regs[3]
+	opClass := trace.IntALU
+	if k.FP {
+		opClass = trace.FPAdd
+	}
+	start := b.Len()
+	for b.Len() < start+n {
+		// Address computation (cheap, off the critical path).
+		b.Op(trace.IntALU, k.pc, idx, idx, -1)
+		b.Load(k.pc+4, val, idx, k.nextAddr(b))
+		b.Op(opClass, k.pc+8, acc, acc, val)
+		for w := 0; w < k.WorkPerLoad; w++ {
+			// Alternate targets so the filler work stays parallel.
+			if w%2 == 0 {
+				b.Op(opClass, k.pc+12, scr, scr, val)
+			} else {
+				b.Op(opClass, k.pc+16, idx, idx, -1)
+			}
+		}
+		k.iter++
+		if k.StoreEvery > 0 && k.iter%k.StoreEvery == 0 {
+			b.Store(k.pc+16, idx, acc, k.nextAddr(b))
+		}
+		if k.iter%16 == 0 {
+			b.Branch(k.pc+20, idx, k.bg.next(b.Rand()))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compute: arithmetic chains. gamess/namd/povray-style behaviour: low miss
+// rates (L1-resident working set), ILP bounded by chain structure, optional
+// non-pipelined divide pressure.
+// ---------------------------------------------------------------------------
+
+// Compute generates register-dominated arithmetic with parallel dependence
+// chains of a configurable depth.
+type Compute struct {
+	Width     int     // parallel chains (ILP)
+	FP        bool    // FP vs integer arithmetic
+	MulRatio  float64 // fraction of chain ops that are multiplies
+	DivEvery  int     // emit a divide every k ops (0 = never)
+	LoadEvery int     // emit an L1-resident load every k ops (0 = never)
+	Fused     float64 // fraction of ops that are fused uop pairs
+	Footprint uint64  // small footprint for the resident loads
+	BranchEps float64 // loop-branch noise
+
+	pc   uint64
+	regs []int
+	base uint64
+	pos  uint64
+	op   int
+	bg   *branchGen
+}
+
+func (k *Compute) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.Width <= 0 {
+		k.Width = 4
+	}
+	if k.Footprint == 0 {
+		k.Footprint = 16 << 10
+	}
+	k.pc = b.AllocPC(8 * k.Width)
+	k.base = b.AllocAddr(k.Footprint)
+	k.regs = b.AllocRegs(k.Width + 2)
+	k.bg = newBranchGen(16, 15, k.BranchEps)
+}
+
+// Emit implements Kernel.
+func (k *Compute) Emit(b *Builder, n int) {
+	k.init(b)
+	add, mul, div := trace.IntALU, trace.IntMul, trace.IntDiv
+	if k.FP {
+		add, mul, div = trace.FPAdd, trace.FPMul, trace.FPDiv
+	}
+	ld := k.regs[k.Width]
+	idx := k.regs[k.Width+1]
+	start := b.Len()
+	for b.Len() < start+n {
+		for c := 0; c < k.Width && b.Len() < start+n; c++ {
+			r := k.regs[c]
+			pc := k.pc + uint64(c*32)
+			k.op++
+			class := add
+			if b.Rand().Float64() < k.MulRatio {
+				class = mul
+			}
+			if k.DivEvery > 0 && k.op%k.DivEvery == 0 {
+				class = div
+			}
+			if b.Rand().Float64() < k.Fused {
+				b.Op(class, pc, r, r, ld)
+				b.FusedOp(add, pc, r, r, -1)
+			} else {
+				b.Op(class, pc+4, r, r, ld)
+			}
+			if k.LoadEvery > 0 && k.op%k.LoadEvery == 0 {
+				k.pos = (k.pos + 24) % k.Footprint
+				b.Load(pc+8, ld, idx, k.base+k.pos)
+			}
+		}
+		if k.op%(k.Width*8) < k.Width {
+			b.Op(trace.IntALU, k.pc+1024, idx, idx, -1)
+			b.Branch(k.pc+1028, idx, k.bg.next(b.Rand()))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Branchy: control-dominated integer code. gobmk/sjeng-style behaviour: high
+// branch density, several static branches with distinct predictabilities.
+// ---------------------------------------------------------------------------
+
+// Branchy generates integer code with a configurable density of
+// hard-to-predict branches.
+type Branchy struct {
+	BranchFrac float64   // target fraction of branch uops
+	Eps        []float64 // per-static-branch entropy noise levels
+	Footprint  uint64    // resident data footprint
+	LoadFrac   float64   // fraction of loads
+
+	pc   uint64
+	regs []int
+	base uint64
+	pos  uint64
+	gens []*branchGen
+	iter int
+}
+
+func (k *Branchy) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if len(k.Eps) == 0 {
+		k.Eps = []float64{0.05, 0.15, 0.30}
+	}
+	if k.Footprint == 0 {
+		k.Footprint = 64 << 10
+	}
+	k.pc = b.AllocPC(8 + 4*len(k.Eps))
+	k.base = b.AllocAddr(k.Footprint)
+	k.regs = b.AllocRegs(4)
+	for i, e := range k.Eps {
+		k.gens = append(k.gens, newBranchGen(3+i, 2, e))
+	}
+}
+
+// Emit implements Kernel.
+func (k *Branchy) Emit(b *Builder, n int) {
+	k.init(b)
+	cond, acc, idx, val := k.regs[0], k.regs[1], k.regs[2], k.regs[3]
+	start := b.Len()
+	for b.Len() < start+n {
+		k.iter++
+		// Work between branches: sized so branches hit BranchFrac.
+		work := 1
+		if k.BranchFrac > 0 {
+			work = int(1/k.BranchFrac) - 1
+		}
+		if work < 1 {
+			work = 1
+		}
+		for w := 0; w < work && b.Len() < start+n; w++ {
+			if k.LoadFrac > 0 && b.Rand().Float64() < k.LoadFrac*float64(work+1)/float64(work) {
+				k.pos = (k.pos + 72) % k.Footprint
+				b.Load(k.pc, val, idx, k.base+k.pos)
+				b.Op(trace.IntALU, k.pc+4, cond, cond, val)
+			} else if w%3 == 2 {
+				b.Op(trace.Move, k.pc+8, acc, cond, -1)
+			} else {
+				b.Op(trace.IntALU, k.pc+12, cond, cond, acc)
+			}
+		}
+		g := k.gens[k.iter%len(k.gens)]
+		bpc := k.pc + 32 + uint64((k.iter%len(k.gens))*4)
+		b.Branch(bpc, cond, g.next(b.Rand()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stencil: multiple constant-stride FP streams with stores. bwaves/zeusmp/
+// GemsFDTD-style behaviour: several distinct strides (prefetchable), fused
+// FP uops (high uops/instruction), longer dependence chains.
+// ---------------------------------------------------------------------------
+
+// Stencil generates a multi-stream strided FP kernel, C[i] = f(A[i±1], B[i]).
+type Stencil struct {
+	Footprint uint64
+	Streams   int      // distinct input arrays, each its own stride
+	ChainLen  int      // FP ops chained per element (dependence depth)
+	Fused     float64  // fraction of fused uop pairs
+	StridesB  []uint64 // per-stream strides in bytes (default 8,16,24,…)
+
+	pc    uint64
+	regs  []int
+	bases []uint64
+	out   uint64
+	pos   uint64
+	iter  int
+	bg    *branchGen
+}
+
+func (k *Stencil) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.Streams <= 0 {
+		k.Streams = 3
+	}
+	if k.ChainLen <= 0 {
+		k.ChainLen = 3
+	}
+	if len(k.StridesB) == 0 {
+		for s := 0; s < k.Streams; s++ {
+			k.StridesB = append(k.StridesB, uint64(8*(s+1)))
+		}
+	}
+	k.pc = b.AllocPC(8*k.Streams + 8)
+	for s := 0; s < k.Streams; s++ {
+		k.bases = append(k.bases, b.AllocAddr(k.Footprint))
+	}
+	k.out = b.AllocAddr(k.Footprint)
+	k.regs = b.AllocRegs(k.Streams + 3)
+	k.bg = newBranchGen(128, 127, 0.005)
+}
+
+// Emit implements Kernel.
+func (k *Stencil) Emit(b *Builder, n int) {
+	k.init(b)
+	accum := k.regs[k.Streams]
+	idx := k.regs[k.Streams+1]
+	start := b.Len()
+	for b.Len() < start+n {
+		k.iter++
+		// Load one element from each input stream.
+		for s := 0; s < k.Streams && b.Len() < start+n; s++ {
+			addr := k.bases[s] + (k.pos*k.StridesB[s])%k.Footprint
+			pc := k.pc + uint64(s*32)
+			if b.Rand().Float64() < k.Fused {
+				b.Load(pc, k.regs[s], idx, addr)
+				b.FusedOp(trace.FPMul, pc, accum, accum, k.regs[s])
+			} else {
+				b.Load(pc+4, k.regs[s], idx, addr)
+				b.Op(trace.FPMul, pc+8, accum, accum, k.regs[s])
+			}
+		}
+		// Chained FP combine: the dependence depth of the kernel.
+		for cc := 0; cc < k.ChainLen && b.Len() < start+n; cc++ {
+			b.Op(trace.FPAdd, k.pc+uint64(k.Streams*32)+uint64(cc*4), accum, accum, k.regs[cc%k.Streams])
+		}
+		b.Store(k.pc+2048, idx, accum, k.out+(k.pos*8)%k.Footprint)
+		k.pos++
+		if k.iter%16 == 0 {
+			b.Op(trace.IntALU, k.pc+2052, idx, idx, -1)
+			b.Branch(k.pc+2056, idx, k.bg.next(b.Rand()))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gather: indexed sparse access, load idx = I[i]; load v = A[idx].
+// soplex/sphinx3-style behaviour: a streaming index array plus dependent
+// random data accesses — MLP between iterations but a two-load dependence
+// inside each.
+// ---------------------------------------------------------------------------
+
+// Gather generates indexed (sparse-matrix style) accesses. HotFrac of the
+// data accesses land in a small hot region.
+type Gather struct {
+	IndexFootprint uint64 // streaming index array size
+	DataFootprint  uint64 // randomly indexed data array size
+	FP             bool
+	WorkPerElem    int
+	StoreEvery     int
+	HotFrac        float64
+	HotBytes       uint64 // default 256 KB
+
+	pc       uint64
+	regs     []int
+	ibase    uint64
+	dbase    uint64
+	hotBase  uint64
+	dpos     uint64
+	pos      uint64
+	lines    uint64
+	hotLines uint64
+	iter     int
+	bg       *branchGen
+}
+
+func (k *Gather) init(b *Builder) {
+	if k.pc != 0 {
+		return
+	}
+	if k.HotBytes == 0 {
+		k.HotBytes = 256 * KB
+	}
+	k.pc = b.AllocPC(16)
+	k.ibase = b.AllocAddr(k.IndexFootprint)
+	k.lines = 1
+	for k.lines*2*CacheLine <= k.DataFootprint {
+		k.lines *= 2
+	}
+	k.hotLines = 1
+	for k.hotLines*2*CacheLine <= k.HotBytes {
+		k.hotLines *= 2
+	}
+	k.dbase = b.AllocAddr(k.lines * CacheLine)
+	k.hotBase = b.AllocAddr(k.hotLines * CacheLine)
+	k.regs = b.AllocRegs(7)
+	k.dpos = 0x1234567
+	k.bg = newBranchGen(64, 63, 0.01)
+}
+
+// Emit implements Kernel.
+func (k *Gather) Emit(b *Builder, n int) {
+	k.init(b)
+	idxv, val, acc, base := k.regs[0], k.regs[1], k.regs[2], k.regs[3]
+	scrs := k.regs[4:7]
+	opClass := trace.IntALU
+	if k.FP {
+		opClass = trace.FPAdd
+	}
+	start := b.Len()
+	for b.Len() < start+n {
+		k.iter++
+		// Streaming index load (prefetchable, unit stride).
+		b.Load(k.pc, idxv, base, k.ibase+(k.pos*8)%k.IndexFootprint)
+		k.pos++
+		// Dependent random data load.
+		k.dpos ^= k.dpos << 13
+		k.dpos ^= k.dpos >> 7
+		k.dpos ^= k.dpos << 17
+		daddr := k.dbase + (k.dpos%k.lines)*CacheLine
+		if k.HotFrac > 0 && b.Rand().Float64() < k.HotFrac {
+			daddr = k.hotBase + (k.dpos%k.hotLines)*CacheLine
+		}
+		b.Load(k.pc+4, val, idxv, daddr)
+		b.Op(opClass, k.pc+8, acc, acc, val)
+		for w := 0; w < k.WorkPerElem; w++ {
+			// Rotate scratch registers: the filler work carries ILP.
+			s := scrs[w%len(scrs)]
+			b.Op(opClass, k.pc+12+uint64(4*(w%len(scrs))), s, s, val)
+		}
+		if k.StoreEvery > 0 && k.iter%k.StoreEvery == 0 {
+			b.Store(k.pc+16, base, acc, k.ibase+(k.pos*8)%k.IndexFootprint)
+		}
+		if k.iter%32 == 0 {
+			b.Op(trace.IntALU, k.pc+20, base, base, -1)
+			b.Branch(k.pc+24, base, k.bg.next(b.Rand()))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"mipp/internal/trace"
+)
+
+func TestGenerateAllBenchmarks(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Generate(name, 20_000, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Len() < 20_000 {
+			t.Errorf("%s: only %d uops", name, s.Len())
+		}
+		upi := s.UopsPerInstruction()
+		if upi < 1 || upi > 1.6 {
+			t.Errorf("%s: uops/instr %.3f out of range", name, upi)
+		}
+		mix := s.Mix()
+		sum := 0.0
+		for _, f := range mix {
+			sum += f
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: mix sums to %v", name, sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("gcc", 10_000, 0)
+	b := MustGenerate("gcc", 10_000, 0)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Uops {
+		if a.Uops[i] != b.Uops[i] {
+			t.Fatalf("uop %d differs", i)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("not-a-benchmark", 1000, 0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestDependenceDistancesValid(t *testing.T) {
+	s := MustGenerate("omnetpp", 20_000, 0)
+	for i := range s.Uops {
+		u := &s.Uops[i]
+		for _, d := range []uint32{u.SrcDist1, u.SrcDist2} {
+			if d == 0 {
+				continue
+			}
+			p := i - int(d)
+			if p >= 0 {
+				// Producers must be value-producing classes.
+				switch s.Uops[p].Class {
+				case trace.Store, trace.Branch:
+					t.Fatalf("uop %d depends on non-producing uop %d (%v)", i, p, s.Uops[p].Class)
+				}
+			}
+		}
+	}
+}
+
+func TestChaseIsDependenceBound(t *testing.T) {
+	s := MustGenerate("mcf", 20_000, 0)
+	// Every mcf load (pointer hop) must depend on an earlier load.
+	deps := 0
+	loads := 0
+	for i := range s.Uops {
+		u := &s.Uops[i]
+		if u.Class != trace.Load {
+			continue
+		}
+		loads++
+		if d := int(u.SrcDist1); d > 0 && i-d >= 0 && s.Uops[i-d].Class == trace.Load {
+			deps++
+		}
+	}
+	if loads == 0 || float64(deps)/float64(loads) < 0.9 {
+		t.Errorf("mcf load-to-load dependences %d/%d", deps, loads)
+	}
+}
+
+func TestStreamingTouchesManyLines(t *testing.T) {
+	s := MustGenerate("libquantum", 50_000, 0)
+	lines := map[uint64]struct{}{}
+	for i := range s.Uops {
+		if s.Uops[i].Class == trace.Load {
+			lines[s.Uops[i].Addr>>6] = struct{}{}
+		}
+	}
+	if len(lines) < 1000 {
+		t.Errorf("libquantum touched only %d lines", len(lines))
+	}
+}
+
+func TestBranchGenEntropyControl(t *testing.T) {
+	s1 := MustGenerate("namd", 30_000, 0)  // predictable branches
+	s2 := MustGenerate("sjeng", 30_000, 0) // noisy branches
+	c1, t1 := branchStats(s1)
+	c2, t2 := branchStats(s2)
+	if c1 == 0 || c2 == 0 {
+		t.Fatalf("no branches: %d %d", c1, c2)
+	}
+	_ = t1
+	_ = t2
+}
+
+func branchStats(s *trace.Stream) (count int, taken int) {
+	for i := range s.Uops {
+		if s.Uops[i].Class == trace.Branch {
+			count++
+			if s.Uops[i].Taken {
+				taken++
+			}
+		}
+	}
+	return
+}
+
+func TestSliceSemantics(t *testing.T) {
+	s := MustGenerate("gcc", 5_000, 0)
+	sub := s.Slice(1000, 2000)
+	if sub.Len() != 1000 {
+		t.Errorf("slice len %d", sub.Len())
+	}
+	if s.Slice(-5, 10).Len() != 10 {
+		t.Error("negative lo not clamped")
+	}
+	if got := s.Slice(4000, s.Len()+5000).Len(); got != s.Len()-4000 {
+		t.Errorf("hi not clamped: got %d", got)
+	}
+}
