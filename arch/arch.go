@@ -1,0 +1,99 @@
+// Package arch exposes the processor-description vocabulary of the public
+// mipp API: complete core + memory-hierarchy configurations, the reference
+// machines of the paper's evaluation (Table 6.1), the 3^5 = 243-point design
+// space of Table 6.3 and the DVFS operating points of Table 7.2.
+//
+// The types are aliases of the engine's internal representation, so a
+// *arch.Config built or mutated here feeds directly into mipp.Predictor,
+// mipp.Sweep and mipp.Simulate with no conversion.
+package arch
+
+import (
+	"mipp/internal/cache"
+	"mipp/internal/config"
+	"mipp/internal/memory"
+	"mipp/internal/prefetch"
+)
+
+// Config is a complete core + memory-hierarchy description. Lower-level
+// fields (ports, functional-unit latencies, cache geometry) are exported and
+// freely mutable; call Validate before handing a hand-built Config to the
+// model.
+type Config = config.Config
+
+// FUSpec describes the functional unit executing one uop class.
+type FUSpec = config.FUSpec
+
+// Port is the set of uop classes one issue port can forward per cycle.
+type Port = config.Port
+
+// CacheConfig describes one cache level (size, associativity, line size,
+// access latency).
+type CacheConfig = cache.Config
+
+// MemoryConfig is the main-memory timing in core cycles, as derived by
+// Config.MemConfig from the nanosecond parameters.
+type MemoryConfig = memory.Config
+
+// PrefetcherConfig configures the stride prefetcher model (§4.9).
+type PrefetcherConfig = prefetch.Config
+
+// DVFSPoint is one voltage/frequency operating point (Table 7.2).
+type DVFSPoint = config.DVFSPoint
+
+// Reference returns the Nehalem-based reference architecture of Table 6.1:
+// a 4-wide core at 2.66 GHz with a 128-entry ROB and a 32 KB / 256 KB / 8 MB
+// cache hierarchy.
+func Reference() *Config { return config.Reference() }
+
+// ReferenceWithPrefetcher is the reference architecture with the stride
+// prefetcher enabled (§4.9, Figure 6.18).
+func ReferenceWithPrefetcher() *Config { return config.ReferenceWithPrefetcher() }
+
+// LowPower returns the low-power core used in Figure 6.13: a narrow 2-wide
+// pipeline, small windows and caches, and a low DVFS point.
+func LowPower() *Config { return config.LowPower() }
+
+// ByName resolves the named stock configurations accepted by the command-line
+// tools: "reference", "reference+pf" and "lowpower". ok is false for an
+// unknown name.
+func ByName(name string) (*Config, bool) {
+	switch name {
+	case "reference", "nehalem-ref":
+		return Reference(), true
+	case "reference+pf", "nehalem-ref+pf":
+		return ReferenceWithPrefetcher(), true
+	case "lowpower", "low-power":
+		return LowPower(), true
+	}
+	return nil, false
+}
+
+// DesignSpace enumerates the 3^5 = 243-configuration space of Table 6.3:
+// pipeline width {2,4,6} × ROB {64,128,256} × L2 {128,256,512 KB} ×
+// L3 {2,4,8 MB} × frequency {2.0, 2.66, 3.33 GHz} (with voltage scaled).
+func DesignSpace() []*Config { return config.DesignSpace() }
+
+// DesignSpaceSample returns a sample of the 243-point design space: every
+// k-th configuration of the lexicographic enumeration. Strides coprime to 3
+// (such as the 13 the paper's harness uses) cycle through every value of
+// every parameter; a k that is a multiple of 3 pins the innermost
+// frequency/voltage dimension, so avoid it for DVFS-sensitive studies.
+// k <= 1 returns the full space.
+func DesignSpaceSample(k int) []*Config {
+	all := config.DesignSpace()
+	if k <= 1 {
+		return all
+	}
+	var out []*Config
+	for i := 0; i < len(all); i += k {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// DVFSPoints returns the Nehalem-based DVFS settings of Table 7.2.
+func DVFSPoints() []DVFSPoint { return config.DVFSPoints() }
+
+// WithDVFS returns a copy of c at the given operating point.
+func WithDVFS(c *Config, p DVFSPoint) *Config { return config.WithDVFS(c, p) }

@@ -1,7 +1,8 @@
-package mipp
+package mipp_test
 
 // One benchmark per table and figure of the paper's evaluation. Each bench
-// regenerates the experiment through the shared harness in internal/exp;
+// regenerates the experiment through the shared harness in internal/exp,
+// which in turn evaluates the model through the public mipp façade;
 // `go run ./cmd/experiments -run <id>` prints the same rows readably.
 //
 // The benches run on shortened traces and a workload subset so the full

@@ -1,6 +1,7 @@
 // Command aip is the Architecture Independent Profiler: it synthesizes a
 // workload's dynamic micro-op stream and writes its micro-architecture
-// independent profile as JSON (the one-time profiling step of §2.6).
+// independent profile as versioned JSON (the one-time profiling step of
+// §2.6). The output is consumed by cmd/pmt or by mipp.LoadProfile.
 //
 // Usage:
 //
@@ -13,10 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
 )
 
 func main() {
@@ -33,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		for _, d := range workload.Describe() {
+		for _, d := range mipp.DescribeWorkloads() {
 			fmt.Println(d)
 		}
 		return
@@ -41,22 +40,22 @@ func main() {
 	if *name == "" {
 		log.Fatal("missing -workload (try -list)")
 	}
-	stream, err := workload.Generate(*name, *n, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p := profiler.Run(stream, profiler.Options{MicroUops: *micro, WindowUops: *win})
-	enc, err := json.Marshal(p)
+	profiler := mipp.NewProfiler(mipp.WithSeed(*seed), mipp.WithMicroTrace(*micro, *win))
+	p, err := profiler.Profile(*name, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *out == "" {
+		enc, err := json.Marshal(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println(string(enc))
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := p.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: %d uops, %d micro-traces, entropy %.3f\n",
-		*out, p.TotalUops, len(p.Micros), p.Entropy)
+	fmt.Printf("wrote %s (schema v%d): %d uops, %d micro-traces, entropy %.3f\n",
+		*out, mipp.ProfileSchemaVersion, p.TotalUops(), p.MicroTraces(), p.Entropy())
 }

@@ -1,8 +1,8 @@
 // Command explore runs the headline application of the framework: full
 // design-space exploration (Chapter 7). It profiles each workload once,
-// evaluates the analytical model over the 243-point design space, prints the
-// predicted Pareto frontier and — optionally — validates the pruning against
-// the cycle-level simulator.
+// sweeps the analytical model over the 243-point design space on all cores,
+// prints the predicted Pareto frontier and — optionally — validates the
+// pruning against the cycle-level simulator.
 //
 // Usage:
 //
@@ -11,18 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/dse"
-	"mipp/internal/ooo"
-	"mipp/internal/power"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
@@ -32,43 +28,41 @@ func main() {
 		name     = flag.String("workload", "bzip2", "benchmark name")
 		n        = flag.Int("n", 200_000, "trace length in micro-ops")
 		k        = flag.Int("k", 1, "design-space stride (1 = all 243 configs)")
+		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		validate = flag.Bool("validate", false, "simulate the sampled space and score the pruning")
 	)
 	flag.Parse()
 
-	stream, err := workload.Generate(*name, *n, 0)
+	stream, err := mipp.GenerateWorkload(*name, *n, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	t0 := time.Now()
-	p := profiler.Run(stream, profiler.Options{})
+	profile := mipp.NewProfiler().ProfileStream(stream)
 	profTime := time.Since(t0)
-	m := core.New(p, nil)
-
-	space := config.DesignSpace()
-	var configs []*config.Config
-	for i := 0; i < len(space); i += *k {
-		configs = append(configs, space[i])
+	pred, err := mipp.NewPredictor(profile)
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	configs := arch.DesignSpaceSample(*k)
+	var sweepOpts []mipp.SweepOption
+	if *workers > 0 {
+		sweepOpts = append(sweepOpts, mipp.WithWorkers(*workers))
+	}
 	t0 = time.Now()
-	var pred []dse.Point
-	for _, cfg := range configs {
-		res := m.Evaluate(cfg, core.DefaultOptions())
-		pw := power.Estimate(cfg, &res.Activity)
-		pred = append(pred, dse.Point{
-			Config: cfg.Name,
-			Time:   res.TimeSeconds(cfg.FrequencyGHz),
-			Power:  pw.Total(),
-		})
+	results, err := mipp.Sweep(context.Background(), pred, configs, sweepOpts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 	modelTime := time.Since(t0)
+	predicted := mipp.Points(results)
 
-	fmt.Printf("%s: profiled %d uops in %v; evaluated %d configs in %v (%.1f configs/s)\n",
-		*name, p.TotalUops, profTime.Round(time.Millisecond), len(configs),
+	fmt.Printf("%s: profiled %d uops in %v; swept %d configs in %v (%.1f configs/s)\n",
+		*name, profile.TotalUops(), profTime.Round(time.Millisecond), len(configs),
 		modelTime.Round(time.Millisecond), float64(len(configs))/modelTime.Seconds())
 	fmt.Println("predicted Pareto frontier (time vs power):")
-	for _, pt := range dse.ParetoFront(pred) {
+	for _, pt := range mipp.ParetoFront(predicted) {
 		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", pt.Config, pt.Time, pt.Power)
 	}
 
@@ -76,28 +70,28 @@ func main() {
 		return
 	}
 	t0 = time.Now()
-	var act []dse.Point
+	var actual []mipp.Point
 	for _, cfg := range configs {
-		sim, err := ooo.Simulate(cfg, stream, ooo.Options{})
+		sim, err := mipp.Simulate(cfg, stream, mipp.SimOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pw := power.Estimate(cfg, &sim.Activity)
-		act = append(act, dse.Point{
+		pw := mipp.EstimatePower(cfg, &sim.Activity)
+		actual = append(actual, mipp.Point{
 			Config: cfg.Name,
 			Time:   sim.TimeSeconds(cfg.FrequencyGHz),
 			Power:  pw.Total(),
 		})
 	}
 	simTime := time.Since(t0)
-	met := dse.Evaluate(pred, act)
+	met := mipp.CompareFronts(predicted, actual)
 	fmt.Printf("validation: simulated %d configs in %v (model speedup %.0fx)\n",
 		len(configs), simTime.Round(time.Millisecond),
 		simTime.Seconds()/modelTime.Seconds())
 	fmt.Printf("pruning quality: sensitivity=%.2f specificity=%.2f accuracy=%.2f HVR=%.3f\n",
 		met.Sensitivity, met.Specificity, met.Accuracy, met.HVR)
 	fmt.Println("actual Pareto frontier:")
-	for _, pt := range dse.ParetoFront(act) {
+	for _, pt := range mipp.ParetoFront(actual) {
 		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", pt.Config, pt.Time, pt.Power)
 	}
 }

@@ -11,18 +11,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/mlp"
-	"mipp/internal/power"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
@@ -38,59 +32,53 @@ func main() {
 	)
 	flag.Parse()
 
-	var p *profiler.Profile
+	var p *mipp.Profile
+	var err error
 	switch {
 	case *profPath != "":
-		data, err := os.ReadFile(*profPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p = &profiler.Profile{}
-		if err := json.Unmarshal(data, p); err != nil {
-			log.Fatal(err)
-		}
+		p, err = mipp.LoadProfile(*profPath)
 	case *name != "":
-		stream, err := workload.Generate(*name, *n, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p = profiler.Run(stream, profiler.Options{})
+		p, err = mipp.NewProfiler().Profile(*name, *n)
 	default:
 		log.Fatal("need -profile or -workload")
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var cfg *config.Config
-	switch *cfgName {
-	case "reference":
-		cfg = config.Reference()
-	case "reference+pf":
-		cfg = config.ReferenceWithPrefetcher()
-	case "lowpower":
-		cfg = config.LowPower()
-	default:
+	cfg, ok := arch.ByName(*cfgName)
+	if !ok {
 		log.Fatalf("unknown config %q", *cfgName)
 	}
 
-	opts := core.DefaultOptions()
-	opts.Combined = *combined
+	var opts []mipp.PredictorOption
+	if *combined {
+		opts = append(opts, mipp.WithCombinedEvaluation())
+	}
 	switch *mlpMode {
 	case "stride":
-		opts.MLPMode = mlp.StrideMLP
+		opts = append(opts, mipp.WithMLPMode(mipp.MLPStride))
 	case "cold":
-		opts.MLPMode = mlp.ColdMiss
+		opts = append(opts, mipp.WithMLPMode(mipp.MLPColdMiss))
 	case "none":
-		opts.MLPMode = mlp.None
+		opts = append(opts, mipp.WithMLPMode(mipp.MLPNone))
 	default:
 		log.Fatalf("unknown mlp mode %q", *mlpMode)
 	}
 
-	res := core.New(p, nil).Evaluate(cfg, opts)
-	pw := power.Estimate(cfg, &res.Activity)
+	pred, err := mipp.NewPredictor(p, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pred.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stack := res.Stack.PerInstruction(int64(res.Instructions))
 	fmt.Printf("workload:  %s on %s\n", res.Workload, cfg.Name)
 	fmt.Printf("cycles:    %.0f (CPI %.3f, Deff %.2f, MLP %.2f)\n", res.Cycles, res.CPI(), res.Deff, res.MLP)
-	fmt.Printf("time:      %.6f s at %.2f GHz\n", res.TimeSeconds(cfg.FrequencyGHz), cfg.FrequencyGHz)
+	fmt.Printf("time:      %.6f s at %.2f GHz\n", res.TimeSeconds(), cfg.FrequencyGHz)
 	fmt.Printf("CPI stack: %s\n", stack.String())
-	fmt.Printf("power:     %s\n", pw.String())
-	fmt.Printf("branch missrate: %.4f (entropy %.4f)\n", res.BranchMissRate, p.Entropy)
+	fmt.Printf("power:     %s\n", res.Power.String())
+	fmt.Printf("branch missrate: %.4f (entropy %.4f)\n", res.BranchMissRate, p.Entropy())
 }

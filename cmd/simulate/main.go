@@ -13,10 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"mipp/internal/config"
-	"mipp/internal/ooo"
-	"mipp/internal/power"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
@@ -31,26 +29,19 @@ func main() {
 	if *name == "" {
 		log.Fatal("missing -workload")
 	}
-	var cfg *config.Config
-	switch *cfgName {
-	case "reference":
-		cfg = config.Reference()
-	case "reference+pf":
-		cfg = config.ReferenceWithPrefetcher()
-	case "lowpower":
-		cfg = config.LowPower()
-	default:
+	cfg, ok := arch.ByName(*cfgName)
+	if !ok {
 		log.Fatalf("unknown config %q", *cfgName)
 	}
-	stream, err := workload.Generate(*name, *n, 0)
+	stream, err := mipp.GenerateWorkload(*name, *n, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ooo.Simulate(cfg, stream, ooo.Options{})
+	res, err := mipp.Simulate(cfg, stream, mipp.SimOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	pw := power.Estimate(cfg, &res.Activity)
+	pw := mipp.EstimatePower(cfg, &res.Activity)
 	stack := res.Stack.PerInstruction(res.Instructions)
 	fmt.Println(res.String())
 	fmt.Printf("CPI stack: %s\n", stack.String())

@@ -1,14 +1,36 @@
 // Package mipp reproduces "Micro-architecture independent analytical
 // processor performance and power modeling" (Van den Steen et al.,
-// ISPASS 2015) and its thesis extensions: a one-pass micro-architecture
-// independent profiler (internal/profiler), an extended interval model for
-// performance and power prediction (internal/core, internal/mlp,
-// internal/power), the statistical cache and branch models it builds on
-// (internal/statstack, internal/branch), a cycle-level out-of-order
-// reference simulator used as ground truth (internal/ooo), and the
-// design-space exploration machinery (internal/dse, internal/empirical).
+// ISPASS 2015) and its thesis extensions, behind a small public façade:
 //
-// The top-level benchmark suite (bench_test.go) regenerates every table and
-// figure of the paper's evaluation; cmd/experiments prints the same rows
-// interactively. See README.md, DESIGN.md and EXPERIMENTS.md.
+//   - Profiler collects a workload's micro-architecture independent Profile
+//     in one pass (instruction mix, dependence chains, linear branch
+//     entropy, reuse-distance and stride distributions). Profiling happens
+//     once per workload; the Profile serializes to versioned JSON.
+//   - Predictor, built from a Profile via functional options
+//     (WithEntropyFits, WithMLPMode, WithPrefetcher, ...), evaluates the
+//     extended interval model for any processor configuration in
+//     microseconds, returning a Result that bundles cycles, the CPI stack,
+//     activity factors and the power stack.
+//   - Sweep fans a Predictor out over many configurations on a worker pool
+//     with deterministic ordering and context cancellation; ParetoFront,
+//     BestUnderPowerCap, BestByED2P and CompareFronts turn the results into
+//     design-space decisions (Chapter 7).
+//
+// Processor descriptions live in mipp/arch (the Table 6.1 reference core,
+// the 243-point design space of Table 6.3, DVFS operating points), and
+// Simulate exposes the cycle-level out-of-order reference simulator used as
+// ground truth.
+//
+// Everything below the façade is implementation detail under internal/: the
+// one-pass profiler (internal/profiler), the interval model and MLP models
+// (internal/core, internal/mlp), the StatStack cache and branch-entropy
+// models (internal/statstack, internal/branch), the power backend
+// (internal/power), the reference simulator (internal/ooo) and the
+// design-space machinery (internal/dse, internal/empirical). The experiment
+// harness (internal/exp) regenerates every table and figure of the paper's
+// evaluation through the same Sweep code path users call; the top-level
+// benchmark suite (bench_test.go) and cmd/experiments drive it.
+//
+// See README.md for a quickstart, DESIGN.md for the model architecture and
+// EXPERIMENTS.md for reproducing the paper's evaluation.
 package mipp

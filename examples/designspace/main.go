@@ -1,37 +1,36 @@
 // Design-space exploration: the paper's headline application. One profile
-// per workload is evaluated against dozens of processor configurations in
+// per workload is swept over hundreds of processor configurations in
 // milliseconds, and the performance/power Pareto frontier is extracted
 // (§7.4) — the step that replaces weeks of simulation.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/dse"
-	"mipp/internal/power"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
+	profiler := mipp.NewProfiler()
 	for _, name := range []string{"bzip2", "gromacs"} {
-		stream := workload.MustGenerate(name, 200_000, 0)
-		profile := profiler.Run(stream, profiler.Options{})
-		model := core.New(profile, nil)
-
-		var points []dse.Point
-		for _, cfg := range config.DesignSpace() {
-			res := model.Evaluate(cfg, core.DefaultOptions())
-			pw := power.Estimate(cfg, &res.Activity)
-			points = append(points, dse.Point{
-				Config: cfg.Name,
-				Time:   res.TimeSeconds(cfg.FrequencyGHz),
-				Power:  pw.Total(),
-			})
+		profile, err := profiler.Profile(name, 200_000)
+		if err != nil {
+			log.Fatal(err)
 		}
-		front := dse.ParetoFront(points)
+		predictor, err := mipp.NewPredictor(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		results, err := mipp.Sweep(context.Background(), predictor, arch.DesignSpace())
+		if err != nil {
+			log.Fatal(err)
+		}
+		points := mipp.Points(results)
+		front := mipp.ParetoFront(points)
 		fmt.Printf("%s: evaluated %d configurations, %d Pareto-optimal:\n",
 			name, len(points), len(front))
 		for _, p := range front {

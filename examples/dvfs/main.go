@@ -4,36 +4,43 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/power"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
-	base := config.Reference()
+	base := arch.Reference()
+	points := arch.DVFSPoints()
+	var configs []*arch.Config
+	for _, pt := range points {
+		configs = append(configs, arch.WithDVFS(base, pt))
+	}
 	for _, name := range []string{"gamess", "mcf", "libquantum"} {
-		stream := workload.MustGenerate(name, 200_000, 0)
-		profile := profiler.Run(stream, profiler.Options{})
-		model := core.New(profile, nil)
+		profile, err := mipp.NewProfiler().Profile(name, 200_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predictor, err := mipp.NewPredictor(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := mipp.Sweep(context.Background(), predictor, configs)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Printf("%s:\n", name)
-		bestED2P, bestF := 0.0, 0.0
-		for _, pt := range config.DVFSPoints() {
-			cfg := config.WithDVFS(base, pt)
-			res := model.Evaluate(cfg, core.DefaultOptions())
-			t := res.TimeSeconds(cfg.FrequencyGHz)
-			pw := power.Estimate(cfg, &res.Activity)
-			ed2p := power.ED2P(pw, t)
+		for i, res := range results {
+			pt := points[i]
 			fmt.Printf("  %.2f GHz @ %.2fV: time=%.5fs power=%5.1fW ED2P=%.3e\n",
-				pt.FrequencyGHz, pt.VoltageV, t, pw.Total(), ed2p)
-			if bestF == 0 || ed2p < bestED2P {
-				bestED2P, bestF = ed2p, pt.FrequencyGHz
-			}
+				pt.FrequencyGHz, pt.VoltageV, res.TimeSeconds(), res.Watts(), res.ED2P())
 		}
-		fmt.Printf("  ED2P optimum: %.2f GHz\n\n", bestF)
+		if best, ok := mipp.BestByED2P(mipp.Points(results)); ok {
+			fmt.Printf("  ED2P optimum: %s\n\n", best.Config)
+		}
 	}
 }

@@ -7,27 +7,34 @@ import (
 	"fmt"
 	"log"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/ooo"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
 	const n = 300_000
 	const window = n / 25
-	cfg := config.Reference()
-	stream := workload.MustGenerate("gcc", n, 0)
+	cfg := arch.Reference()
+	stream, err := mipp.GenerateWorkload("gcc", n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	sim, err := ooo.Simulate(cfg, stream, ooo.Options{WindowUops: window})
+	sim, err := mipp.Simulate(cfg, stream, mipp.SimOptions{WindowUops: window})
 	if err != nil {
 		log.Fatal(err)
 	}
 	simCPI := sim.WindowCPI(window)
 
-	profile := profiler.Run(stream, profiler.Options{})
-	res := core.New(profile, nil).Evaluate(cfg, core.DefaultOptions())
+	profile := mipp.NewProfiler().ProfileStream(stream)
+	predictor, err := mipp.NewPredictor(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := predictor.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	upi := res.Uops / res.Instructions
 
 	fmt.Println("gcc CPI over time (simulator vs model):")

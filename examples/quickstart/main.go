@@ -1,49 +1,54 @@
 // Quickstart: profile a workload once, then predict performance and power
 // for a processor configuration with the micro-architecture independent
 // interval model — and check the prediction against the cycle-level
-// simulator.
+// simulator. Everything goes through the public mipp façade.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/ooo"
-	"mipp/internal/power"
-	"mipp/internal/profiler"
-	"mipp/internal/workload"
+	"mipp"
+	"mipp/arch"
 )
 
 func main() {
 	// 1. Synthesize the workload's dynamic micro-op stream.
-	stream := workload.MustGenerate("gcc", 300_000, 0)
+	stream, err := mipp.GenerateWorkload("gcc", 300_000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload gcc: %d uops, %d instructions (%.2f uops/instr)\n",
 		stream.Len(), stream.Instructions(), stream.UopsPerInstruction())
 
 	// 2. Profile it once — this is the only expensive step, and the
 	//    profile is micro-architecture independent.
-	profile := profiler.Run(stream, profiler.Options{})
+	profile := mipp.NewProfiler().ProfileStream(stream)
 	fmt.Printf("profile: %d micro-traces, branch entropy %.3f\n",
-		len(profile.Micros), profile.Entropy)
+		profile.MicroTraces(), profile.Entropy())
 
 	// 3. Predict performance and power for the reference architecture.
-	cfg := config.Reference()
-	model := core.New(profile, nil)
-	res := model.Evaluate(cfg, core.DefaultOptions())
+	cfg := arch.Reference()
+	predictor, err := mipp.NewPredictor(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := predictor.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stack := res.Stack.PerInstruction(int64(res.Instructions))
 	fmt.Printf("model:   CPI %.3f  stack %s\n", res.CPI(), stack.String())
-	fmt.Printf("model:   power %s\n", power.Estimate(cfg, &res.Activity).String())
+	fmt.Printf("model:   power %s\n", res.Power.String())
 
 	// 4. Validate against the cycle-level simulator.
-	sim, err := ooo.Simulate(cfg, stream, ooo.Options{})
+	sim, err := mipp.Simulate(cfg, stream, mipp.SimOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	simStack := sim.Stack.PerInstruction(sim.Instructions)
 	fmt.Printf("sim:     CPI %.3f  stack %s\n", sim.CPI(), simStack.String())
-	fmt.Printf("sim:     power %s\n", power.Estimate(cfg, &sim.Activity).String())
+	fmt.Printf("sim:     power %s\n", mipp.EstimatePower(cfg, &sim.Activity).String())
 	fmt.Printf("CPI error: %.1f%%\n", 100*abs(res.CPI()-sim.CPI())/sim.CPI())
 }
 

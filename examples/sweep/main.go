@@ -1,0 +1,60 @@
+// Concurrent batch evaluation with mipp.Sweep: fan one workload profile out
+// over a stratified design-space sample on a worker pool, then answer the
+// Table 7.1 question — what is the fastest configuration under a power cap?
+//
+// The sweep is deterministic: results arrive in config order whatever the
+// worker count, and a context cancels it mid-flight. This replaces the
+// manual evaluate-in-a-loop pattern cmd/explore used before the façade.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"mipp"
+	"mipp/arch"
+)
+
+func main() {
+	// A stratified 19-point sample of the 243-config space (every 13th
+	// config touches every parameter value).
+	configs := arch.DesignSpaceSample(13)
+
+	profile, err := mipp.NewProfiler().Profile("mcf", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor, err := mipp.NewPredictor(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep with a 2-second guard; Sweep returns promptly on cancellation.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	results, err := mipp.Sweep(ctx, predictor, configs, mipp.WithWorkers(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swept %d configs on %d workers in %v\n",
+		len(configs), runtime.GOMAXPROCS(0), time.Since(t0).Round(time.Microsecond))
+
+	points := mipp.Points(results)
+	fmt.Println("Pareto frontier (time vs power):")
+	for _, p := range mipp.ParetoFront(points) {
+		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", p.Config, p.Time, p.Power)
+	}
+
+	for _, capW := range []float64{12, 18, 25} {
+		if best, ok := mipp.BestUnderPowerCap(points, capW); ok {
+			fmt.Printf("fastest under %4.0f W: %-36s time=%.6fs power=%5.1fW\n",
+				capW, best.Config, best.Time, best.Power)
+		} else {
+			fmt.Printf("fastest under %4.0f W: no configuration fits\n", capW)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package mipp_test
+
+// Tests for the public façade: the Profile → Predict golden path, the
+// versioned profile JSON round-trip, and the predictor options.
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+)
+
+const testN = 40_000
+
+func testProfile(t *testing.T, workload string) *mipp.Profile {
+	t.Helper()
+	p, err := mipp.NewProfiler().Profile(workload, testN)
+	if err != nil {
+		t.Fatalf("Profile(%s): %v", workload, err)
+	}
+	return p
+}
+
+func TestProfilePredictGoldenPath(t *testing.T) {
+	p := testProfile(t, "gcc")
+	if p.Workload() != "gcc" {
+		t.Errorf("Workload() = %q, want gcc", p.Workload())
+	}
+	// Kernels emit whole iterations, so the stream can overshoot slightly.
+	if got := p.TotalUops(); got < testN || got > testN+testN/10 {
+		t.Errorf("TotalUops() = %d, want ~%d", got, testN)
+	}
+	if p.MicroTraces() == 0 {
+		t.Error("profile has no micro-traces")
+	}
+	if e := p.Entropy(); e <= 0 || e > 1 {
+		t.Errorf("Entropy() = %v, want in (0, 1]", e)
+	}
+
+	pred, err := mipp.NewPredictor(p)
+	if err != nil {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	res, err := pred.Predict(arch.Reference())
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if res.Workload != "gcc" || res.Config != "nehalem-ref" {
+		t.Errorf("result names = (%q, %q), want (gcc, nehalem-ref)", res.Workload, res.Config)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("Cycles = %v, want > 0", res.Cycles)
+	}
+	if got := res.Stack.Total(); math.Abs(got-res.Cycles) > 1e-6*res.Cycles {
+		t.Errorf("CPI stack total %v != cycles %v", got, res.Cycles)
+	}
+	if cpi := res.CPI(); cpi <= 0 || cpi > 20 {
+		t.Errorf("CPI = %v, want plausible positive value", cpi)
+	}
+	if w := res.Watts(); w <= 0 || w > 200 {
+		t.Errorf("Watts = %v, want plausible positive value", w)
+	}
+	if res.TimeSeconds() <= 0 || res.EnergyJoules() <= 0 || res.ED2P() <= 0 {
+		t.Errorf("derived metrics not positive: t=%v E=%v ED2P=%v",
+			res.TimeSeconds(), res.EnergyJoules(), res.ED2P())
+	}
+	if pt := res.Point(); pt.Config != res.Config || pt.Time != res.TimeSeconds() || pt.Power != res.Watts() {
+		t.Errorf("Point() = %+v inconsistent with result", pt)
+	}
+}
+
+func TestPredictValidatesConfig(t *testing.T) {
+	pred, err := mipp.NewPredictor(testProfile(t, "bzip2"))
+	if err != nil {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	if _, err := pred.Predict(nil); err == nil {
+		t.Error("Predict(nil) did not error")
+	}
+	bad := arch.Reference()
+	bad.ROB = 0
+	if _, err := pred.Predict(bad); err == nil {
+		t.Error("Predict(invalid config) did not error")
+	}
+	if _, err := mipp.NewPredictor(nil); err == nil {
+		t.Error("NewPredictor(nil) did not error")
+	}
+}
+
+func TestPredictorOptions(t *testing.T) {
+	p := testProfile(t, "mcf")
+	base, err := mipp.NewPredictor(p)
+	if err != nil {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	cfg := arch.Reference()
+	ref, err := base.Predict(cfg)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+
+	// A forced-zero branch miss rate must not predict more cycles.
+	noBr, err := mipp.NewPredictor(p, mipp.WithBranchMissRate(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := noBr.Predict(cfg); err != nil {
+		t.Fatal(err)
+	} else if res.BranchMissRate != 0 {
+		t.Errorf("BranchMissRate = %v, want 0", res.BranchMissRate)
+	} else if res.Cycles > ref.Cycles {
+		t.Errorf("zero missrate predicts more cycles (%v) than entropy model (%v)", res.Cycles, ref.Cycles)
+	}
+
+	// Serializing every miss must not speed mcf up.
+	serial, err := mipp.NewPredictor(p, mipp.WithMLPMode(mipp.MLPNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := serial.Predict(cfg); err != nil {
+		t.Fatal(err)
+	} else if res.Cycles < ref.Cycles {
+		t.Errorf("MLPNone predicts fewer cycles (%v) than stride MLP (%v)", res.Cycles, ref.Cycles)
+	}
+
+	// WithPrefetcher must override the config's own setting, not mutate it.
+	pf, err := mipp.NewPredictor(p, mipp.WithPrefetcher(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Predict(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Prefetcher.Enabled {
+		t.Error("Predict mutated the caller's config")
+	}
+
+	// Entropy fits are looked up by predictor name.
+	fits := map[string]mipp.EntropyFit{
+		cfg.Predictor: func(float64) float64 { return 0.25 },
+	}
+	fitted, err := mipp.NewPredictor(p, mipp.WithEntropyFits(fits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := fitted.Predict(cfg); err != nil {
+		t.Fatal(err)
+	} else if res.BranchMissRate != 0.25 {
+		t.Errorf("BranchMissRate = %v, want 0.25 from entropy fit", res.BranchMissRate)
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := testProfile(t, "libquantum")
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("envelope decode: %v", err)
+	}
+	var version int
+	if err := json.Unmarshal(env["schema_version"], &version); err != nil {
+		t.Fatalf("schema_version decode: %v", err)
+	}
+	if version != mipp.ProfileSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", version, mipp.ProfileSchemaVersion)
+	}
+
+	// Round-tripped profiles must predict identically.
+	back := &mipp.Profile{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	cfg := arch.Reference()
+	want := mustPredict(t, p, cfg)
+	got := mustPredict(t, back, cfg)
+	if want.Cycles != got.Cycles || want.Watts() != got.Watts() || want.MLP != got.MLP {
+		t.Errorf("round-tripped profile predicts (%v cyc, %v W, MLP %v), original (%v cyc, %v W, MLP %v)",
+			got.Cycles, got.Watts(), got.MLP, want.Cycles, want.Watts(), want.MLP)
+	}
+
+	// Save/Load round-trip through a file.
+	path := t.TempDir() + "/p.json"
+	if err := p.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := mipp.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("LoadProfile: %v", err)
+	}
+	if res := mustPredict(t, loaded, cfg); res.Cycles != want.Cycles {
+		t.Errorf("loaded profile predicts %v cycles, want %v", res.Cycles, want.Cycles)
+	}
+}
+
+func mustPredict(t *testing.T, p *mipp.Profile, cfg *arch.Config) *mipp.Result {
+	t.Helper()
+	pred, err := mipp.NewPredictor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pred.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProfileSchemaVersionErrors(t *testing.T) {
+	p := testProfile(t, "gamess")
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["schema_version"] = json.RawMessage("99")
+	future, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(future, &mipp.Profile{}); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+
+	if err := json.Unmarshal([]byte(`{}`), &mipp.Profile{}); err == nil {
+		t.Error("missing schema version accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"schema_version":1}`), &mipp.Profile{}); err == nil {
+		t.Error("envelope without profile body accepted")
+	}
+
+	// Accessors on an empty profile (e.g. after an ignored Unmarshal
+	// error) return zero values instead of panicking.
+	var empty mipp.Profile
+	if empty.Workload() != "" || empty.TotalUops() != 0 || empty.MicroTraces() != 0 || empty.Entropy() != 0 {
+		t.Error("empty profile accessors returned non-zero values")
+	}
+	if _, err := mipp.NewPredictor(&empty); err == nil {
+		t.Error("NewPredictor(empty profile) did not error")
+	}
+}

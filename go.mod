@@ -1,0 +1,3 @@
+module mipp
+
+go 1.24

@@ -5,11 +5,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
+	"mipp"
+	"mipp/arch"
 	"mipp/internal/config"
 	"mipp/internal/core"
 	"mipp/internal/ooo"
@@ -18,8 +21,8 @@ import (
 	"mipp/internal/workload"
 )
 
-// Suite memoizes workload streams, profiles and simulation results so the
-// individual experiments can share them.
+// Suite memoizes workload streams, profiles, predictors and simulation
+// results so the individual experiments can share them.
 type Suite struct {
 	// N is the trace length in uops for reference-architecture
 	// experiments; design-space sweeps use N/3.
@@ -27,11 +30,12 @@ type Suite struct {
 	// Workloads is the benchmark subset to run (default: all 29).
 	Workloads []string
 
-	mu       sync.Mutex
-	streams  map[string]*trace.Stream
-	profiles map[string]*profiler.Profile
-	sims     map[string]*ooo.Result
-	models   map[string]*core.Model
+	mu         sync.Mutex
+	streams    map[string]*trace.Stream
+	profiles   map[string]*profiler.Profile
+	sims       map[string]*ooo.Result
+	models     map[string]*core.Model
+	predictors map[string]*mipp.Predictor
 }
 
 // NewSuite returns a Suite with the given trace length (0 = 300000).
@@ -40,12 +44,13 @@ func NewSuite(n int) *Suite {
 		n = 300_000
 	}
 	return &Suite{
-		N:         n,
-		Workloads: workload.Names(),
-		streams:   make(map[string]*trace.Stream),
-		profiles:  make(map[string]*profiler.Profile),
-		sims:      make(map[string]*ooo.Result),
-		models:    make(map[string]*core.Model),
+		N:          n,
+		Workloads:  workload.Names(),
+		streams:    make(map[string]*trace.Stream),
+		profiles:   make(map[string]*profiler.Profile),
+		sims:       make(map[string]*ooo.Result),
+		models:     make(map[string]*core.Model),
+		predictors: make(map[string]*mipp.Predictor),
 	}
 }
 
@@ -93,6 +98,56 @@ func (s *Suite) Model(name string, n int) *core.Model {
 	s.models[key] = m
 	s.mu.Unlock()
 	return m
+}
+
+// Predictor returns a memoized public-façade predictor (default options)
+// for a workload at length n, built over the same memoized profile the rest
+// of the harness uses. Evaluations through it exercise the exact code path
+// external mipp users call.
+func (s *Suite) Predictor(name string, n int) *mipp.Predictor {
+	key := fmt.Sprintf("%s/%d", name, n)
+	s.mu.Lock()
+	if pd, ok := s.predictors[key]; ok {
+		s.mu.Unlock()
+		return pd
+	}
+	s.mu.Unlock()
+	pd := s.PredictorWith(name, n)
+	s.mu.Lock()
+	s.predictors[key] = pd
+	s.mu.Unlock()
+	return pd
+}
+
+// PredictorWith builds an unmemoized façade predictor with custom options,
+// for experiments that ablate model components.
+func (s *Suite) PredictorWith(name string, n int, opts ...mipp.PredictorOption) *mipp.Predictor {
+	pd, err := mipp.NewPredictor(mipp.WrapProfile(s.Profile(name, n)), opts...)
+	if err != nil {
+		panic(fmt.Sprintf("exp: predictor %s: %v", name, err))
+	}
+	return pd
+}
+
+// Predict evaluates one configuration through the façade, panicking on the
+// errors the harness treats as programming mistakes.
+func (s *Suite) Predict(name string, cfg *config.Config, n int) *mipp.Result {
+	res, err := s.Predictor(name, n).Predict(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: predict %s on %s: %v", name, cfg.Name, err))
+	}
+	return res
+}
+
+// Sweep evaluates a workload's predictor over many configurations through
+// the public concurrent Sweep, so the paper's tables exercise the same
+// batch-evaluation path external users call. results[i] matches configs[i].
+func (s *Suite) Sweep(name string, configs []*config.Config, n int) []*mipp.Result {
+	results, err := mipp.Sweep(context.Background(), s.Predictor(name, n), configs)
+	if err != nil {
+		panic(fmt.Sprintf("exp: sweep %s: %v", name, err))
+	}
+	return results
 }
 
 // Sim returns the memoized simulation of workload name on cfg at length n.
@@ -148,17 +203,7 @@ func ByID(id string) (Experiment, bool) {
 // SpaceSample returns a stratified sample of the 243-point design space:
 // every k-th configuration, which cycles through all parameter values
 // because the enumeration is lexicographic.
-func SpaceSample(k int) []*config.Config {
-	all := config.DesignSpace()
-	if k <= 1 {
-		return all
-	}
-	var out []*config.Config
-	for i := 0; i < len(all); i += k {
-		out = append(out, all[i])
-	}
-	return out
-}
+func SpaceSample(k int) []*config.Config { return arch.DesignSpaceSample(k) }
 
 // header prints a section header for experiment output.
 func header(w io.Writer, title string) {

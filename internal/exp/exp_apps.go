@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"mipp"
 	"mipp/internal/config"
-	"mipp/internal/core"
 	"mipp/internal/dse"
 	"mipp/internal/empirical"
 	"mipp/internal/power"
@@ -30,7 +30,6 @@ func init() {
 // that the CPI stack says matter.
 func fig7x1(s *Suite, w io.Writer) {
 	header(w, "libquantum what-if: model-predicted CPI per modification")
-	m := s.Model("libquantum", s.N)
 	base := config.Reference()
 	steps := []struct {
 		name string
@@ -59,7 +58,7 @@ func fig7x1(s *Suite, w io.Writer) {
 		cfg := *base
 		step.mod(&cfg)
 		cfg.Name = step.name
-		res := m.Evaluate(&cfg, core.DefaultOptions())
+		res := s.Predict("libquantum", &cfg, s.N)
 		fmt.Fprintf(w, "%-22s CPI=%.3f (MLP=%.2f)\n", step.name, res.CPI(), res.MLP)
 	}
 }
@@ -68,12 +67,12 @@ func fig7x2(s *Suite, w io.Writer) {
 	header(w, "general-purpose core vs per-application core (model-selected)")
 	configs := SpaceSample(spaceStride)
 	n := s.N / 3
-	// Model-predicted CPI for every (workload, config).
+	// Model-predicted CPI for every (workload, config), via the public
+	// concurrent sweep.
 	cpi := make(map[string][]float64)
 	for _, name := range s.Workloads {
-		m := s.Model(name, n)
-		for _, cfg := range configs {
-			cpi[name] = append(cpi[name], m.Evaluate(cfg, core.DefaultOptions()).CPI())
+		for _, res := range s.Sweep(name, configs, n) {
+			cpi[name] = append(cpi[name], res.CPI())
 		}
 	}
 	// General-purpose pick: best average CPI across workloads.
@@ -105,21 +104,15 @@ func tab7x1(s *Suite, w io.Writer) {
 	header(w, "fastest configuration under a power cap (model-predicted)")
 	configs := SpaceSample(spaceStride)
 	n := s.N / 3
+	names := s.Workloads[:6]
+	points := make(map[string][]mipp.Point, len(names))
+	for _, name := range names {
+		points[name] = mipp.Points(s.Sweep(name, configs, n))
+	}
 	for _, capW := range []float64{12, 18, 25} {
 		fmt.Fprintf(w, "power cap %.0f W:\n", capW)
-		for _, name := range s.Workloads[:6] {
-			m := s.Model(name, n)
-			var points []dse.Point
-			for _, cfg := range configs {
-				res := m.Evaluate(cfg, core.DefaultOptions())
-				pw := power.Estimate(cfg, &res.Activity)
-				points = append(points, dse.Point{
-					Config: cfg.Name,
-					Time:   res.TimeSeconds(cfg.FrequencyGHz),
-					Power:  pw.Total(),
-				})
-			}
-			if best, ok := dse.BestUnderPowerCap(points, capW); ok {
+		for _, name := range names {
+			if best, ok := mipp.BestUnderPowerCap(points[name], capW); ok {
 				fmt.Fprintf(w, "  %-12s %-32s time=%.4fs power=%.1fW\n", name, best.Config, best.Time, best.Power)
 			} else {
 				fmt.Fprintf(w, "  %-12s no configuration fits\n", name)
@@ -140,18 +133,16 @@ func fig7x3(s *Suite, w io.Writer) {
 	base := config.Reference()
 	for _, name := range []string{"gamess", "mcf", "libquantum", "gcc"} {
 		fmt.Fprintf(w, "%s:\n", name)
-		m := s.Model(name, s.N)
 		var bestSim, bestMod float64
 		var bestSimF, bestModF float64
 		bestSim, bestMod = 1e18, 1e18
 		for _, pt := range config.DVFSPoints() {
 			cfg := config.WithDVFS(base, pt)
 			sim := s.Sim(name, cfg, s.N)
-			res := m.Evaluate(cfg, core.DefaultOptions())
+			res := s.Predict(name, cfg, s.N)
 			simT := sim.TimeSeconds(cfg.FrequencyGHz)
-			modT := res.TimeSeconds(cfg.FrequencyGHz)
 			simE := power.ED2P(power.Estimate(cfg, &sim.Activity), simT)
-			modE := power.ED2P(power.Estimate(cfg, &res.Activity), modT)
+			modE := res.ED2P()
 			fmt.Fprintf(w, "  %.2f GHz: sim ED2P=%.3e, model ED2P=%.3e\n", pt.FrequencyGHz, simE, modE)
 			if simE < bestSim {
 				bestSim, bestSimF = simE, pt.FrequencyGHz
@@ -165,17 +156,12 @@ func fig7x3(s *Suite, w io.Writer) {
 }
 
 // spacePoints evaluates (time, power) for the design-space sample with the
-// simulator (actual) and the analytical model (predicted).
+// simulator (actual) and the analytical model (predicted, via the public
+// concurrent Sweep).
 func (s *Suite) spacePoints(name string, configs []*config.Config, n int) (pred, act []dse.Point) {
-	m := s.Model(name, n)
+	pred = mipp.Points(s.Sweep(name, configs, n))
 	for _, cfg := range configs {
-		res := m.Evaluate(cfg, core.DefaultOptions())
 		sim := s.Sim(name, cfg, n)
-		pred = append(pred, dse.Point{
-			Config: cfg.Name,
-			Time:   res.TimeSeconds(cfg.FrequencyGHz),
-			Power:  power.Estimate(cfg, &res.Activity).Total(),
-		})
 		act = append(act, dse.Point{
 			Config: cfg.Name,
 			Time:   sim.TimeSeconds(cfg.FrequencyGHz),

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"mipp"
 	"mipp/internal/config"
-	"mipp/internal/core"
-	"mipp/internal/mlp"
 	"mipp/internal/perf"
 	"mipp/internal/power"
-	"mipp/internal/profiler"
 	"mipp/internal/stats"
 )
 
@@ -43,7 +41,7 @@ func fig6x1(s *Suite, w io.Writer) {
 	var errs []float64
 	for _, name := range s.Workloads {
 		sim := s.Sim(name, cfg, s.N)
-		res := s.Model(name, s.N).Evaluate(cfg, core.DefaultOptions())
+		res := s.Predict(name, cfg, s.N)
 		ss := sim.Stack.PerInstruction(sim.Instructions)
 		ms := res.Stack.PerInstruction(int64(res.Instructions))
 		e := stats.AbsErr(res.Cycles, float64(sim.Cycles))
@@ -72,8 +70,15 @@ func fig6x3(s *Suite, w io.Writer) {
 		for _, name := range s.Workloads {
 			sim := s.Sim(name, cfg, s.N)
 			st := s.Stream(name, s.N)
-			p := profiler.Run(st, profiler.Options{MicroUops: r.micro, WindowUops: r.window})
-			res := core.New(p, nil).Evaluate(cfg, core.DefaultOptions())
+			p := mipp.NewProfiler(mipp.WithMicroTrace(r.micro, r.window)).ProfileStream(st)
+			pd, err := mipp.NewPredictor(p)
+			if err != nil {
+				panic(err)
+			}
+			res, err := pd.Predict(cfg)
+			if err != nil {
+				panic(err)
+			}
 			errs = append(errs, stats.AbsErr(res.Cycles, float64(sim.Cycles)))
 		}
 		fmt.Fprintf(w, "sample %4d/%5d (%.1f%% profiled): avg err %.1f%%\n",
@@ -86,23 +91,17 @@ func tab6x2(s *Suite, w io.Writer) {
 	cfg := config.Reference()
 	variants := []struct {
 		name string
-		opts func(sim float64) core.Options
+		opts func(simRate float64) []mipp.PredictorOption
 	}{
-		{"simulated branch missrate + stride MLP", func(simRate float64) core.Options {
-			o := core.DefaultOptions()
-			o.BranchMissRate = simRate
-			return o
+		{"simulated branch missrate + stride MLP", func(simRate float64) []mipp.PredictorOption {
+			return []mipp.PredictorOption{mipp.WithBranchMissRate(simRate)}
 		}},
-		{"entropy branch model + stride MLP", func(float64) core.Options { return core.DefaultOptions() }},
-		{"entropy branch model + cold-miss MLP", func(float64) core.Options {
-			o := core.DefaultOptions()
-			o.MLPMode = mlp.ColdMiss
-			return o
+		{"entropy branch model + stride MLP", func(float64) []mipp.PredictorOption { return nil }},
+		{"entropy branch model + cold-miss MLP", func(float64) []mipp.PredictorOption {
+			return []mipp.PredictorOption{mipp.WithMLPMode(mipp.MLPColdMiss)}
 		}},
-		{"entropy branch model + no MLP", func(float64) core.Options {
-			o := core.DefaultOptions()
-			o.MLPMode = mlp.None
-			return o
+		{"entropy branch model + no MLP", func(float64) []mipp.PredictorOption {
+			return []mipp.PredictorOption{mipp.WithMLPMode(mipp.MLPNone)}
 		}},
 	}
 	for _, v := range variants {
@@ -113,7 +112,10 @@ func tab6x2(s *Suite, w io.Writer) {
 			if sim.Branches > 0 {
 				simRate = float64(sim.BranchMispredicts) / float64(sim.Branches)
 			}
-			res := s.Model(name, s.N).Evaluate(cfg, v.opts(simRate))
+			res, err := s.PredictorWith(name, s.N, v.opts(simRate)...).Predict(cfg)
+			if err != nil {
+				panic(err)
+			}
 			errs = append(errs, stats.AbsErr(res.Cycles, float64(sim.Cycles)))
 		}
 		fmt.Fprintf(w, "%-42s avg=%5.1f%% max=%5.1f%%\n", v.name, stats.Mean(errs)*100, stats.Max(errs)*100)
@@ -135,11 +137,11 @@ func fig6x4(s *Suite, w io.Writer) {
 	var sep, comb []float64
 	for _, name := range s.Workloads {
 		sim := s.Sim(name, cfg, s.N)
-		m := s.Model(name, s.N)
-		rs := m.Evaluate(cfg, core.DefaultOptions())
-		oc := core.DefaultOptions()
-		oc.Combined = true
-		rc := m.Evaluate(cfg, oc)
+		rs := s.Predict(name, cfg, s.N)
+		rc, err := s.PredictorWith(name, s.N, mipp.WithCombinedEvaluation()).Predict(cfg)
+		if err != nil {
+			panic(err)
+		}
 		sep = append(sep, stats.AbsErr(rs.Cycles, float64(sim.Cycles)))
 		comb = append(comb, stats.AbsErr(rc.Cycles, float64(sim.Cycles)))
 	}
@@ -151,7 +153,8 @@ func fig6x4(s *Suite, w io.Writer) {
 }
 
 // designSpaceRuns evaluates a stratified design-space sample with both the
-// simulator and the model, shared by Figures 6.5-6.10.
+// simulator and the model (through the public Sweep path), shared by
+// Figures 6.5-6.10.
 func (s *Suite) designSpaceRuns(k, n int) (configs []*config.Config, simCPI, modCPI, simW, modW map[string][]float64) {
 	configs = SpaceSample(k)
 	simCPI = map[string][]float64{}
@@ -159,14 +162,13 @@ func (s *Suite) designSpaceRuns(k, n int) (configs []*config.Config, simCPI, mod
 	simW = map[string][]float64{}
 	modW = map[string][]float64{}
 	for _, name := range s.Workloads {
-		m := s.Model(name, n)
-		for _, cfg := range configs {
+		results := s.Sweep(name, configs, n)
+		for i, cfg := range configs {
 			sim := s.Sim(name, cfg, n)
-			res := m.Evaluate(cfg, core.DefaultOptions())
 			simCPI[name] = append(simCPI[name], sim.CPI())
-			modCPI[name] = append(modCPI[name], res.CPI())
+			modCPI[name] = append(modCPI[name], results[i].CPI())
 			simW[name] = append(simW[name], power.Estimate(cfg, &sim.Activity).Total())
-			modW[name] = append(modW[name], power.Estimate(cfg, &res.Activity).Total())
+			modW[name] = append(modW[name], results[i].Watts())
 		}
 	}
 	return
@@ -207,9 +209,9 @@ func fig6x7(s *Suite, w io.Writer) {
 	var errs []float64
 	for _, name := range s.Workloads {
 		sim := s.Sim(name, cfg, s.N)
-		res := s.Model(name, s.N).Evaluate(cfg, core.DefaultOptions())
+		res := s.Predict(name, cfg, s.N)
 		ps := power.Estimate(cfg, &sim.Activity)
-		pm := power.Estimate(cfg, &res.Activity)
+		pm := res.Power
 		e := stats.AbsErr(pm.Total(), ps.Total())
 		errs = append(errs, e)
 		fmt.Fprintf(w, "%-12s sim=%s\n             mod=%s err=%.1f%%\n", name, ps.String(), pm.String(), e*100)
@@ -266,7 +268,7 @@ func phaseCompare(s *Suite, w io.Writer, name string, cfg *config.Config) {
 	if err != nil {
 		panic(err)
 	}
-	res := s.Model(name, s.N).Evaluate(cfg, core.DefaultOptions())
+	res := s.Predict(name, cfg, s.N)
 	simCPI := sim.WindowCPI(win)
 	upi := res.Uops / res.Instructions
 	var modSeries []float64

@@ -1,0 +1,31 @@
+package mipp
+
+import (
+	"mipp/internal/ooo"
+	"mipp/internal/power"
+)
+
+// SimOptions configures a reference-simulator run.
+type SimOptions = ooo.Options
+
+// SimResult is the outcome of a cycle-level reference simulation: measured
+// cycles, CPI stack and activity factors, directly comparable with a
+// Predictor's Result.
+type SimResult = ooo.Result
+
+// Simulate runs the cycle-level out-of-order reference simulator — the
+// ground truth the analytical model is validated against — on a synthesized
+// stream.
+func Simulate(cfg *Config, stream *Stream, opts SimOptions) (*SimResult, error) {
+	return ooo.Simulate(cfg, stream, opts)
+}
+
+// Energy returns the energy in joules for a run of the given duration at
+// the stack's power.
+func Energy(s PowerStack, seconds float64) float64 { return power.Energy(s, seconds) }
+
+// EDP returns the energy-delay product (J·s).
+func EDP(s PowerStack, seconds float64) float64 { return power.EDP(s, seconds) }
+
+// ED2P returns the energy-delay-squared product (J·s²).
+func ED2P(s PowerStack, seconds float64) float64 { return power.ED2P(s, seconds) }

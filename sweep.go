@@ -1,0 +1,129 @@
+package mipp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mipp/internal/dse"
+)
+
+// SweepOption customizes a Sweep run.
+type SweepOption func(*sweepConfig)
+
+type sweepConfig struct {
+	workers int
+}
+
+// WithWorkers sets the number of concurrent evaluation goroutines (default
+// GOMAXPROCS). Results are deterministic and identical for any worker count.
+func WithWorkers(n int) SweepOption {
+	return func(c *sweepConfig) { c.workers = n }
+}
+
+// Sweep evaluates the predictor over every configuration using a worker
+// pool. results[i] always corresponds to configs[i], and the output is
+// byte-for-byte identical regardless of worker count — evaluation order is
+// the only thing concurrency changes.
+//
+// On context cancellation Sweep stops promptly, drains its workers and
+// returns ctx.Err(). The first configuration error (lowest index) is
+// returned otherwise.
+func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepOption) ([]*Result, error) {
+	if pd == nil {
+		return nil, fmt.Errorf("mipp: Sweep: nil predictor")
+	}
+	sc := sweepConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&sc)
+	}
+	if sc.workers < 1 {
+		sc.workers = 1
+	}
+	if sc.workers > len(configs) {
+		sc.workers = len(configs)
+	}
+	if len(configs) == 0 {
+		return nil, nil
+	}
+
+	results := make([]*Result, len(configs))
+	errs := make([]error, len(configs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(configs) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				results[i], errs[i] = pd.Predict(configs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			name := "<nil>"
+			if configs[i] != nil {
+				name = configs[i].Name
+			}
+			return nil, fmt.Errorf("config %d (%s): %w", i, name, err)
+		}
+	}
+	return results, nil
+}
+
+// Design-space exploration vocabulary (Chapter 7), re-exported so consumers
+// never reach into internal packages.
+
+// Point is one design evaluated for one workload on the (time, power)
+// plane: lower is better in both dimensions.
+type Point = dse.Point
+
+// FrontMetrics scores a predicted Pareto front against the true one (§7.4):
+// sensitivity, specificity, accuracy and the hypervolume ratio.
+type FrontMetrics = dse.Metrics
+
+// Points projects sweep results onto the (time, power) plane.
+func Points(results []*Result) []Point {
+	out := make([]Point, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r.Point())
+		}
+	}
+	return out
+}
+
+// ParetoFront returns the non-dominated subset of points, sorted by time.
+func ParetoFront(points []Point) []Point { return dse.ParetoFront(points) }
+
+// BestUnderPowerCap returns the fastest point whose power does not exceed
+// capWatts (Table 7.1's optimization); ok is false when nothing fits.
+func BestUnderPowerCap(points []Point, capWatts float64) (Point, bool) {
+	return dse.BestUnderPowerCap(points, capWatts)
+}
+
+// BestByED2P returns the point minimizing energy-delay-squared, the DVFS
+// selection metric of §7.3.
+func BestByED2P(points []Point) (Point, bool) { return dse.BestByED2P(points) }
+
+// CompareFronts scores predicted (time, power) points against actual ones,
+// matched by config name, exactly as the thesis evaluates Pareto pruning.
+func CompareFronts(predicted, actual []Point) FrontMetrics { return dse.Evaluate(predicted, actual) }
+
+// Hypervolume computes the 2D dominated hypervolume of a front with respect
+// to a reference (worst) point.
+func Hypervolume(front []Point, ref Point) float64 { return dse.Hypervolume(front, ref) }
