@@ -1,0 +1,189 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mipp/arch"
+)
+
+func TestCheckVersion(t *testing.T) {
+	if err := CheckVersion(SchemaVersion); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	for _, v := range []int{0, -1, SchemaVersion + 1, 99} {
+		if err := CheckVersion(v); err == nil {
+			t.Errorf("version %d accepted", v)
+		}
+	}
+}
+
+func TestPredictorSpecKeyCanonical(t *testing.T) {
+	// Spelled-out defaults and the zero value share a cache key.
+	zero := PredictorSpec{}
+	spelled := PredictorSpec{MLPMode: "stride", DispatchModel: "full"}
+	if zero.Key() != spelled.Key() {
+		t.Errorf("zero key %q != spelled key %q", zero.Key(), spelled.Key())
+	}
+	// Every option perturbs the key.
+	br := 0.01
+	pf := true
+	variants := []PredictorSpec{
+		{MLPMode: "cold-miss"},
+		{MLPMode: "none"},
+		{Combined: true},
+		{BranchMissRate: &br},
+		{NoLLCChain: true},
+		{NoBusQueue: true},
+		{DispatchModel: "uops"},
+		{DispatchModel: "critical"},
+		{Prefetcher: &pf},
+	}
+	seen := map[string]int{zero.Key(): -1}
+	for i, s := range variants {
+		k := s.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestPredictorSpecValidate(t *testing.T) {
+	good := []PredictorSpec{
+		{},
+		{MLPMode: "stride"},
+		{MLPMode: "cold-miss", DispatchModel: "instructions"},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", s, err)
+		}
+	}
+	if err := (PredictorSpec{MLPMode: "warp"}).Validate(); err == nil {
+		t.Error("unknown mlp_mode accepted")
+	} else if !strings.Contains(err.Error(), "cold-miss") {
+		t.Errorf("error %q does not list accepted modes", err)
+	}
+	if err := (PredictorSpec{DispatchModel: "sideways"}).Validate(); err == nil {
+		t.Error("unknown dispatch_model accepted")
+	}
+}
+
+func TestConfigSpecResolve(t *testing.T) {
+	if c, err := (ConfigSpec{Name: "reference"}).Resolve(); err != nil || c.Name != "nehalem-ref" {
+		t.Errorf("Resolve(reference) = %v, %v", c, err)
+	}
+	inline := arch.LowPower()
+	if c, err := (ConfigSpec{Config: inline}).Resolve(); err != nil || c != inline {
+		t.Errorf("inline Resolve = %v, %v", c, err)
+	}
+	for _, cs := range []ConfigSpec{
+		{},
+		{Name: "no-such-machine"},
+		{Name: "reference", Config: inline},
+	} {
+		if _, err := cs.Resolve(); err == nil {
+			t.Errorf("Resolve(%+v) accepted", cs)
+		}
+	}
+}
+
+func TestSpaceSpecExpand(t *testing.T) {
+	full, err := SpaceSpec{Kind: "design"}.Expand()
+	if err != nil || len(full) != 243 {
+		t.Errorf("design space = %d configs, %v; want 243", len(full), err)
+	}
+	sampled, err := SpaceSpec{Kind: "design", Stride: 13}.Expand()
+	if err != nil || len(sampled) != 19 {
+		t.Errorf("sampled space = %d configs, %v; want 19", len(sampled), err)
+	}
+	dvfs, err := SpaceSpec{Kind: "dvfs"}.Expand()
+	if err != nil || len(dvfs) == 0 {
+		t.Errorf("dvfs space = %d configs, %v", len(dvfs), err)
+	}
+	if _, err := (SpaceSpec{Kind: "hypercube"}).Expand(); err == nil {
+		t.Error("unknown space kind accepted")
+	}
+	if _, err := (SpaceSpec{Kind: "dvfs", Stride: 5}).Expand(); err == nil {
+		t.Error("dvfs with stride accepted (stride is design-space only)")
+	}
+}
+
+func TestExpandConfigsCombines(t *testing.T) {
+	out, err := ExpandConfigs([]ConfigSpec{{Name: "lowpower"}}, &SpaceSpec{Kind: "design", Stride: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Errorf("got %d configs, want 1 + 19", len(out))
+	}
+	if out[0].Name != "low-power" {
+		t.Errorf("explicit config not first: %s", out[0].Name)
+	}
+	if _, err := ExpandConfigs(nil, nil); err == nil {
+		t.Error("empty expansion accepted")
+	}
+	if _, err := ExpandConfigs([]ConfigSpec{{Name: "nope"}}, nil); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	valid := []interface{ Validate() error }{
+		&PredictRequest{SchemaVersion: SchemaVersion, Workload: "w", Config: ConfigSpec{Name: "reference"}},
+		&SweepRequest{SchemaVersion: SchemaVersion, Workload: "w", Space: &SpaceSpec{Kind: "design"}},
+		&BatchRequest{SchemaVersion: SchemaVersion, Workloads: []string{"w"}, Configs: []ConfigSpec{{Name: "reference"}}},
+		&ParetoRequest{SchemaVersion: SchemaVersion, Workload: "w", Configs: []ConfigSpec{{Name: "reference"}}},
+		&RegisterProfileRequest{SchemaVersion: SchemaVersion, Workload: "w", Uops: 1000},
+		&RegisterProfileRequest{SchemaVersion: SchemaVersion, Profile: json.RawMessage(`{}`)},
+	}
+	for i, r := range valid {
+		if err := r.Validate(); err != nil {
+			t.Errorf("valid request %d rejected: %v", i, err)
+		}
+	}
+	invalid := []interface{ Validate() error }{
+		&PredictRequest{SchemaVersion: 99, Workload: "w"},
+		&PredictRequest{SchemaVersion: SchemaVersion},
+		&SweepRequest{SchemaVersion: SchemaVersion, Workload: "w"},
+		&SweepRequest{SchemaVersion: SchemaVersion, Configs: []ConfigSpec{{Name: "reference"}}},
+		&BatchRequest{SchemaVersion: SchemaVersion, Configs: []ConfigSpec{{Name: "reference"}}},
+		&BatchRequest{SchemaVersion: SchemaVersion, Workloads: []string{""}, Configs: []ConfigSpec{{Name: "reference"}}},
+		&BatchRequest{SchemaVersion: SchemaVersion, Workloads: []string{"w"}},
+		&ParetoRequest{SchemaVersion: SchemaVersion, Workload: "w"},
+		&RegisterProfileRequest{SchemaVersion: SchemaVersion},
+		&RegisterProfileRequest{SchemaVersion: SchemaVersion, Workload: "w"},
+		&RegisterProfileRequest{SchemaVersion: SchemaVersion, Workload: "w", Uops: 100, Profile: json.RawMessage(`{}`)},
+		&PredictRequest{SchemaVersion: SchemaVersion, Workload: "w", Options: PredictorSpec{MLPMode: "warp"}},
+	}
+	for i, r := range invalid {
+		if err := r.Validate(); err == nil {
+			t.Errorf("invalid request %d accepted", i)
+		}
+	}
+}
+
+// The wire format of a result must stay snake_case and complete — clients
+// in other languages key on these names.
+func TestResultWireFormat(t *testing.T) {
+	data, err := json.Marshal(&Result{Workload: "w", Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"workload"`, `"config"`, `"frequency_ghz"`, `"cycles"`, `"cpi"`,
+		`"time_seconds"`, `"cpi_stack"`, `"power"`, `"watts"`,
+		`"energy_joules"`, `"edp"`, `"ed2p"`, `"deff"`, `"mlp"`,
+		`"branch_miss_rate"`, `"base"`, `"branch"`, `"icache"`, `"llc"`,
+		`"dram"`, `"static"`, `"core"`, `"fu"`, `"cache"`, `"bpred"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("result JSON missing %s: %s", field, data)
+		}
+	}
+	if strings.Contains(string(data), "micro_cpi") {
+		t.Error("empty micro_cpi not omitted")
+	}
+}

@@ -10,10 +10,13 @@ package mipp_test
 // defaults to the full suite at 300k uops.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
 
+	"mipp"
+	"mipp/api"
 	"mipp/internal/exp"
 )
 
@@ -96,6 +99,100 @@ func BenchmarkFig6_15_MLPModelError(b *testing.B)        { runExp(b, "fig6.15") 
 func BenchmarkFig6_16_MLPPerfError(b *testing.B)         { runExp(b, "fig6.16") }
 func BenchmarkFig6_17_MLPErrorCDF(b *testing.B)          { runExp(b, "fig6.17") }
 func BenchmarkFig6_18_PrefetchMLPError(b *testing.B)     { runExp(b, "fig6.18") }
+
+// Serving path — Engine.Evaluate batch throughput, the baseline for the
+// mippd query path. Reported as configs/sec (items per wall second) at one
+// worker and at GOMAXPROCS, over 2 workloads × the 81-point space sample.
+
+var benchEngine = struct {
+	once   sync.Once
+	engine *mipp.Engine
+	err    error
+}{}
+
+func engineForBench(b *testing.B) *mipp.Engine {
+	b.Helper()
+	benchEngine.once.Do(func() {
+		e := mipp.NewEngine()
+		for _, w := range []string{"mcf", "gamess"} {
+			p, err := mipp.NewProfiler().Profile(w, benchN)
+			if err != nil {
+				benchEngine.err = err
+				return
+			}
+			if err := e.Register(w, p); err != nil {
+				benchEngine.err = err
+				return
+			}
+		}
+		// Compile the default predictors up front so the benchmark
+		// measures steady-state serving, not first-query compilation.
+		for _, w := range []string{"mcf", "gamess"} {
+			if _, err := e.Predictor(w, api.PredictorSpec{}); err != nil {
+				benchEngine.err = err
+				return
+			}
+		}
+		benchEngine.engine = e
+	})
+	if benchEngine.err != nil {
+		b.Fatal(benchEngine.err)
+	}
+	return benchEngine.engine
+}
+
+func benchEngineEvaluate(b *testing.B, workers int) {
+	e := engineForBench(b)
+	req := &api.BatchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workloads:     []string{"mcf", "gamess"},
+		Space:         &api.SpaceSpec{Kind: "design", Stride: 3},
+		Workers:       workers,
+	}
+	items := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = len(resp.Items)
+		for _, item := range resp.Items {
+			if item.Error != "" {
+				b.Fatalf("%s/%s: %s", item.Workload, item.Config, item.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	if items > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(items*b.N)/b.Elapsed().Seconds(), "configs/s")
+	}
+}
+
+func BenchmarkEngineEvaluate_1worker(b *testing.B) { benchEngineEvaluate(b, 1) }
+func BenchmarkEngineEvaluate_Nworkers(b *testing.B) {
+	benchEngineEvaluate(b, 0) // 0 = engine default (GOMAXPROCS)
+}
+
+// BenchmarkEnginePredict measures single-query latency through the cached
+// serving path — the "nearly free per query" promise the service rests on.
+func BenchmarkEnginePredict(b *testing.B) {
+	e := engineForBench(b)
+	req := &api.PredictRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Config:        api.ConfigSpec{Name: "reference"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if hits := e.Stats().CacheHits; hits == 0 {
+		b.Fatal("predictor cache never hit")
+	}
+}
 
 // Chapter 7 — applications.
 

@@ -1,0 +1,193 @@
+// Package client is the remote mipp.Evaluator: it forwards evaluation
+// requests to a mippd daemon over HTTP and returns the server's DTOs
+// verbatim. Because Client and the in-process mipp.Engine implement the
+// same interface and speak the same versioned wire protocol, callers swap
+// local and remote evaluation without code changes — and the JSON either
+// one produces for a given request is byte-identical.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mipp"
+	"mipp/api"
+)
+
+// Client evaluates against a remote mippd. It is safe for concurrent use.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.http = hc }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8091").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    http.DefaultClient,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// RemoteError is a non-2xx response from the daemon, carrying the decoded
+// error envelope.
+type RemoteError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("mippd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Unwrap maps the remote status back onto the Evaluator sentinel errors, so
+// errors.Is works identically against local and remote evaluators.
+func (e *RemoteError) Unwrap() error {
+	switch e.Status {
+	case http.StatusNotFound:
+		return mipp.ErrUnknownWorkload
+	case http.StatusBadRequest:
+		return mipp.ErrBadRequest
+	}
+	return nil
+}
+
+// call POSTs req as JSON to path (or GETs when req is nil) and decodes the
+// response into resp.
+func (c *Client) call(ctx context.Context, method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("client: encode %s request: %w", path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	if req != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	// Drain to EOF before closing so the transport can reuse the
+	// connection — this client exists for callers issuing queries in
+	// tight loops.
+	defer func() {
+		_, _ = io.Copy(io.Discard, hresp.Body)
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode/100 != 2 {
+		var env api.ErrorResponse
+		msg := hresp.Status
+		if err := json.NewDecoder(hresp.Body).Decode(&env); err == nil && env.Error != "" {
+			msg = env.Error
+		}
+		return &RemoteError{Status: hresp.StatusCode, Message: msg}
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// RegisterProfile implements mipp.Evaluator.
+func (c *Client) RegisterProfile(ctx context.Context, req *api.RegisterProfileRequest) (*api.RegisterProfileResponse, error) {
+	resp := &api.RegisterProfileResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/profiles", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// UploadProfile registers a locally-collected profile under name (empty
+// name defaults to the profile's workload) — sugar over RegisterProfile.
+func (c *Client) UploadProfile(ctx context.Context, name string, p *mipp.Profile) (*api.RegisterProfileResponse, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal profile: %w", err)
+	}
+	return c.RegisterProfile(ctx, &api.RegisterProfileRequest{
+		SchemaVersion: api.SchemaVersion,
+		Name:          name,
+		Profile:       data,
+	})
+}
+
+// Workloads implements mipp.Evaluator.
+func (c *Client) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) {
+	resp := &api.WorkloadsResponse{}
+	if err := c.call(ctx, http.MethodGet, "/v1/workloads", nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// Predict implements mipp.Evaluator.
+func (c *Client) Predict(ctx context.Context, req *api.PredictRequest) (*api.PredictResponse, error) {
+	resp := &api.PredictResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/predict", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// Sweep implements mipp.Evaluator.
+func (c *Client) Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepResponse, error) {
+	resp := &api.SweepResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/sweep", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// Evaluate implements mipp.Evaluator.
+func (c *Client) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error) {
+	resp := &api.BatchResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/evaluate", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// Pareto implements mipp.Evaluator.
+func (c *Client) Pareto(ctx context.Context, req *api.ParetoRequest) (*api.ParetoResponse, error) {
+	resp := &api.ParetoResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/pareto", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+func checkVersion(got int) error {
+	if err := api.CheckVersion(got); err != nil {
+		return fmt.Errorf("client: server response: %w", err)
+	}
+	return nil
+}
+
+// Compile-time check: local and remote evaluation stay interchangeable.
+var _ mipp.Evaluator = (*Client)(nil)

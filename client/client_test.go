@@ -1,0 +1,244 @@
+package client_test
+
+// Client ↔ server round-trip tests: the acceptance criterion that a sweep
+// issued through mipp/client against a running server returns byte-identical
+// JSON to the same sweep run through the in-process mipp.Engine, exercised
+// through the shared mipp.Evaluator interface — plus a concurrent round-trip
+// for the race detector and the error taxonomy over the wire.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+	"mipp/client"
+	"mipp/server"
+)
+
+const testUops = 30_000
+
+// harness is one engine served over loopback HTTP with a client pointed at
+// it: the two Evaluators the equivalence tests compare.
+type harness struct {
+	engine *mipp.Engine
+	remote *client.Client
+}
+
+var harnessOnce struct {
+	sync.Once
+	h   *harness
+	srv *httptest.Server
+	err error
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	harnessOnce.Do(func() {
+		engine := mipp.NewEngine()
+		p, err := mipp.NewProfiler().Profile("mcf", testUops)
+		if err != nil {
+			harnessOnce.err = err
+			return
+		}
+		if err := engine.Register("mcf", p); err != nil {
+			harnessOnce.err = err
+			return
+		}
+		harnessOnce.srv = httptest.NewServer(server.New(engine))
+		harnessOnce.h = &harness{
+			engine: engine,
+			remote: client.New(harnessOnce.srv.URL),
+		}
+	})
+	if harnessOnce.err != nil {
+		t.Fatal(harnessOnce.err)
+	}
+	return harnessOnce.h
+}
+
+// evaluators returns both sides of the interface under their shared type.
+func (h *harness) evaluators() map[string]mipp.Evaluator {
+	return map[string]mipp.Evaluator{"local": h.engine, "remote": h.remote}
+}
+
+// TestSweepByteIdentical is the acceptance criterion: same sweep, two
+// evaluators, identical bytes.
+func TestSweepByteIdentical(t *testing.T) {
+	h := newHarness(t)
+	req := &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         &api.SpaceSpec{Kind: "design", Stride: 13},
+		Configs:       []api.ConfigSpec{{Name: "reference"}, {Name: "lowpower"}},
+	}
+	got := map[string][]byte{}
+	for name, ev := range h.evaluators() {
+		resp, err := ev.Sweep(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s sweep: %v", name, err)
+		}
+		if len(resp.Results) != 21 || len(resp.Errors) != 0 {
+			t.Fatalf("%s sweep: %d results, %d errors", name, len(resp.Results), len(resp.Errors))
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[name] = data
+	}
+	if string(got["local"]) != string(got["remote"]) {
+		t.Errorf("local and remote sweep JSON differ:\nlocal:  %.300s\nremote: %.300s", got["local"], got["remote"])
+	}
+}
+
+// TestEvaluatorParity runs every query type through both evaluators and
+// compares the marshaled responses.
+func TestEvaluatorParity(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	capW := 18.0
+	queries := []struct {
+		name string
+		call func(ev mipp.Evaluator) (any, error)
+	}{
+		{"workloads", func(ev mipp.Evaluator) (any, error) { return ev.Workloads(ctx) }},
+		{"predict", func(ev mipp.Evaluator) (any, error) {
+			return ev.Predict(ctx, &api.PredictRequest{SchemaVersion: api.SchemaVersion,
+				Workload: "mcf", Config: api.ConfigSpec{Name: "reference"}, MicroCPI: true})
+		}},
+		{"evaluate", func(ev mipp.Evaluator) (any, error) {
+			return ev.Evaluate(ctx, &api.BatchRequest{SchemaVersion: api.SchemaVersion,
+				Workloads: []string{"mcf", "mcf"}, Space: &api.SpaceSpec{Kind: "dvfs"}})
+		}},
+		{"pareto", func(ev mipp.Evaluator) (any, error) {
+			return ev.Pareto(ctx, &api.ParetoRequest{SchemaVersion: api.SchemaVersion,
+				Workload: "mcf", Space: &api.SpaceSpec{Kind: "design", Stride: 27}, CapWatts: &capW})
+		}},
+	}
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			var blobs [][]byte
+			for name, ev := range map[string]mipp.Evaluator{"local": h.engine, "remote": h.remote} {
+				resp, err := q.call(ev)
+				if err != nil {
+					t.Fatalf("%s %s: %v", name, q.name, err)
+				}
+				data, err := json.Marshal(resp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blobs = append(blobs, data)
+			}
+			if string(blobs[0]) != string(blobs[1]) {
+				t.Errorf("%s responses differ:\n%.300s\n%.300s", q.name, blobs[0], blobs[1])
+			}
+		})
+	}
+}
+
+// TestConcurrentRoundTrip hammers both evaluators from many goroutines —
+// meaningful under -race: it exercises the predictor cache, the worker
+// pool and the HTTP path concurrently.
+func TestConcurrentRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		for name, ev := range h.evaluators() {
+			wg.Add(1)
+			go func(i int, name string, ev mipp.Evaluator) {
+				defer wg.Done()
+				spec := api.PredictorSpec{}
+				if i%2 == 1 {
+					spec.MLPMode = "cold-miss"
+				}
+				resp, err := ev.Sweep(ctx, &api.SweepRequest{
+					SchemaVersion: api.SchemaVersion,
+					Workload:      "mcf",
+					Space:         &api.SpaceSpec{Kind: "design", Stride: 61},
+					Options:       spec,
+					Workers:       2,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Results) == 0 || resp.Results[0] == nil {
+					errs <- errors.New(name + ": empty sweep result")
+				}
+			}(i, name, ev)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRemoteErrors checks the wire error taxonomy maps back onto the
+// Evaluator sentinels, so errors.Is-based callers are evaluator-agnostic.
+func TestRemoteErrors(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+
+	_, err := h.remote.Predict(ctx, &api.PredictRequest{SchemaVersion: api.SchemaVersion,
+		Workload: "nope", Config: api.ConfigSpec{Name: "reference"}})
+	if !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("remote unknown-workload error = %v, want ErrUnknownWorkload", err)
+	}
+	var re *client.RemoteError
+	if !errors.As(err, &re) || re.Status != 404 {
+		t.Errorf("error %v is not a 404 RemoteError", err)
+	}
+
+	_, err = h.remote.Predict(ctx, &api.PredictRequest{SchemaVersion: 99,
+		Workload: "mcf", Config: api.ConfigSpec{Name: "reference"}})
+	if !errors.Is(err, mipp.ErrBadRequest) {
+		t.Errorf("remote version-mismatch error = %v, want ErrBadRequest", err)
+	}
+
+	_, err = client.New("http://127.0.0.1:1").Workloads(ctx)
+	if err == nil {
+		t.Error("unreachable server did not error")
+	}
+}
+
+// TestUploadProfile registers a locally-collected profile remotely, then
+// predicts through both evaluators and compares.
+func TestUploadProfile(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	p, err := mipp.NewProfiler().Profile("libquantum", testUops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.remote.UploadProfile(ctx, "lq", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "lq" || resp.Workload != "libquantum" {
+		t.Errorf("upload response = %+v", resp)
+	}
+	req := &api.PredictRequest{SchemaVersion: api.SchemaVersion, Workload: "lq",
+		Config: api.ConfigSpec{Name: "reference"}}
+	local, err := h.engine.Predict(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := h.remote.Predict(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(local)
+	b, _ := json.Marshal(remote)
+	if string(a) != string(b) {
+		t.Errorf("uploaded-profile predictions differ:\n%s\n%s", a, b)
+	}
+}

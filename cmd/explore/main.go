@@ -1,12 +1,14 @@
 // Command explore runs the headline application of the framework: full
 // design-space exploration (Chapter 7). It profiles each workload once,
-// sweeps the analytical model over the 243-point design space on all cores,
-// prints the predicted Pareto frontier and — optionally — validates the
-// pruning against the cycle-level simulator.
+// registers it with an evaluation Engine — the same registry + predictor
+// cache mippd serves from — sweeps the analytical model over the 243-point
+// design space on all cores, prints the predicted Pareto frontier and —
+// optionally — validates the pruning against the cycle-level simulator.
 //
 // Usage:
 //
 //	explore -workload bzip2                  # model-only, full 243 points
+//	explore -workload bzip2 -csv out.csv     # + per-config CSV export
 //	explore -workload bzip2 -validate -k 13  # + simulator on a 19-point sample
 package main
 
@@ -15,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mipp"
+	"mipp/api"
 	"mipp/arch"
 )
 
@@ -29,6 +33,7 @@ func main() {
 		n        = flag.Int("n", 200_000, "trace length in micro-ops")
 		k        = flag.Int("k", 1, "design-space stride (1 = all 243 configs)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "write per-config results as CSV to this file (- for stdout)")
 		validate = flag.Bool("validate", false, "simulate the sampled space and score the pruning")
 	)
 	flag.Parse()
@@ -40,7 +45,14 @@ func main() {
 	t0 := time.Now()
 	profile := mipp.NewProfiler().ProfileStream(stream)
 	profTime := time.Since(t0)
-	pred, err := mipp.NewPredictor(profile)
+
+	// The engine holds the profile and compiles the predictor on first
+	// use; a long-lived process (or mippd) reuses both across queries.
+	engine := mipp.NewEngine()
+	if err := engine.Register(*name, profile); err != nil {
+		log.Fatal(err)
+	}
+	pred, err := engine.Predictor(*name, api.PredictorSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,14 +68,31 @@ func main() {
 		log.Fatal(err)
 	}
 	modelTime := time.Since(t0)
-	predicted := mipp.Points(results)
 
 	fmt.Printf("%s: profiled %d uops in %v; swept %d configs in %v (%.1f configs/s)\n",
 		*name, profile.TotalUops(), profTime.Round(time.Millisecond), len(configs),
 		modelTime.Round(time.Millisecond), float64(len(configs))/modelTime.Seconds())
 	fmt.Println("predicted Pareto frontier (time vs power):")
-	for _, pt := range mipp.ParetoFront(predicted) {
+	for _, pt := range results.ParetoFront() {
 		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", pt.Config, pt.Time, pt.Power)
+	}
+
+	if *csvPath != "" {
+		out := os.Stdout
+		if *csvPath != "-" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := results.WriteCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		if *csvPath != "-" {
+			fmt.Printf("wrote %d rows to %s\n", len(results), *csvPath)
+		}
 	}
 
 	if !*validate {
@@ -84,7 +113,7 @@ func main() {
 		})
 	}
 	simTime := time.Since(t0)
-	met := mipp.CompareFronts(predicted, actual)
+	met := mipp.CompareFronts(results.Points(), actual)
 	fmt.Printf("validation: simulated %d configs in %v (model speedup %.0fx)\n",
 		len(configs), simTime.Round(time.Millisecond),
 		simTime.Seconds()/modelTime.Seconds())

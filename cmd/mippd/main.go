@@ -1,0 +1,135 @@
+// Command mippd serves the analytical model over HTTP: an Engine holding
+// named workload profiles behind the versioned /v1 JSON protocol of
+// mipp/api. Profile once — here at boot, via cmd/aip files, or through
+// POST /v1/profiles — then answer (workload, config) queries in
+// microseconds from any number of clients.
+//
+// Usage:
+//
+//	mippd -addr :8091 -preload mcf,gcc -n 200000
+//	mippd -profiles ./profiles            # load every cmd/aip *.json in a dir
+//
+// Then, from any HTTP client (see mipp/client for the Go one):
+//
+//	curl localhost:8091/healthz
+//	curl localhost:8091/v1/workloads
+//	curl -d '{"schema_version":1,"workload":"mcf","config":{"name":"reference"}}' \
+//	     localhost:8091/v1/predict
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"mipp"
+	"mipp/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("mippd: ")
+	var (
+		addr     = flag.String("addr", ":8091", "listen address")
+		preload  = flag.String("preload", "", "comma-separated built-in workloads to profile at boot")
+		n        = flag.Int("n", 200_000, "trace length in micro-ops for -preload profiling")
+		profiles = flag.String("profiles", "", "directory of profile JSON files (cmd/aip output) to load at boot")
+		workers  = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var engineOpts []mipp.EngineOption
+	if *workers > 0 {
+		engineOpts = append(engineOpts, mipp.WithEngineWorkers(*workers))
+	}
+	engine := mipp.NewEngine(engineOpts...)
+	if err := boot(engine, *preload, *n, *profiles); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine, server.WithLogger(log.Default())),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d workload(s) on %s", len(engine.WorkloadNames()), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("bye")
+}
+
+// boot fills the engine's registry from the -preload and -profiles flags.
+func boot(engine *mipp.Engine, preload string, n int, dir string) error {
+	if preload != "" {
+		profiler := mipp.NewProfiler()
+		for _, name := range strings.Split(preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			t0 := time.Now()
+			p, err := profiler.Profile(name, n)
+			if err != nil {
+				return fmt.Errorf("preload %s: %w", name, err)
+			}
+			if err := engine.Register(name, p); err != nil {
+				return fmt.Errorf("preload %s: %w", name, err)
+			}
+			log.Printf("profiled %s (%d uops) in %v", name, p.TotalUops(), time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if dir != "" {
+		files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			p, err := mipp.LoadProfile(f)
+			if err != nil {
+				return fmt.Errorf("load %s: %w", f, err)
+			}
+			// Register under the file's base name: two profiles of the
+			// same workload (e.g. different trace lengths) stay distinct
+			// instead of silently overwriting each other.
+			name := strings.TrimSuffix(filepath.Base(f), ".json")
+			if err := engine.Register(name, p); err != nil {
+				return fmt.Errorf("load %s: %w", f, err)
+			}
+			log.Printf("loaded %s as %q (workload %s, %d uops)", f, name, p.Workload(), p.TotalUops())
+		}
+	}
+	return nil
+}

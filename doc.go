@@ -12,9 +12,18 @@
 //     microseconds, returning a Result that bundles cycles, the CPI stack,
 //     activity factors and the power stack.
 //   - Sweep fans a Predictor out over many configurations on a worker pool
-//     with deterministic ordering and context cancellation; ParetoFront,
-//     BestUnderPowerCap, BestByED2P and CompareFronts turn the results into
-//     design-space decisions (Chapter 7).
+//     with deterministic ordering and context cancellation, returning
+//     Results (Points/Best*/WriteCSV); ParetoFront, BestUnderPowerCap,
+//     BestByED2P and CompareFronts turn the results into design-space
+//     decisions (Chapter 7).
+//   - Engine turns the library into a servable system: a concurrency-safe
+//     registry of named Profiles that lazily compiles and caches one
+//     Predictor per (workload, option set) and answers batched
+//     workloads × configs requests (Evaluate) expressed in the versioned
+//     wire DTOs of mipp/api. Engine implements Evaluator; mipp/client
+//     implements the same interface against a remote mippd daemon
+//     (mipp/server + cmd/mippd), so in-process and over-the-wire
+//     evaluation are interchangeable and byte-identical.
 //
 // Processor descriptions live in mipp/arch (the Table 6.1 reference core,
 // the 243-point design space of Table 6.3, DVFS operating points), and

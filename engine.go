@@ -1,0 +1,543 @@
+package mipp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mipp/api"
+	"mipp/internal/dse"
+	"mipp/internal/power"
+)
+
+// Engine is the in-process Evaluator: a concurrency-safe registry of named
+// workload profiles that lazily compiles and caches one Predictor per
+// (workload, option set) and fans batched evaluation requests out over the
+// same worker pool Sweep uses.
+//
+// Profiling is the expensive step; an Engine amortizes it across millions
+// of queries. Register each workload once (directly, or through
+// RegisterProfile requests), then issue Predict/Sweep/Evaluate/Pareto
+// requests from any number of goroutines. Re-registering a name replaces
+// its profile and invalidates every predictor cached for it.
+type Engine struct {
+	workers int
+
+	mu         sync.RWMutex
+	profiles   map[string]*Profile
+	predictors map[predictorKey]*predictorEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type predictorKey struct {
+	workload string
+	options  string // api.PredictorSpec.Key()
+}
+
+// predictorEntry compiles lazily: the registry holds the entry under a
+// short-lived lock while the (possibly slow) compile runs inside the
+// entry's own once, so concurrent requests for the same key share one
+// compile and requests for other keys never wait on it. Every path —
+// creator and cache hits alike — runs once.Do(compile): whichever caller
+// arrives first does the work, the rest block until it is done.
+type predictorEntry struct {
+	once    sync.Once
+	compile func()
+	pd      *Predictor
+	err     error
+}
+
+// EngineOption customizes an Engine.
+type EngineOption func(*Engine)
+
+// WithEngineWorkers sets the default worker-pool size for batched requests
+// that do not specify their own (default GOMAXPROCS).
+func WithEngineWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine returns an empty engine ready for Register.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		workers:    runtime.GOMAXPROCS(0),
+		profiles:   make(map[string]*Profile),
+		predictors: make(map[predictorKey]*predictorEntry),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Register installs profile p under name (empty name defaults to the
+// profile's workload name). Re-registering a name replaces the profile and
+// drops every predictor cached for it.
+func (e *Engine) Register(name string, p *Profile) error {
+	if p == nil || p.raw == nil {
+		return fmt.Errorf("mipp: Register(%q): nil or empty profile", name)
+	}
+	if name == "" {
+		name = p.Workload()
+	}
+	if name == "" {
+		return fmt.Errorf("mipp: Register: profile has no workload name and none was given")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.profiles[name] = p
+	e.invalidateLocked(name)
+	return nil
+}
+
+// Remove drops a registered profile and its cached predictors, reporting
+// whether the name was registered.
+func (e *Engine) Remove(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.profiles[name]
+	delete(e.profiles, name)
+	e.invalidateLocked(name)
+	return ok
+}
+
+func (e *Engine) invalidateLocked(name string) {
+	for k := range e.predictors {
+		if k.workload == name {
+			delete(e.predictors, k)
+		}
+	}
+}
+
+// Profile returns the profile registered under name.
+func (e *Engine) Profile(name string) (*Profile, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.profiles[name]
+	return p, ok
+}
+
+// WorkloadNames returns the registered profile names, sorted.
+func (e *Engine) WorkloadNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.profiles))
+	for n := range e.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EngineStats snapshots the registry and predictor cache.
+type EngineStats struct {
+	// Profiles is the number of registered workload profiles.
+	Profiles int
+	// CachedPredictors is the number of compiled (workload, option set)
+	// predictors currently cached.
+	CachedPredictors int
+	// CacheHits and CacheMisses count predictor-cache lookups since the
+	// engine was created; invalidated entries count as new misses when
+	// recompiled.
+	CacheHits, CacheMisses uint64
+}
+
+// Stats returns current registry and cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return EngineStats{
+		Profiles:         len(e.profiles),
+		CachedPredictors: len(e.predictors),
+		CacheHits:        e.hits.Load(),
+		CacheMisses:      e.misses.Load(),
+	}
+}
+
+// predictorOptions lowers a wire spec to the façade's functional options.
+// Unknown names were rejected by spec.Validate; this switch only needs the
+// accepted vocabulary.
+func predictorOptions(spec api.PredictorSpec) ([]PredictorOption, error) {
+	var opts []PredictorOption
+	switch spec.MLPMode {
+	case "", "stride":
+		// Default.
+	case "cold-miss":
+		opts = append(opts, WithMLPMode(MLPColdMiss))
+	case "none":
+		opts = append(opts, WithMLPMode(MLPNone))
+	default:
+		return nil, fmt.Errorf("%w: unknown mlp_mode %q", ErrBadRequest, spec.MLPMode)
+	}
+	switch spec.DispatchModel {
+	case "", "full":
+	case "instructions":
+		opts = append(opts, WithDispatchModel(DispatchInstructions))
+	case "uops":
+		opts = append(opts, WithDispatchModel(DispatchUops))
+	case "critical":
+		opts = append(opts, WithDispatchModel(DispatchCritical))
+	default:
+		return nil, fmt.Errorf("%w: unknown dispatch_model %q", ErrBadRequest, spec.DispatchModel)
+	}
+	if spec.Combined {
+		opts = append(opts, WithCombinedEvaluation())
+	}
+	if spec.BranchMissRate != nil {
+		opts = append(opts, WithBranchMissRate(*spec.BranchMissRate))
+	}
+	if spec.NoLLCChain {
+		opts = append(opts, WithoutLLCChain())
+	}
+	if spec.NoBusQueue {
+		opts = append(opts, WithoutBusQueue())
+	}
+	if spec.Prefetcher != nil {
+		opts = append(opts, WithPrefetcher(*spec.Prefetcher))
+	}
+	return opts, nil
+}
+
+// Predictor returns the cached predictor for (workload, spec), compiling it
+// on first use. Concurrent callers with the same key share one compile.
+func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	key := predictorKey{workload: workload, options: spec.Key()}
+
+	e.mu.RLock()
+	entry, ok := e.predictors[key]
+	profile := e.profiles[workload]
+	e.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+		entry.once.Do(entry.compile)
+		return entry.pd, entry.err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, workload, e.WorkloadNames())
+	}
+
+	e.mu.Lock()
+	// Re-check under the write lock: another goroutine may have inserted
+	// the entry, or the profile may have been replaced/removed.
+	if entry, ok = e.predictors[key]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		entry.once.Do(entry.compile)
+		return entry.pd, entry.err
+	}
+	profile, ok = e.profiles[workload]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, workload, e.WorkloadNames())
+	}
+	entry = &predictorEntry{}
+	entry.compile = func() {
+		opts, err := predictorOptions(spec)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.pd, entry.err = NewPredictor(profile, opts...)
+	}
+	e.predictors[key] = entry
+	e.mu.Unlock()
+
+	e.misses.Add(1)
+	entry.once.Do(entry.compile)
+	return entry.pd, entry.err
+}
+
+// apiResult lowers a native prediction to the wire DTO, computing every
+// derived metric so clients stay model-free.
+func apiResult(r *Result, withMicroCPI bool) *api.Result {
+	ar := &api.Result{
+		Workload:     r.Workload,
+		Config:       r.Config,
+		FrequencyGHz: r.FrequencyGHz,
+		Cycles:       r.Cycles,
+		Uops:         r.Uops,
+		Instructions: r.Instructions,
+		CPI:          r.CPI(),
+		TimeSeconds:  r.TimeSeconds(),
+		CPIStack: api.CPIStack{
+			Base:   r.Stack.Cycles[CPIBase],
+			Branch: r.Stack.Cycles[CPIBranch],
+			ICache: r.Stack.Cycles[CPIICache],
+			LLCHit: r.Stack.Cycles[CPILLCHit],
+			DRAM:   r.Stack.Cycles[CPIDRAM],
+		},
+		Power: api.PowerStack{
+			Static: r.Power.Watts[power.Static],
+			Core:   r.Power.Watts[power.CoreDyn],
+			FU:     r.Power.Watts[power.FUDyn],
+			Cache:  r.Power.Watts[power.CacheDyn],
+			DRAM:   r.Power.Watts[power.DRAMDyn],
+			BPred:  r.Power.Watts[power.BPredDyn],
+		},
+		Watts:          r.Watts(),
+		EnergyJoules:   r.EnergyJoules(),
+		EDP:            r.EDP(),
+		ED2P:           r.ED2P(),
+		Deff:           r.Deff,
+		MLP:            r.MLP,
+		BranchMissRate: r.BranchMissRate,
+	}
+	if withMicroCPI {
+		ar.MicroCPI = append([]float64(nil), r.MicroCPI...)
+	}
+	return ar
+}
+
+// RegisterProfile implements Evaluator: install an inline profile envelope,
+// or synthesize and profile a built-in workload.
+func (e *Engine) RegisterProfile(ctx context.Context, req *api.RegisterProfileRequest) (*api.RegisterProfileResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var p *Profile
+	if len(req.Profile) > 0 {
+		p = &Profile{}
+		if err := json.Unmarshal(req.Profile, p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		p, err = NewProfiler(WithSeed(req.Seed)).Profile(req.Workload, req.Uops)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	name := req.Name
+	if name == "" {
+		name = p.Workload()
+	}
+	if err := e.Register(name, p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &api.RegisterProfileResponse{
+		SchemaVersion: api.SchemaVersion,
+		Name:          name,
+		Workload:      p.Workload(),
+		Uops:          p.TotalUops(),
+	}, nil
+}
+
+// Workloads implements Evaluator.
+func (e *Engine) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) {
+	e.mu.RLock()
+	infos := make([]api.WorkloadInfo, 0, len(e.profiles))
+	for name, p := range e.profiles {
+		infos = append(infos, api.WorkloadInfo{
+			Name:         name,
+			Workload:     p.Workload(),
+			Uops:         p.TotalUops(),
+			Instructions: p.TotalInstructions(),
+			Entropy:      p.Entropy(),
+			MicroTraces:  p.MicroTraces(),
+		})
+	}
+	e.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return &api.WorkloadsResponse{SchemaVersion: api.SchemaVersion, Workloads: infos}, nil
+}
+
+// Predict implements Evaluator.
+func (e *Engine) Predict(ctx context.Context, req *api.PredictRequest) (*api.PredictResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	pd, err := e.Predictor(req.Workload, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := pd.Predict(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &api.PredictResponse{
+		SchemaVersion: api.SchemaVersion,
+		Result:        apiResult(res, req.MicroCPI),
+	}, nil
+}
+
+// sweepOne fans one workload out over configs on the shared pool, reporting
+// per-config failures instead of aborting the batch.
+func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Config, spec api.PredictorSpec, workers int) ([]*api.Result, []api.ItemError, error) {
+	pd, err := e.Predictor(workload, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if workers <= 0 {
+		workers = e.workers
+	}
+	results := make([]*api.Result, len(configs))
+	errs := make([]error, len(configs))
+	runPool(ctx, len(configs), workers, func(i int) {
+		res, err := pd.Predict(configs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = apiResult(res, false)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var itemErrs []api.ItemError
+	for i, err := range errs {
+		if err != nil {
+			name := ""
+			if configs[i] != nil {
+				name = configs[i].Name
+			}
+			itemErrs = append(itemErrs, api.ItemError{Index: i, Config: name, Error: err.Error()})
+		}
+	}
+	return results, itemErrs, nil
+}
+
+// Sweep implements Evaluator.
+func (e *Engine) Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	configs, err := api.ExpandConfigs(req.Configs, req.Space)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	results, itemErrs, err := e.sweepOne(ctx, req.Workload, configs, req.Options, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &api.SweepResponse{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      req.Workload,
+		Results:       results,
+		Errors:        itemErrs,
+	}, nil
+}
+
+// Evaluate implements Evaluator: the full workloads × configs cross product
+// on one worker pool, items in row-major order (all configs of the first
+// workload, then the second, ...). Per-item failures — including unknown
+// workloads — land in the item's Error field; only request-level problems
+// (bad version, no configs, cancellation) fail the whole batch.
+func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	configs, err := api.ExpandConfigs(req.Configs, req.Space)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = e.workers
+	}
+
+	// Compile (or fetch) every workload's predictor up front — on the
+	// pool, so a cold multi-workload batch doesn't serialize its
+	// compiles; duplicate workloads share one compile via the cache.
+	pds := make([]*Predictor, len(req.Workloads))
+	pdErrs := make([]error, len(req.Workloads))
+	runPool(ctx, len(req.Workloads), workers, func(i int) {
+		pds[i], pdErrs[i] = e.Predictor(req.Workloads[i], req.Options)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	items := make([]api.BatchItem, len(req.Workloads)*len(configs))
+	runPool(ctx, len(items), workers, func(i int) {
+		wi, ci := i/len(configs), i%len(configs)
+		item := &items[i]
+		item.Workload = req.Workloads[wi]
+		if configs[ci] != nil {
+			item.Config = configs[ci].Name
+		}
+		if pdErrs[wi] != nil {
+			item.Error = pdErrs[wi].Error()
+			return
+		}
+		res, err := pds[wi].Predict(configs[ci])
+		if err != nil {
+			item.Error = err.Error()
+			return
+		}
+		item.Result = apiResult(res, false)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &api.BatchResponse{SchemaVersion: api.SchemaVersion, Items: items}, nil
+}
+
+// Pareto implements Evaluator.
+func (e *Engine) Pareto(ctx context.Context, req *api.ParetoRequest) (*api.ParetoResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	configs, err := api.ExpandConfigs(req.Configs, req.Space)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	results, itemErrs, err := e.sweepOne(ctx, req.Workload, configs, req.Options, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]dse.Point, 0, len(results))
+	resp := &api.ParetoResponse{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      req.Workload,
+		Errors:        itemErrs,
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		p := dse.Point{Config: r.Config, Time: r.TimeSeconds, Power: r.Watts}
+		points = append(points, p)
+		resp.Points = append(resp.Points, apiPoint(p))
+	}
+	for _, p := range dse.ParetoFront(points) {
+		resp.Front = append(resp.Front, apiPoint(p))
+	}
+	if req.CapWatts != nil {
+		if best, ok := dse.BestUnderPowerCap(points, *req.CapWatts); ok {
+			bp := apiPoint(best)
+			resp.BestUnderCap = &bp
+		}
+	}
+	if best, ok := dse.BestByED2P(points); ok {
+		bp := apiPoint(best)
+		resp.BestByED2P = &bp
+	}
+	return resp, nil
+}
+
+func apiPoint(p dse.Point) api.Point {
+	return api.Point{Config: p.Config, TimeSeconds: p.Time, Watts: p.Power}
+}
+
+// Compile-time check: the in-process engine and the remote client stay
+// interchangeable.
+var _ Evaluator = (*Engine)(nil)

@@ -1,0 +1,403 @@
+package mipp_test
+
+// Engine tests: the profile registry, predictor-cache hits/invalidations,
+// and the batched evaluation semantics (per-item errors, row-major order).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+)
+
+// enginePayload memoizes one profile per workload for the engine and
+// client/server tests, which would otherwise re-profile per test.
+var engineProfiles sync.Map
+
+func engineProfile(t *testing.T, workload string) *mipp.Profile {
+	t.Helper()
+	if p, ok := engineProfiles.Load(workload); ok {
+		return p.(*mipp.Profile)
+	}
+	p := testProfile(t, workload)
+	engineProfiles.Store(workload, p)
+	return p
+}
+
+func newTestEngine(t *testing.T, workloads ...string) *mipp.Engine {
+	t.Helper()
+	e := mipp.NewEngine()
+	for _, w := range workloads {
+		if err := e.Register(w, engineProfile(t, w)); err != nil {
+			t.Fatalf("Register(%s): %v", w, err)
+		}
+	}
+	return e
+}
+
+func TestEngineRegistry(t *testing.T) {
+	e := newTestEngine(t, "gcc", "mcf")
+	if got := e.WorkloadNames(); len(got) != 2 || got[0] != "gcc" || got[1] != "mcf" {
+		t.Errorf("WorkloadNames() = %v, want [gcc mcf]", got)
+	}
+	if _, ok := e.Profile("gcc"); !ok {
+		t.Error("Profile(gcc) not found")
+	}
+	if _, ok := e.Profile("nope"); ok {
+		t.Error("Profile(nope) found")
+	}
+
+	// Empty name defaults to the profile's workload.
+	e2 := mipp.NewEngine()
+	if err := e2.Register("", engineProfile(t, "gcc")); err != nil {
+		t.Fatalf("Register(\"\"): %v", err)
+	}
+	if _, ok := e2.Profile("gcc"); !ok {
+		t.Error("defaulted name not registered")
+	}
+	if err := e2.Register("x", nil); err == nil {
+		t.Error("Register(nil profile) did not error")
+	}
+
+	if !e.Remove("mcf") {
+		t.Error("Remove(mcf) = false")
+	}
+	if e.Remove("mcf") {
+		t.Error("second Remove(mcf) = true")
+	}
+	if _, err := e.Predictor("mcf", api.PredictorSpec{}); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("Predictor(removed) error = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+func TestEnginePredictorCache(t *testing.T) {
+	e := newTestEngine(t, "gcc")
+
+	pd1, err := e.Predictor("gcc", api.PredictorSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 0 || st.CachedPredictors != 1 {
+		t.Errorf("after first compile: %+v", st)
+	}
+
+	// Same options spelled explicitly must hit the same cache entry.
+	pd2, err := e.Predictor("gcc", api.PredictorSpec{MLPMode: "stride", DispatchModel: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd1 != pd2 {
+		t.Error("canonically-equal specs compiled different predictors")
+	}
+	if st := e.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("after spelled-out hit: %+v", st)
+	}
+
+	// A different option set compiles (and caches) separately.
+	pd3, err := e.Predictor("gcc", api.PredictorSpec{MLPMode: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd3 == pd1 {
+		t.Error("different specs shared a predictor")
+	}
+	if st := e.Stats(); st.CacheMisses != 2 || st.CachedPredictors != 2 {
+		t.Errorf("after second compile: %+v", st)
+	}
+
+	// Re-registering the workload invalidates its predictors.
+	if err := e.Register("gcc", engineProfile(t, "gcc")); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CachedPredictors != 0 {
+		t.Errorf("cache not invalidated on re-register: %+v", st)
+	}
+	pd4, err := e.Predictor("gcc", api.PredictorSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd4 == pd1 {
+		t.Error("invalidated predictor served from cache")
+	}
+	if st := e.Stats(); st.CacheMisses != 3 {
+		t.Errorf("recompile not counted as miss: %+v", st)
+	}
+
+	// Unknown option names are rejected as bad requests.
+	if _, err := e.Predictor("gcc", api.PredictorSpec{MLPMode: "psychic"}); !errors.Is(err, mipp.ErrBadRequest) {
+		t.Errorf("bad mlp_mode error = %v, want ErrBadRequest", err)
+	}
+}
+
+// Concurrent first requests for one key must share a single compile and
+// all observe the compiled predictor — never a half-initialized entry
+// (regression test for the once.Do(empty-func) slot-stealing bug).
+func TestEngineConcurrentFirstCompile(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		e := newTestEngine(t, "gcc")
+		const goroutines = 8
+		pds := make([]*mipp.Predictor, goroutines)
+		errs := make([]error, goroutines)
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pds[i], errs[i] = e.Predictor("gcc", api.PredictorSpec{})
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < goroutines; i++ {
+			if errs[i] != nil {
+				t.Fatalf("iter %d goroutine %d: %v", iter, i, errs[i])
+			}
+			if pds[i] == nil {
+				t.Fatalf("iter %d goroutine %d: nil predictor from cache", iter, i)
+			}
+			if pds[i] != pds[0] {
+				t.Fatalf("iter %d: goroutines got different predictors", iter)
+			}
+		}
+		if st := e.Stats(); st.CacheMisses != 1 {
+			t.Fatalf("iter %d: %d compiles for one key, want 1", iter, st.CacheMisses)
+		}
+	}
+}
+
+func TestEnginePredictMatchesDirectPredictor(t *testing.T) {
+	e := newTestEngine(t, "gcc")
+	direct, err := mipp.NewPredictor(engineProfile(t, "gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Predict(arch.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := e.Predict(context.Background(), &api.PredictRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "gcc",
+		Config:        api.ConfigSpec{Name: "reference"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Result
+	if r.Cycles != want.Cycles || r.Watts != want.Watts() || r.CPI != want.CPI() || r.MLP != want.MLP {
+		t.Errorf("engine predict (%v cyc, %v W) != direct (%v cyc, %v W)",
+			r.Cycles, r.Watts, want.Cycles, want.Watts())
+	}
+	if r.CPIStack.Base != want.Stack.Cycles[mipp.CPIBase] || r.CPIStack.DRAM != want.Stack.Cycles[mipp.CPIDRAM] {
+		t.Error("CPI stack mismatch between engine DTO and direct result")
+	}
+	if len(r.MicroCPI) != 0 {
+		t.Error("MicroCPI populated without being requested")
+	}
+
+	withMicro, err := e.Predict(context.Background(), &api.PredictRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "gcc",
+		Config:        api.ConfigSpec{Name: "reference"},
+		MicroCPI:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withMicro.Result.MicroCPI) == 0 {
+		t.Error("MicroCPI empty despite micro_cpi request")
+	}
+
+	// Version and workload errors.
+	if _, err := e.Predict(context.Background(), &api.PredictRequest{SchemaVersion: 99, Workload: "gcc",
+		Config: api.ConfigSpec{Name: "reference"}}); !errors.Is(err, mipp.ErrBadRequest) {
+		t.Errorf("bad version error = %v, want ErrBadRequest", err)
+	}
+	if _, err := e.Predict(context.Background(), &api.PredictRequest{SchemaVersion: api.SchemaVersion,
+		Workload: "nope", Config: api.ConfigSpec{Name: "reference"}}); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("unknown workload error = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+func TestEngineSweepPerItemErrors(t *testing.T) {
+	e := newTestEngine(t, "mcf")
+	bad := arch.Reference()
+	bad.Name = "broken"
+	bad.ROB = 0
+	resp, err := e.Sweep(context.Background(), &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Configs: []api.ConfigSpec{
+			{Name: "reference"},
+			{Config: bad},
+			{Name: "lowpower"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3 (aligned with configs)", len(resp.Results))
+	}
+	if resp.Results[0] == nil || resp.Results[2] == nil {
+		t.Error("good configs missing results")
+	}
+	if resp.Results[1] != nil {
+		t.Error("bad config produced a result")
+	}
+	if len(resp.Errors) != 1 || resp.Errors[0].Index != 1 || resp.Errors[0].Config != "broken" {
+		t.Errorf("Errors = %+v, want one entry at index 1 for broken", resp.Errors)
+	}
+}
+
+func TestEngineEvaluateBatch(t *testing.T) {
+	e := newTestEngine(t, "gcc", "mcf")
+	req := &api.BatchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workloads:     []string{"gcc", "mcf", "unknown"},
+		Configs:       []api.ConfigSpec{{Name: "reference"}, {Name: "lowpower"}},
+	}
+	resp, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 6 {
+		t.Fatalf("got %d items, want 3 workloads × 2 configs = 6", len(resp.Items))
+	}
+	// Row-major: all configs of workloads[0] first.
+	wantOrder := []struct{ w, c string }{
+		{"gcc", "nehalem-ref"}, {"gcc", "low-power"},
+		{"mcf", "nehalem-ref"}, {"mcf", "low-power"},
+		{"unknown", "nehalem-ref"}, {"unknown", "low-power"},
+	}
+	for i, want := range wantOrder {
+		item := resp.Items[i]
+		if item.Workload != want.w || item.Config != want.c {
+			t.Errorf("item %d = (%s, %s), want (%s, %s)", i, item.Workload, item.Config, want.w, want.c)
+		}
+		if want.w == "unknown" {
+			if item.Error == "" || item.Result != nil {
+				t.Errorf("item %d for unknown workload: error %q, result %v", i, item.Error, item.Result)
+			}
+		} else if item.Error != "" || item.Result == nil {
+			t.Errorf("item %d failed: %s", i, item.Error)
+		}
+	}
+
+	// Worker count must not change the answer.
+	for _, workers := range []int{1, 7} {
+		req2 := *req
+		req2.Workers = workers
+		resp2, err := e.Evaluate(context.Background(), &req2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(resp)
+		b, _ := json.Marshal(resp2)
+		if string(a) != string(b) {
+			t.Errorf("batch with %d workers differs from default", workers)
+		}
+	}
+}
+
+func TestEngineParetoDecisions(t *testing.T) {
+	e := newTestEngine(t, "mcf")
+	capW := 1e-9 // nothing fits
+	resp, err := e.Pareto(context.Background(), &api.ParetoRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         &api.SpaceSpec{Kind: "design", Stride: 13},
+		CapWatts:      &capW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 || len(resp.Front) == 0 {
+		t.Fatalf("empty pareto response: %d points, %d front", len(resp.Points), len(resp.Front))
+	}
+	if len(resp.Front) > len(resp.Points) {
+		t.Error("front larger than point set")
+	}
+	if resp.BestUnderCap != nil {
+		t.Errorf("BestUnderCap = %+v under an impossible cap", resp.BestUnderCap)
+	}
+	if resp.BestByED2P == nil {
+		t.Error("BestByED2P missing")
+	}
+	// The front must be non-dominated and time-sorted.
+	for i := 1; i < len(resp.Front); i++ {
+		if resp.Front[i].TimeSeconds < resp.Front[i-1].TimeSeconds {
+			t.Error("front not sorted by time")
+		}
+	}
+}
+
+func TestEngineRegisterProfileRequest(t *testing.T) {
+	e := mipp.NewEngine()
+
+	// Server-side profiling of a built-in workload.
+	resp, err := e.RegisterProfile(context.Background(), &api.RegisterProfileRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "libquantum",
+		Uops:          20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "libquantum" || resp.Uops < 20_000 {
+		t.Errorf("register response = %+v", resp)
+	}
+
+	// Inline profile envelope under a custom name.
+	data, err := json.Marshal(engineProfile(t, "gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := e.RegisterProfile(context.Background(), &api.RegisterProfileRequest{
+		SchemaVersion: api.SchemaVersion,
+		Name:          "gcc-O2",
+		Profile:       data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Name != "gcc-O2" || resp2.Workload != "gcc" {
+		t.Errorf("inline register response = %+v", resp2)
+	}
+	if got := e.WorkloadNames(); strings.Join(got, ",") != "gcc-O2,libquantum" {
+		t.Errorf("WorkloadNames() = %v", got)
+	}
+
+	// Invalid requests.
+	for _, req := range []*api.RegisterProfileRequest{
+		{SchemaVersion: 99, Workload: "gcc", Uops: 1000},
+		{SchemaVersion: api.SchemaVersion},
+		{SchemaVersion: api.SchemaVersion, Workload: "gcc"},
+		{SchemaVersion: api.SchemaVersion, Workload: "no-such-workload", Uops: 1000},
+		{SchemaVersion: api.SchemaVersion, Profile: []byte(`{"schema_version":42}`)},
+	} {
+		if _, err := e.RegisterProfile(context.Background(), req); !errors.Is(err, mipp.ErrBadRequest) {
+			t.Errorf("RegisterProfile(%+v) error = %v, want ErrBadRequest", req, err)
+		}
+	}
+}
+
+func TestEngineSweepCancellation(t *testing.T) {
+	e := newTestEngine(t, "gcc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Sweep(ctx, &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "gcc",
+		Space:         &api.SpaceSpec{Kind: "design"},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+}

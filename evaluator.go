@@ -1,0 +1,50 @@
+package mipp
+
+import (
+	"context"
+	"errors"
+
+	"mipp/api"
+)
+
+// Evaluator is the service surface of the model: everything needed to
+// register workload profiles and answer (workload, configuration)
+// evaluation queries, expressed entirely in the versioned wire DTOs of
+// mipp/api.
+//
+// Two symmetric implementations exist: *Engine evaluates in-process, and
+// mipp/client.Client forwards to a mippd daemon over HTTP. Because both
+// speak the same DTOs, a sweep answered locally and the same sweep answered
+// remotely marshal to byte-identical JSON — callers swap one for the other
+// without code changes.
+type Evaluator interface {
+	// RegisterProfile installs a workload profile: either an inline
+	// versioned profile envelope or a built-in workload profiled
+	// server-side.
+	RegisterProfile(ctx context.Context, req *api.RegisterProfileRequest) (*api.RegisterProfileResponse, error)
+	// Workloads lists the registered profiles, sorted by name.
+	Workloads(ctx context.Context) (*api.WorkloadsResponse, error)
+	// Predict evaluates one (workload, configuration) pair.
+	Predict(ctx context.Context, req *api.PredictRequest) (*api.PredictResponse, error)
+	// Sweep evaluates one workload over many configurations with
+	// per-config error reporting.
+	Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepResponse, error)
+	// Evaluate answers a workloads × configurations batch with per-item
+	// error reporting — the engine's native unit of work.
+	Evaluate(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error)
+	// Pareto sweeps one workload and extracts design decisions: the
+	// Pareto frontier, the fastest design under a power cap, and the
+	// ED²P optimum.
+	Pareto(ctx context.Context, req *api.ParetoRequest) (*api.ParetoResponse, error)
+}
+
+// Errors the service layer maps onto HTTP statuses. Implementations wrap
+// them, so test with errors.Is.
+var (
+	// ErrUnknownWorkload reports a query against a name with no
+	// registered profile (HTTP 404).
+	ErrUnknownWorkload = errors.New("mipp: unknown workload")
+	// ErrBadRequest reports a structurally invalid request: bad schema
+	// version, unresolvable config spec, unknown option name (HTTP 400).
+	ErrBadRequest = errors.New("mipp: bad request")
+)

@@ -1,0 +1,87 @@
+// The service layer end to end, in one process: profile a workload into an
+// Engine, serve it over HTTP exactly as cmd/mippd does, and run the same
+// design-space query twice — once in-process and once through the remote
+// client — against the shared mipp.Evaluator interface. The two answers
+// marshal to byte-identical JSON, which is the whole point: callers pick
+// local or remote evaluation by swapping one value.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"mipp"
+	"mipp/api"
+	"mipp/client"
+	"mipp/server"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Profile once, register with an engine.
+	profile, err := mipp.NewProfiler().Profile("libquantum", 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := mipp.NewEngine()
+	if err := engine.Register("libquantum", profile); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the engine on a loopback port, as mippd would.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(engine)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	remote := client.New("http://" + ln.Addr().String())
+
+	// One query, two evaluators.
+	req := &api.ParetoRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "libquantum",
+		Space:         &api.SpaceSpec{Kind: "design", Stride: 13},
+		CapWatts:      ptr(18.0),
+	}
+	local, err := run(ctx, engine, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	overWire, err := run(ctx, remote, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local == remote: %v\n", bytes.Equal(local, overWire))
+
+	var resp api.ParetoResponse
+	if err := json.Unmarshal(local, &resp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swept %d designs; Pareto frontier:\n", len(resp.Points))
+	for _, p := range resp.Front {
+		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", p.Config, p.TimeSeconds, p.Watts)
+	}
+	if resp.BestUnderCap != nil {
+		fmt.Printf("fastest under 18 W: %s\n", resp.BestUnderCap.Config)
+	}
+}
+
+// run issues the query through any evaluator — in-process engine or remote
+// client — and returns the response JSON.
+func run(ctx context.Context, ev mipp.Evaluator, req *api.ParetoRequest) ([]byte, error) {
+	resp, err := ev.Pareto(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -43,14 +43,13 @@ func main() {
 	fmt.Printf("swept %d configs on %d workers in %v\n",
 		len(configs), runtime.GOMAXPROCS(0), time.Since(t0).Round(time.Microsecond))
 
-	points := mipp.Points(results)
 	fmt.Println("Pareto frontier (time vs power):")
-	for _, p := range mipp.ParetoFront(points) {
+	for _, p := range results.ParetoFront() {
 		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", p.Config, p.Time, p.Power)
 	}
 
 	for _, capW := range []float64{12, 18, 25} {
-		if best, ok := mipp.BestUnderPowerCap(points, capW); ok {
+		if best, ok := results.BestUnderPowerCap(capW); ok {
 			fmt.Printf("fastest under %4.0f W: %-36s time=%.6fs power=%5.1fW\n",
 				capW, best.Config, best.Time, best.Power)
 		} else {

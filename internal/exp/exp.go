@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"mipp"
+	"mipp/api"
 	"mipp/arch"
 	"mipp/internal/config"
 	"mipp/internal/core"
@@ -21,8 +22,11 @@ import (
 	"mipp/internal/workload"
 )
 
-// Suite memoizes workload streams, profiles, predictors and simulation
-// results so the individual experiments can share them.
+// Suite memoizes workload streams, profiles and simulation results so the
+// individual experiments can share them. Profiles and default-option
+// predictors live in a mipp.Engine — the same registry + predictor cache
+// the mippd service runs on — so the paper's tables exercise the serving
+// path.
 type Suite struct {
 	// N is the trace length in uops for reference-architecture
 	// experiments; design-space sweeps use N/3.
@@ -30,12 +34,13 @@ type Suite struct {
 	// Workloads is the benchmark subset to run (default: all 29).
 	Workloads []string
 
-	mu         sync.Mutex
-	streams    map[string]*trace.Stream
-	profiles   map[string]*profiler.Profile
-	sims       map[string]*ooo.Result
-	models     map[string]*core.Model
-	predictors map[string]*mipp.Predictor
+	engine *mipp.Engine
+
+	mu       sync.Mutex
+	streams  map[string]*trace.Stream
+	profiles map[string]*profiler.Profile
+	sims     map[string]*ooo.Result
+	models   map[string]*core.Model
 }
 
 // NewSuite returns a Suite with the given trace length (0 = 300000).
@@ -44,15 +49,19 @@ func NewSuite(n int) *Suite {
 		n = 300_000
 	}
 	return &Suite{
-		N:          n,
-		Workloads:  workload.Names(),
-		streams:    make(map[string]*trace.Stream),
-		profiles:   make(map[string]*profiler.Profile),
-		sims:       make(map[string]*ooo.Result),
-		models:     make(map[string]*core.Model),
-		predictors: make(map[string]*mipp.Predictor),
+		N:         n,
+		Workloads: workload.Names(),
+		engine:    mipp.NewEngine(),
+		streams:   make(map[string]*trace.Stream),
+		profiles:  make(map[string]*profiler.Profile),
+		sims:      make(map[string]*ooo.Result),
+		models:    make(map[string]*core.Model),
 	}
 }
+
+// Engine exposes the suite's evaluation engine, with every workload touched
+// so far registered under "name/n" keys.
+func (s *Suite) Engine() *mipp.Engine { return s.engine }
 
 // Stream returns the memoized trace of a workload at length n.
 func (s *Suite) Stream(name string, n int) *trace.Stream {
@@ -100,22 +109,29 @@ func (s *Suite) Model(name string, n int) *core.Model {
 	return m
 }
 
-// Predictor returns a memoized public-façade predictor (default options)
-// for a workload at length n, built over the same memoized profile the rest
-// of the harness uses. Evaluations through it exercise the exact code path
-// external mipp users call.
+// Predictor returns the engine-cached public-façade predictor (default
+// options) for a workload at length n, registering the memoized profile
+// with the engine on first use. Evaluations through it exercise the exact
+// code path external mipp users — and the mippd service — call.
 func (s *Suite) Predictor(name string, n int) *mipp.Predictor {
 	key := fmt.Sprintf("%s/%d", name, n)
+	// Check-then-register under the suite lock so concurrent callers
+	// cannot double-register (a re-register would invalidate the
+	// just-compiled predictor). Profile() takes s.mu itself, so the
+	// profile is materialized before the critical section.
+	p := s.Profile(name, n)
 	s.mu.Lock()
-	if pd, ok := s.predictors[key]; ok {
-		s.mu.Unlock()
-		return pd
+	if _, ok := s.engine.Profile(key); !ok {
+		if err := s.engine.Register(key, mipp.WrapProfile(p)); err != nil {
+			s.mu.Unlock()
+			panic(fmt.Sprintf("exp: register %s: %v", key, err))
+		}
 	}
 	s.mu.Unlock()
-	pd := s.PredictorWith(name, n)
-	s.mu.Lock()
-	s.predictors[key] = pd
-	s.mu.Unlock()
+	pd, err := s.engine.Predictor(key, api.PredictorSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("exp: predictor %s: %v", key, err))
+	}
 	return pd
 }
 

@@ -1,0 +1,69 @@
+package mipp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Results is a batch of predictions, as returned by Sweep. It forwards the
+// design-space helpers so callers go straight from a sweep to a decision,
+// and exports to CSV so commands and examples stop hand-rolling output
+// loops. Nil entries (failed items in partially-failed batches) are
+// skipped everywhere.
+type Results []*Result
+
+// Points projects the results onto the (time, power) plane.
+func (rs Results) Points() []Point { return Points(rs) }
+
+// ParetoFront returns the non-dominated subset of the results' points,
+// sorted by time.
+func (rs Results) ParetoFront() []Point { return ParetoFront(rs.Points()) }
+
+// BestUnderPowerCap returns the fastest result whose power does not exceed
+// capWatts; ok is false when nothing fits.
+func (rs Results) BestUnderPowerCap(capWatts float64) (Point, bool) {
+	return BestUnderPowerCap(rs.Points(), capWatts)
+}
+
+// BestByED2P returns the result minimizing energy-delay-squared, the DVFS
+// selection metric of §7.3.
+func (rs Results) BestByED2P() (Point, bool) { return BestByED2P(rs.Points()) }
+
+// csvHeader names the WriteCSV columns, one row per result.
+var csvHeader = []string{
+	"workload", "config", "frequency_ghz",
+	"cycles", "instructions", "uops", "cpi", "time_seconds",
+	"cpi_base", "cpi_branch", "cpi_icache", "cpi_llc", "cpi_dram",
+	"watts", "energy_joules", "edp", "ed2p",
+	"deff", "mlp", "branch_miss_rate",
+}
+
+// WriteCSV writes one header row plus one row per (non-nil) result: names,
+// cycle and CPI-stack columns, power and the derived energy metrics.
+func (rs Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("mipp: write csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		row := []string{
+			r.Workload, r.Config, f(r.FrequencyGHz),
+			f(r.Cycles), f(r.Instructions), f(r.Uops), f(r.CPI()), f(r.TimeSeconds()),
+			f(r.Stack.Cycles[CPIBase]), f(r.Stack.Cycles[CPIBranch]), f(r.Stack.Cycles[CPIICache]),
+			f(r.Stack.Cycles[CPILLCHit]), f(r.Stack.Cycles[CPIDRAM]),
+			f(r.Watts()), f(r.EnergyJoules()), f(r.EDP()), f(r.ED2P()),
+			f(r.Deff), f(r.MLP), f(r.BranchMissRate),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("mipp: write csv row for %s/%s: %w", r.Workload, r.Config, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,84 @@
+package mipp_test
+
+// Tests for the Results convenience type: helper forwarding and the CSV
+// exporter.
+
+import (
+	"context"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+)
+
+func TestResultsHelpersAndCSV(t *testing.T) {
+	pred, err := mipp.NewPredictor(testProfile(t, "h264ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := arch.DesignSpaceSample(27)
+	results, err := mipp.Sweep(context.Background(), pred, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forwarders agree with the package-level helpers.
+	points := results.Points()
+	if len(points) != len(configs) {
+		t.Fatalf("Points: %d, want %d", len(points), len(configs))
+	}
+	if got, want := results.ParetoFront(), mipp.ParetoFront(points); len(got) != len(want) {
+		t.Errorf("ParetoFront forwarding: %d vs %d points", len(got), len(want))
+	}
+	if got, ok := results.BestByED2P(); !ok {
+		t.Error("BestByED2P found nothing")
+	} else if want, _ := mipp.BestByED2P(points); got != want {
+		t.Errorf("BestByED2P forwarding: %+v != %+v", got, want)
+	}
+	if _, ok := results.BestUnderPowerCap(0); ok {
+		t.Error("BestUnderPowerCap(0) found a point")
+	}
+
+	// CSV export: header + one row per result, nil entries skipped,
+	// numeric fields parseable and consistent with the results.
+	withNil := append(mipp.Results{nil}, results...)
+	var buf strings.Builder
+	if err := withNil.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+	if len(rows) != 1+len(results) {
+		t.Fatalf("CSV has %d rows, want header + %d", len(rows), len(results))
+	}
+	header := rows[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("CSV header missing %q: %v", name, header)
+		return -1
+	}
+	iConfig, iCycles, iWatts := col("config"), col("cycles"), col("watts")
+	for i, r := range results {
+		row := rows[i+1]
+		if row[iConfig] != r.Config {
+			t.Errorf("row %d config = %q, want %q", i, row[iConfig], r.Config)
+		}
+		cycles, err := strconv.ParseFloat(row[iCycles], 64)
+		if err != nil || cycles != r.Cycles {
+			t.Errorf("row %d cycles = %q, want %v", i, row[iCycles], r.Cycles)
+		}
+		watts, err := strconv.ParseFloat(row[iWatts], 64)
+		if err != nil || watts != r.Watts() {
+			t.Errorf("row %d watts = %q, want %v", i, row[iWatts], r.Watts())
+		}
+	}
+}

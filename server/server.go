@@ -1,0 +1,223 @@
+// Package server exposes a mipp.Engine over HTTP: the handler behind the
+// mippd daemon. Every endpoint speaks the versioned JSON DTOs of mipp/api,
+// and mipp/client is its symmetric consumer — a request answered through
+// this handler carries exactly the bytes the in-process engine would have
+// produced.
+//
+// Routes:
+//
+//	POST /v1/profiles   register a profile (inline envelope or built-in workload)
+//	GET  /v1/workloads  list registered profiles
+//	POST /v1/predict    one (workload, config) prediction
+//	POST /v1/sweep      one workload × many configs, per-config errors
+//	POST /v1/evaluate   workloads × configs batch, per-item errors
+//	POST /v1/pareto     sweep + Pareto frontier / power cap / ED²P decisions
+//	GET  /healthz       liveness + registry and cache counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"mipp"
+	"mipp/api"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (profiles for long traces run
+// to tens of MB; design-space sweeps with inline configs are far smaller).
+const DefaultMaxBodyBytes = 256 << 20
+
+// Server is the HTTP front end of an Engine. It is an http.Handler; wire it
+// into any mux or serve it directly.
+type Server struct {
+	engine   *mipp.Engine
+	logger   *log.Logger
+	maxBody  int64
+	started  time.Time
+	handlers http.Handler
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger routes request logs (method, path, status, duration) to l; nil
+// disables request logging.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithMaxBodyBytes caps accepted request bodies.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// New wraps engine in the HTTP service surface.
+func New(engine *mipp.Engine, opts ...Option) *Server {
+	s := &Server{
+		engine:  engine,
+		maxBody: DefaultMaxBodyBytes,
+		started: time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profiles", handleJSON(s, s.engine.RegisterProfile))
+	mux.HandleFunc("POST /v1/predict", handleJSON(s, s.engine.Predict))
+	mux.HandleFunc("POST /v1/sweep", handleJSON(s, s.engine.Sweep))
+	mux.HandleFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
+	mux.HandleFunc("POST /v1/pareto", handleJSON(s, s.engine.Pareto))
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handlers = s.logged(mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handlers.ServeHTTP(w, r)
+}
+
+// statusWriter records the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+// handleJSON adapts one engine method to HTTP: decode the request DTO with
+// unknown-field rejection, call the engine with the request context, map
+// errors onto statuses, and encode the response DTO.
+func handleJSON[Req any, Resp any](s *Server, call func(ctx context.Context, req *Req) (*Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req := new(Req)
+		body := http.MaxBytesReader(w, r.Body, s.maxBody)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if err := drainTrailing(dec); err != nil {
+			writeError(w, decodeStatus(err), err)
+			return
+		}
+		resp, err := call(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// decodeStatus distinguishes "shrink the upload" (413) from "fix the JSON"
+// (400) for body-decoding failures.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// drainTrailing rejects bodies with content after the first JSON value,
+// passing body-limit errors through for the 413 mapping.
+func drainTrailing(dec *json.Decoder) error {
+	_, err := dec.Token()
+	switch {
+	case err == io.EOF:
+		return nil
+	case err == nil:
+		return fmt.Errorf("trailing data after request body")
+	default:
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return err
+		}
+		return fmt.Errorf("trailing data after request body")
+	}
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.engine.Workloads(r.Context())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the /healthz body: liveness plus the engine counters a
+// load balancer or operator wants at a glance.
+type healthResponse struct {
+	SchemaVersion    int    `json:"schema_version"`
+	Status           string `json:"status"`
+	UptimeSeconds    int64  `json:"uptime_seconds"`
+	Workloads        int    `json:"workloads"`
+	CachedPredictors int    `json:"cached_predictors"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, healthResponse{
+		SchemaVersion:    api.SchemaVersion,
+		Status:           "ok",
+		UptimeSeconds:    int64(time.Since(s.started).Seconds()),
+		Workloads:        st.Profiles,
+		CachedPredictors: st.CachedPredictors,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+	})
+}
+
+// statusFor maps service errors onto HTTP statuses via the sentinel errors
+// of the Evaluator contract.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, mipp.ErrUnknownWorkload):
+		return http.StatusNotFound
+	case errors.Is(err, mipp.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or timed out mid-evaluation.
+		return 499
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, api.ErrorResponse{SchemaVersion: api.SchemaVersion, Error: err.Error()})
+}

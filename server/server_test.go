@@ -1,0 +1,259 @@
+package server
+
+// Handler table tests: golden JSON for the error envelopes, malformed-body
+// and version-mismatch rejection, and engine-equivalence for the success
+// paths (the handler must return exactly the bytes the engine's response
+// marshals to).
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+)
+
+const testUops = 30_000
+
+var testEngineOnce struct {
+	sync.Once
+	engine *mipp.Engine
+	err    error
+}
+
+// testEngine shares one profiled engine across handler tests.
+func testEngine(t *testing.T) *mipp.Engine {
+	t.Helper()
+	testEngineOnce.Do(func() {
+		e := mipp.NewEngine()
+		for _, w := range []string{"mcf", "gcc"} {
+			p, err := mipp.NewProfiler().Profile(w, testUops)
+			if err != nil {
+				testEngineOnce.err = err
+				return
+			}
+			if err := e.Register(w, p); err != nil {
+				testEngineOnce.err = err
+				return
+			}
+		}
+		testEngineOnce.engine = e
+	})
+	if testEngineOnce.err != nil {
+		t.Fatal(testEngineOnce.err)
+	}
+	return testEngineOnce.engine
+}
+
+func serve(t *testing.T, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	srv := New(testEngine(t))
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlerErrorTable(t *testing.T) {
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		// wantGolden, when set, must equal the whole response body
+		// (trailing newline aside).
+		wantGolden string
+		// wantContains, when set, must appear in the error message.
+		wantContains string
+	}{
+		{
+			name:   "version mismatch",
+			method: "POST", path: "/v1/predict",
+			body:       `{"schema_version":99,"workload":"mcf","config":{"name":"reference"}}`,
+			wantStatus: http.StatusBadRequest,
+			wantGolden: `{"schema_version":1,"error":"mipp: bad request: api: unsupported schema version 99 (this build speaks 1)"}`,
+		},
+		{
+			name:   "malformed body",
+			method: "POST", path: "/v1/predict",
+			body:         `{"schema_version":1,`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "decode request",
+		},
+		{
+			name:   "trailing garbage",
+			method: "POST", path: "/v1/predict",
+			body:         `{"schema_version":1,"workload":"mcf","config":{"name":"reference"}} extra`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "trailing data",
+		},
+		{
+			name:   "unknown field",
+			method: "POST", path: "/v1/predict",
+			body:         `{"schema_version":1,"workload":"mcf","config":{"name":"reference"},"turbo":true}`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "unknown field",
+		},
+		{
+			name:   "unknown workload",
+			method: "POST", path: "/v1/predict",
+			body:       `{"schema_version":1,"workload":"nope","config":{"name":"reference"}}`,
+			wantStatus: http.StatusNotFound,
+			wantGolden: `{"schema_version":1,"error":"mipp: unknown workload: \"nope\" (registered: [gcc mcf])"}`,
+		},
+		{
+			name:   "unknown stock config",
+			method: "POST", path: "/v1/predict",
+			body:         `{"schema_version":1,"workload":"mcf","config":{"name":"cray-1"}}`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "unknown stock config",
+		},
+		{
+			name:   "sweep without configs",
+			method: "POST", path: "/v1/sweep",
+			body:         `{"schema_version":1,"workload":"mcf"}`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "no configurations",
+		},
+		{
+			name:   "batch without workloads",
+			method: "POST", path: "/v1/evaluate",
+			body:         `{"schema_version":1,"configs":[{"name":"reference"}]}`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "no workloads",
+		},
+		{
+			name:   "bad option name",
+			method: "POST", path: "/v1/sweep",
+			body:         `{"schema_version":1,"workload":"mcf","space":{"kind":"design"},"options":{"mlp_mode":"warp"}}`,
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "unknown mlp_mode",
+		},
+		{
+			name:   "method not allowed",
+			method: "GET", path: "/v1/predict",
+			wantStatus: http.StatusMethodNotAllowed,
+		},
+		{
+			name:   "unknown route",
+			method: "GET", path: "/v2/predict",
+			wantStatus: http.StatusNotFound,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := serve(t, tc.method, tc.path, tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			body := strings.TrimSpace(rec.Body.String())
+			if tc.wantGolden != "" && body != tc.wantGolden {
+				t.Errorf("body = %s\nwant  %s", body, tc.wantGolden)
+			}
+			if tc.wantContains != "" && !strings.Contains(body, tc.wantContains) {
+				t.Errorf("body %s does not contain %q", body, tc.wantContains)
+			}
+		})
+	}
+}
+
+// Oversized bodies get 413, not 400 — clients must be able to tell "shrink
+// the upload" from "fix the JSON".
+func TestBodyTooLarge(t *testing.T) {
+	srv := New(testEngine(t), WithMaxBodyBytes(64))
+	body := `{"schema_version":1,"workload":"mcf","config":{"name":"reference"},"options":{}}`
+	req := httptest.NewRequest("POST", "/v1/predict", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHealthzGolden(t *testing.T) {
+	rec := serve(t, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.SchemaVersion != api.SchemaVersion || h.Status != "ok" || h.Workloads != 2 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+// The success path must return exactly the engine's marshaled response.
+func TestHandlersMatchEngine(t *testing.T) {
+	e := testEngine(t)
+	ctx := context.Background()
+
+	predictReq := &api.PredictRequest{SchemaVersion: api.SchemaVersion, Workload: "mcf",
+		Config: api.ConfigSpec{Name: "reference"}}
+	sweepReq := &api.SweepRequest{SchemaVersion: api.SchemaVersion, Workload: "gcc",
+		Space: &api.SpaceSpec{Kind: "dvfs"}}
+	batchReq := &api.BatchRequest{SchemaVersion: api.SchemaVersion, Workloads: []string{"mcf", "gcc"},
+		Configs: []api.ConfigSpec{{Name: "reference"}, {Name: "lowpower"}}}
+
+	cases := []struct {
+		path string
+		req  any
+		call func() (any, error)
+	}{
+		{"/v1/predict", predictReq, func() (any, error) { return e.Predict(ctx, predictReq) }},
+		{"/v1/sweep", sweepReq, func() (any, error) { return e.Sweep(ctx, sweepReq) }},
+		{"/v1/evaluate", batchReq, func() (any, error) { return e.Evaluate(ctx, batchReq) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			want, err := tc.call()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := json.Marshal(tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := serve(t, "POST", tc.path, string(body))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+			}
+			if got := strings.TrimSpace(rec.Body.String()); got != string(wantJSON) {
+				t.Errorf("handler response differs from engine response\nhandler: %.200s\nengine:  %.200s", got, wantJSON)
+			}
+		})
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	rec := serve(t, "GET", "/v1/workloads", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp api.WorkloadsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Workloads) != 2 || resp.Workloads[0].Name != "gcc" || resp.Workloads[1].Name != "mcf" {
+		t.Errorf("workloads = %+v, want sorted [gcc mcf]", resp.Workloads)
+	}
+	for _, w := range resp.Workloads {
+		if w.Uops < testUops || w.MicroTraces == 0 {
+			t.Errorf("workload info incomplete: %+v", w)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package mipp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,15 +24,52 @@ func WithWorkers(n int) SweepOption {
 	return func(c *sweepConfig) { c.workers = n }
 }
 
+// runPool executes fn(0..n-1) on a bounded worker pool, stopping early on
+// context cancellation. It is the shared fan-out machinery under Sweep and
+// Engine.Evaluate: work-stealing by atomic index, so results land at their
+// input index and the output is deterministic for any worker count.
+func runPool(ctx context.Context, n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Sweep evaluates the predictor over every configuration using a worker
 // pool. results[i] always corresponds to configs[i], and the output is
 // byte-for-byte identical regardless of worker count — evaluation order is
 // the only thing concurrency changes.
 //
 // On context cancellation Sweep stops promptly, drains its workers and
-// returns ctx.Err(). The first configuration error (lowest index) is
-// returned otherwise.
-func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepOption) ([]*Result, error) {
+// returns ctx.Err(). Configuration failures are aggregated: the returned
+// error joins every per-config failure (with its index and name) rather
+// than reporting only the first, so one diagnostic pass surfaces all bad
+// configs in a generated space.
+func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepOption) (Results, error) {
 	if pd == nil {
 		return nil, fmt.Errorf("mipp: Sweep: nil predictor")
 	}
@@ -39,48 +77,30 @@ func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepO
 	for _, o := range opts {
 		o(&sc)
 	}
-	if sc.workers < 1 {
-		sc.workers = 1
-	}
-	if sc.workers > len(configs) {
-		sc.workers = len(configs)
-	}
 	if len(configs) == 0 {
 		return nil, nil
 	}
 
-	results := make([]*Result, len(configs))
+	results := make(Results, len(configs))
 	errs := make([]error, len(configs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < sc.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(configs) {
-					return
-				}
-				if ctx.Err() != nil {
-					return
-				}
-				results[i], errs[i] = pd.Predict(configs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	runPool(ctx, len(configs), sc.workers, func(i int) {
+		results[i], errs[i] = pd.Predict(configs[i])
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
 			name := "<nil>"
 			if configs[i] != nil {
 				name = configs[i].Name
 			}
-			return nil, fmt.Errorf("config %d (%s): %w", i, name, err)
+			failures = append(failures, fmt.Errorf("config %d (%s): %w", i, name, err))
 		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
 	}
 	return results, nil
 }

@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -120,6 +121,30 @@ func TestSweepErrorPropagation(t *testing.T) {
 	empty, err := mipp.Sweep(context.Background(), pred, nil)
 	if err != nil || empty != nil {
 		t.Errorf("Sweep over no configs = (%v, %v), want (nil, nil)", empty, err)
+	}
+}
+
+// Sweep must report every failed config, not just the first, with index and
+// name context on each.
+func TestSweepAggregatesAllErrors(t *testing.T) {
+	pred := sweepPredictor(t)
+	badROB := arch.Reference()
+	badROB.Name = "bad-rob"
+	badROB.ROB = 0
+	badIQ := arch.Reference()
+	badIQ.Name = "bad-iq"
+	badIQ.IQ = 0
+	configs := []*arch.Config{arch.Reference(), badROB, arch.Reference(), badIQ}
+
+	_, err := mipp.Sweep(context.Background(), pred, configs)
+	if err == nil {
+		t.Fatal("Sweep with two invalid configs did not error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"config 1 (bad-rob)", "config 3 (bad-iq)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error %q missing %q", msg, want)
+		}
 	}
 }
 
