@@ -1,0 +1,142 @@
+package mipp_test
+
+// Tests for the batched phase-2 evaluation path: PredictBatch must be
+// byte-identical to N single Predict calls over the stock design space,
+// preserve per-item errors, and observe cancellation between configs inside
+// a batch (not just at work-item boundaries).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+)
+
+// TestPredictBatchEquivalence is the acceptance guarantee of the compile →
+// evaluate split: across the 81-config stock design-space sample, the
+// batched kernel's results marshal to exactly the bytes of N sequential
+// Predict calls — while concurrent Predicts race the same memo tables (run
+// under -race in CI).
+func TestPredictBatchEquivalence(t *testing.T) {
+	pd, err := mipp.NewPredictor(testProfile(t, "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := arch.DesignSpaceSample(3)
+	if len(configs) != 81 {
+		t.Fatalf("stock sample has %d configs, want 81", len(configs))
+	}
+
+	// Race the memo tables from a second goroutine while the batch runs.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, cfg := range configs[:20] {
+			if _, err := pd.Predict(cfg); err != nil {
+				t.Errorf("concurrent Predict: %v", err)
+				return
+			}
+		}
+	}()
+	batch, errs, err := pd.PredictBatch(context.Background(), configs)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("errs[%d] (%s): %v", i, configs[i].Name, e)
+		}
+	}
+
+	for i, cfg := range configs {
+		single, err := pd.Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(batch[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("config %d (%s): PredictBatch JSON differs from Predict:\nbatch:  %s\nsingle: %s",
+				i, cfg.Name, got, want)
+		}
+	}
+}
+
+// TestPredictBatchPerItemErrors asserts a bad configuration skips its slot
+// without aborting the batch.
+func TestPredictBatchPerItemErrors(t *testing.T) {
+	pd, err := mipp.NewPredictor(testProfile(t, "bzip2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := arch.Reference()
+	bad.Name = "bad-rob"
+	bad.ROB = 0
+	configs := []*arch.Config{arch.Reference(), bad, nil, arch.LowPower()}
+	results, errs, err := pd.PredictBatch(context.Background(), configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 3} {
+		if errs[i] != nil || results[i] == nil {
+			t.Errorf("item %d: result=%v err=%v, want success", i, results[i], errs[i])
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if errs[i] == nil || results[i] != nil {
+			t.Errorf("item %d: result=%v err=%v, want per-item error", i, results[i], errs[i])
+		}
+	}
+}
+
+// pollCountCtx is a context whose Err flips to Canceled after a fixed
+// number of polls, making "cancelled mid-batch" deterministic: the batch
+// kernel polls once per configuration.
+type pollCountCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *pollCountCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestPredictBatchCancelledMidBatch asserts the batch kernel checks the
+// context between configurations: cancellation arriving after the k-th
+// check stops the batch there, with exactly the first k slots filled.
+func TestPredictBatchCancelledMidBatch(t *testing.T) {
+	pd, err := mipp.NewPredictor(testProfile(t, "soplex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := arch.DesignSpaceSample(3)
+	const after = 7
+	ctx := &pollCountCtx{Context: context.Background(), after: after}
+	results, _, err := pd.PredictBatch(ctx, configs)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if (i < after) != (r != nil) {
+			t.Fatalf("results[%d] = %v: cancellation after %d polls should fill exactly the first %d slots",
+				i, r, after, after)
+		}
+	}
+}

@@ -12,11 +12,13 @@ package mipp_test
 import (
 	"context"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
 	"mipp"
 	"mipp/api"
+	"mipp/arch"
 	"mipp/internal/exp"
 )
 
@@ -191,6 +193,114 @@ func BenchmarkEnginePredict(b *testing.B) {
 	}
 	if hits := e.Stats().CacheHits; hits == 0 {
 		b.Fatal("predictor cache never hit")
+	}
+}
+
+// Compile → evaluate split (PR 3): throughput and allocation discipline of
+// the batched phase-2 kernel, with the sequential and cold-compile paths
+// alongside for the trajectory. CI parses these into BENCH_pr3.json
+// (internal/tools/benchjson) and fails if allocs/config on the batched hot
+// path exceeds its budget.
+
+var benchPredictor = struct {
+	once sync.Once
+	pd   *mipp.Predictor
+	err  error
+}{}
+
+func predictorForBench(b *testing.B) *mipp.Predictor {
+	b.Helper()
+	benchPredictor.once.Do(func() {
+		p, err := mipp.NewProfiler().Profile("mcf", benchN)
+		if err != nil {
+			benchPredictor.err = err
+			return
+		}
+		benchPredictor.pd, benchPredictor.err = mipp.NewPredictor(p)
+	})
+	if benchPredictor.err != nil {
+		b.Fatal(benchPredictor.err)
+	}
+	return benchPredictor.pd
+}
+
+// reportPerConfig normalizes a phase-2 benchmark to per-configuration
+// metrics: throughput, latency and allocations.
+func reportPerConfig(b *testing.B, nConfigs int, m0, m1 *runtime.MemStats) {
+	total := float64(b.N * nConfigs)
+	if total == 0 || b.Elapsed() <= 0 {
+		return
+	}
+	b.ReportMetric(total/b.Elapsed().Seconds(), "configs/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/config")
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/total, "allocs/config")
+}
+
+// BenchmarkPredictBatch is the batched hot path: one compiled kernel over
+// the 81-config stock design-space sample, memos warm.
+func BenchmarkPredictBatch(b *testing.B) {
+	pd := predictorForBench(b)
+	configs := arch.DesignSpaceSample(3)
+	ctx := context.Background()
+	if _, _, err := pd.PredictBatch(ctx, configs); err != nil {
+		b.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pd.PredictBatch(ctx, configs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	reportPerConfig(b, len(configs), &m0, &m1)
+}
+
+// BenchmarkPredictSequential is the same space through one-at-a-time
+// Predict calls — what the batched path saves in per-call overhead.
+func BenchmarkPredictSequential(b *testing.B) {
+	pd := predictorForBench(b)
+	configs := arch.DesignSpaceSample(3)
+	for _, cfg := range configs {
+		if _, err := pd.Predict(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range configs {
+			if _, err := pd.Predict(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	reportPerConfig(b, len(configs), &m0, &m1)
+}
+
+// BenchmarkPredictColdCompile measures phase 1: building a fresh compiled
+// predictor (StatStack curves, per-micro MLP models) plus one reference
+// query — the cost every (workload, option-set) pair pays exactly once.
+func BenchmarkPredictColdCompile(b *testing.B) {
+	p, err := mipp.NewProfiler().Profile("mcf", benchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := arch.Reference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold, err := mipp.NewPredictor(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cold.Predict(ref); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

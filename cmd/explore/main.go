@@ -33,6 +33,7 @@ func main() {
 		n        = flag.Int("n", 200_000, "trace length in micro-ops")
 		k        = flag.Int("k", 1, "design-space stride (1 = all 243 configs)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		batch    = flag.Bool("batch", true, "sweep through the batched evaluation kernel (false = one Predict call per config)")
 		csvPath  = flag.String("csv", "", "write per-config results as CSV to this file (- for stdout)")
 		validate = flag.Bool("validate", false, "simulate the sampled space and score the pruning")
 	)
@@ -52,26 +53,47 @@ func main() {
 	if err := engine.Register(*name, profile); err != nil {
 		log.Fatal(err)
 	}
+	// Phase 1 (compile): curves, per-micro MLP models, memo tables — paid
+	// once per (workload, option set).
+	t0 = time.Now()
 	pred, err := engine.Predictor(*name, api.PredictorSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	compileTime := time.Since(t0)
 
 	configs := arch.DesignSpaceSample(*k)
 	var sweepOpts []mipp.SweepOption
 	if *workers > 0 {
 		sweepOpts = append(sweepOpts, mipp.WithWorkers(*workers))
 	}
+	// Phase 2 (evaluate): the batched kernel, or — for comparison — one
+	// Predict call per configuration with no batch scratch reuse.
 	t0 = time.Now()
-	results, err := mipp.Sweep(context.Background(), pred, configs, sweepOpts...)
-	if err != nil {
-		log.Fatal(err)
+	var results mipp.Results
+	if *batch {
+		results, err = mipp.Sweep(context.Background(), pred, configs, sweepOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		results = make(mipp.Results, len(configs))
+		for i, cfg := range configs {
+			if results[i], err = pred.Predict(cfg); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	modelTime := time.Since(t0)
 
-	fmt.Printf("%s: profiled %d uops in %v; swept %d configs in %v (%.1f configs/s)\n",
-		*name, profile.TotalUops(), profTime.Round(time.Millisecond), len(configs),
-		modelTime.Round(time.Millisecond), float64(len(configs))/modelTime.Seconds())
+	mode := "batched"
+	if !*batch {
+		mode = "per-config"
+	}
+	fmt.Printf("%s: profiled %d uops in %v; compiled predictor in %v; swept %d configs in %v (%s, %.1f configs/s)\n",
+		*name, profile.TotalUops(), profTime.Round(time.Millisecond),
+		compileTime.Round(10*time.Microsecond), len(configs),
+		modelTime.Round(time.Millisecond), mode, float64(len(configs))/modelTime.Seconds())
 	fmt.Println("predicted Pareto frontier (time vs power):")
 	for _, pt := range results.ParetoFront() {
 		fmt.Printf("  %-36s time=%.6fs power=%5.1fW\n", pt.Config, pt.Time, pt.Power)

@@ -7,15 +7,19 @@
 //     entropy, reuse-distance and stride distributions). Profiling happens
 //     once per workload; the Profile serializes to versioned JSON.
 //   - Predictor, built from a Profile via functional options
-//     (WithEntropyFits, WithMLPMode, WithPrefetcher, ...), evaluates the
-//     extended interval model for any processor configuration in
-//     microseconds, returning a Result that bundles cycles, the CPI stack,
-//     activity factors and the power stack.
+//     (WithEntropyFits, WithMLPMode, WithPrefetcher, ...), compiles the
+//     profile once — StatStack curves, per-micro-trace MLP models, memo
+//     tables — and then evaluates the extended interval model for any
+//     processor configuration in microseconds, returning a Result that
+//     bundles cycles, the CPI stack, activity factors and the power stack.
+//     PredictBatch runs many configurations through one reused evaluation
+//     kernel, byte-identical to N single Predict calls.
 //   - Sweep fans a Predictor out over many configurations on a worker pool
-//     with deterministic ordering and context cancellation, returning
-//     Results (Points/Best*/WriteCSV); ParetoFront, BestUnderPowerCap,
-//     BestByED2P and CompareFronts turn the results into design-space
-//     decisions (Chapter 7).
+//     — contiguous batches through the PredictBatch kernel — with
+//     deterministic ordering and context cancellation between configs,
+//     returning Results (Points/Best*/WriteCSV); ParetoFront,
+//     BestUnderPowerCap, BestByED2P and CompareFronts turn the results
+//     into design-space decisions (Chapter 7).
 //   - Engine turns the library into a servable system: a concurrency-safe
 //     registry of named Profiles that lazily compiles and caches one
 //     Predictor per (workload, option set) and answers batched

@@ -378,8 +378,9 @@ func (e *Engine) Predict(ctx context.Context, req *api.PredictRequest) (*api.Pre
 	}, nil
 }
 
-// sweepOne fans one workload out over configs on the shared pool, reporting
-// per-config failures instead of aborting the batch.
+// sweepOne fans one workload out over configs on the shared pool in
+// contiguous batches — each pool task runs the compiled batch kernel over
+// its chunk — reporting per-config failures instead of aborting the batch.
 func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Config, spec api.PredictorSpec, workers int) ([]*api.Result, []api.ItemError, error) {
 	pd, err := e.Predictor(workload, spec)
 	if err != nil {
@@ -388,18 +389,17 @@ func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Confi
 	if workers <= 0 {
 		workers = e.workers
 	}
-	results := make([]*api.Result, len(configs))
+	native := make(Results, len(configs))
 	errs := make([]error, len(configs))
-	runPool(ctx, len(configs), workers, func(i int) {
-		res, err := pd.Predict(configs[i])
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = apiResult(res, false)
-	})
+	sweepBatches(ctx, pd, configs, workers, native, errs)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	results := make([]*api.Result, len(configs))
+	for i, res := range native {
+		if res != nil {
+			results[i] = apiResult(res, false)
+		}
 	}
 	var itemErrs []api.ItemError
 	for i, err := range errs {
@@ -437,7 +437,10 @@ func (e *Engine) Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepRe
 
 // Evaluate implements Evaluator: the full workloads × configs cross product
 // on one worker pool, items in row-major order (all configs of the first
-// workload, then the second, ...). Per-item failures — including unknown
+// workload, then the second, ...). Each pool task runs one workload's
+// compiled batch kernel over a contiguous chunk of configurations, so the
+// per-config hot path reuses scratch buffers and memo tables instead of
+// re-deriving config-invariant state. Per-item failures — including unknown
 // workloads — land in the item's Error field; only request-level problems
 // (bad version, no configs, cancellation) fail the whole batch.
 func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.BatchResponse, error) {
@@ -465,24 +468,40 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+
+	// One span per (workload, config-chunk): the cross product in
+	// row-major order, chunked so every span amortizes one batch kernel.
+	chunk := batchChunk(len(req.Workloads)*len(configs), workers)
+	type span struct{ wi, lo, hi int }
+	var spans []span
+	for wi := range req.Workloads {
+		for lo := 0; lo < len(configs); lo += chunk {
+			spans = append(spans, span{wi, lo, min(lo+chunk, len(configs))})
+		}
+	}
 	items := make([]api.BatchItem, len(req.Workloads)*len(configs))
-	runPool(ctx, len(items), workers, func(i int) {
-		wi, ci := i/len(configs), i%len(configs)
-		item := &items[i]
-		item.Workload = req.Workloads[wi]
-		if configs[ci] != nil {
-			item.Config = configs[ci].Name
+	runPool(ctx, len(spans), workers, func(si int) {
+		sp := spans[si]
+		native := make(Results, sp.hi-sp.lo)
+		errs := make([]error, sp.hi-sp.lo)
+		if pdErrs[sp.wi] == nil {
+			_ = pds[sp.wi].predictBatchInto(ctx, configs[sp.lo:sp.hi], native, errs)
 		}
-		if pdErrs[wi] != nil {
-			item.Error = pdErrs[wi].Error()
-			return
+		for ci := sp.lo; ci < sp.hi; ci++ {
+			item := &items[sp.wi*len(configs)+ci]
+			item.Workload = req.Workloads[sp.wi]
+			if configs[ci] != nil {
+				item.Config = configs[ci].Name
+			}
+			switch {
+			case pdErrs[sp.wi] != nil:
+				item.Error = pdErrs[sp.wi].Error()
+			case errs[ci-sp.lo] != nil:
+				item.Error = errs[ci-sp.lo].Error()
+			case native[ci-sp.lo] != nil:
+				item.Result = apiResult(native[ci-sp.lo], false)
+			}
 		}
-		res, err := pds[wi].Predict(configs[ci])
-		if err != nil {
-			item.Error = err.Error()
-			return
-		}
-		item.Result = apiResult(res, false)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err

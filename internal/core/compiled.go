@@ -1,0 +1,631 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mipp/internal/cache"
+	"mipp/internal/config"
+	"mipp/internal/mlp"
+	"mipp/internal/perf"
+	"mipp/internal/profiler"
+	"mipp/internal/stats"
+	"mipp/internal/statstack"
+	"mipp/internal/trace"
+)
+
+// Compiled is phase 1 of the model's compile → evaluate split: everything
+// derivable from the (profile, option-set) pair alone, computed once and
+// queried by any number of configuration evaluations. Eagerly it holds the
+// StatStack curve set, the per-micro-trace mixes and compiled MLP models,
+// and the config-invariant MLP parameter template; lazily it memoizes the
+// quantities that depend on only a slice of the configuration — the
+// per-cache-geometry StatStack prediction (so sweeps that vary only
+// frequency, width or ROB never touch StatStack again), per-micro
+// miss-ratio lookups, dependence-chain interpolations, branch-resolution
+// fixpoints and merged load-dependence histograms.
+//
+// A Compiled is safe for concurrent use. Evaluation results are
+// byte-identical regardless of which configurations were evaluated before:
+// every memoized function is deterministic in its key, so a cache hit
+// returns exactly what a fresh computation would — and for the same reason
+// every memo table is bounded (maxGeomEntries, maxMemoEntries): past the
+// cap new keys are computed without being stored, trading speed for memory
+// but never changing a result. A long-lived service fed adversarial
+// client-chosen geometries therefore holds bounded state per
+// (workload, option-set) kernel.
+type Compiled struct {
+	model *Model
+	opts  Options
+
+	// micros is the evaluation unit list (the profile's micro-traces, or
+	// one combined pseudo-trace under Options.Combined), with their mixes
+	// and compiled MLP models aligned by index.
+	micros     []*profiler.Micro
+	microMixes [][trace.NumClasses]float64
+	mcs        []*mlp.Compiled
+
+	curves *statstack.CurveSet
+	// prm is the config-invariant part of the MLP parameter set; evaluate
+	// fills in the per-config fields.
+	prm mlp.Params
+	// mix is the profile-level uop-class mix consumed by the activity
+	// factors.
+	mix [trace.NumClasses]float64
+
+	mu       sync.RWMutex
+	geoms    map[geomKey]*geomEntry
+	microMR  map[microLinesKey]float64
+	chains   map[microROBKey][3]float64
+	branches map[branchKey][2]float64
+	loadDeps map[int]*stats.Histogram
+
+	geomLookups  atomic.Uint64
+	geomComputes atomic.Uint64
+	mrLookups    atomic.Uint64
+	mrComputes   atomic.Uint64
+}
+
+// Memo-table bounds: real sweeps stay far below these (the stock 243-point
+// space needs 9 geometries); they exist so a daemon serving arbitrary
+// client-supplied configurations cannot be grown without limit. Overflowing
+// keys are recomputed per evaluation instead of cached.
+const (
+	// maxGeomEntries bounds the per-geometry StatStack predictions — the
+	// heaviest entries (three LevelStats plus derived rates each).
+	maxGeomEntries = 256
+	// maxMemoEntries bounds each of the scalar memo tables (miss ratios,
+	// chain interpolations, branch-resolution fixpoints).
+	maxMemoEntries = 1 << 16
+)
+
+// geomKey identifies a cache geometry — the only part of a configuration
+// the StatStack prediction depends on.
+type geomKey struct {
+	l1d, l2, l3, l1i cache.Config
+}
+
+// geomEntry is the memoized per-geometry state: the StatStack prediction
+// and the store-miss-per-uop rate the bus-contention term consumes.
+type geomEntry struct {
+	pred            *statstack.Prediction
+	storeMissPerUop float64
+}
+
+type microLinesKey struct {
+	micro int
+	lines float64
+}
+
+type microROBKey struct {
+	micro, rob int
+}
+
+// branchKey carries every input the branch-resolution fixpoint reads: the
+// micro-trace (its length and chain profile), the window and width, the
+// average latency and the misprediction count.
+type branchKey struct {
+	micro      int
+	rob, width int
+	lat        float64
+	mispred    float64
+}
+
+// newCompiled runs phase 1 for one (profile, option-set) pair.
+func newCompiled(m *Model, opts Options) *Compiled {
+	p := m.Profile
+	micros := p.Micros
+	if opts.Combined {
+		micros = []*profiler.Micro{combineMicros(p)}
+	}
+	curves := statstack.Compile(p)
+	c := &Compiled{
+		model:      m,
+		opts:       opts,
+		micros:     micros,
+		microMixes: make([][trace.NumClasses]float64, len(micros)),
+		mcs:        make([]*mlp.Compiled, len(micros)),
+		curves:     curves,
+		prm:        mlp.Params{LoadFrac: p.LoadFrac(), Mode: opts.MLPMode},
+		mix:        p.Mix(),
+		geoms:      make(map[geomKey]*geomEntry),
+		microMR:    make(map[microLinesKey]float64),
+		chains:     make(map[microROBKey][3]float64),
+		branches:   make(map[branchKey][2]float64),
+		loadDeps:   make(map[int]*stats.Histogram),
+	}
+	for i, micro := range micros {
+		c.microMixes[i] = micro.Mix()
+		c.mcs[i] = mlp.Compile(p, micro, curves.Curve)
+	}
+	return c
+}
+
+// CompiledStats counts the work the compile-phase memo tables absorbed.
+// Lookups minus computes is the number of cache hits. Under concurrent
+// evaluation two goroutines may race to fill the same entry, so computes is
+// an upper bound on distinct keys; single-goroutine use counts exactly.
+type CompiledStats struct {
+	// GeometryLookups and StatStackPredicts count per-config geometry
+	// resolutions and the StatStack predictions actually computed.
+	GeometryLookups   uint64
+	StatStackPredicts uint64
+	// MissRatioLookups and MissRatioComputes count per-micro miss-ratio
+	// queries against the reuse curve.
+	MissRatioLookups  uint64
+	MissRatioComputes uint64
+	// StreamBuilds and MLPComputes aggregate the per-micro MLP caches:
+	// virtual-stream constructions and full MLP-model evaluations.
+	StreamBuilds uint64
+	MLPComputes  uint64
+}
+
+// Stats snapshots the memo-table counters.
+func (c *Compiled) Stats() CompiledStats {
+	s := CompiledStats{
+		GeometryLookups:   c.geomLookups.Load(),
+		StatStackPredicts: c.geomComputes.Load(),
+		MissRatioLookups:  c.mrLookups.Load(),
+		MissRatioComputes: c.mrComputes.Load(),
+	}
+	for _, mc := range c.mcs {
+		b, e := mc.Stats()
+		s.StreamBuilds += b
+		s.MLPComputes += e
+	}
+	return s
+}
+
+// geometry returns the memoized StatStack prediction for the
+// configuration's cache geometry, computing it on first use.
+func (c *Compiled) geometry(cfg *config.Config) *geomEntry {
+	c.geomLookups.Add(1)
+	key := geomKey{cfg.L1D, cfg.L2, cfg.L3, cfg.L1I}
+	c.mu.RLock()
+	e, ok := c.geoms[key]
+	c.mu.RUnlock()
+	if ok {
+		return e
+	}
+	c.geomComputes.Add(1)
+	e = &geomEntry{pred: c.curves.Predict(cfg.CacheLevels(), cfg.L1I)}
+	// Global store miss ratio for bus contention (Eq 4.6).
+	llcStats := e.pred.Levels[len(e.pred.Levels)-1]
+	if p := c.model.Profile; p.TotalUops > 0 {
+		e.storeMissPerUop = llcStats.StoreMisses / float64(p.TotalUops)
+	}
+	c.mu.Lock()
+	if len(c.geoms) < maxGeomEntries {
+		c.geoms[key] = e
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// missRatio returns the memoized load miss ratio of one micro-trace at a
+// cache size.
+func (c *Compiled) missRatio(mi int, lines float64) float64 {
+	c.mrLookups.Add(1)
+	key := microLinesKey{mi, lines}
+	c.mu.RLock()
+	v, ok := c.microMR[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	c.mrComputes.Add(1)
+	v = statstack.MissRatioForMicro(c.curves.Curve, c.micros[mi], lines)
+	c.mu.Lock()
+	if len(c.microMR) < maxMemoEntries {
+		c.microMR[key] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// chainAt memoizes the logarithmic chain-profile interpolation (AP, ABP,
+// CP) of one micro-trace at one window size. It is on the hot path twice:
+// once per (micro, config) for the dependence limit, and once per iteration
+// of the branch-resolution fixpoint.
+func (c *Compiled) chainAt(mi, rob int) (ap, abp, cp float64) {
+	key := microROBKey{mi, rob}
+	c.mu.RLock()
+	v, ok := c.chains[key]
+	c.mu.RUnlock()
+	if ok {
+		return v[0], v[1], v[2]
+	}
+	ap, abp, cp = c.micros[mi].Chains.At(rob)
+	c.mu.Lock()
+	if len(c.chains) < maxMemoEntries {
+		c.chains[key] = [3]float64{ap, abp, cp}
+	}
+	c.mu.Unlock()
+	return ap, abp, cp
+}
+
+// loadDepHist memoizes the profile-level merged inter-load dependence
+// histogram, keyed by the profiled ROB size the window quantizes to.
+func (c *Compiled) loadDepHist(rob int) *stats.Histogram {
+	idx := c.model.Profile.Opts.ROBIndexFor(rob)
+	if idx < 0 {
+		idx = 0
+	}
+	c.mu.RLock()
+	h, ok := c.loadDeps[idx]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	h = c.model.Profile.LoadDepHistFor(rob)
+	c.mu.Lock()
+	c.loadDeps[idx] = h
+	c.mu.Unlock()
+	return h
+}
+
+// scratch holds the reusable buffers of one evaluation kernel, so a batched
+// sweep does not re-allocate the port-scheduling state for every
+// (micro, config) pair. A scratch is owned by a single goroutine.
+type scratch struct {
+	activity []float64
+	serving  []int
+	tied     []int
+	multi    []trace.Class
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Evaluate predicts performance for one configuration. It is phase 2 of
+// the split and nearly free: every config-invariant quantity comes from the
+// compile phase or a memo table. Safe for concurrent use.
+func (c *Compiled) Evaluate(cfg *config.Config) *Result {
+	scr := scratchPool.Get().(*scratch)
+	res := c.evaluate(cfg, scr)
+	scratchPool.Put(scr)
+	return res
+}
+
+// Batch is a single-goroutine evaluation kernel with persistent scratch
+// buffers; use one per worker when fanning a sweep out.
+type Batch struct {
+	c   *Compiled
+	scr scratch
+}
+
+// NewBatch returns a kernel for one goroutine's share of a sweep.
+func (c *Compiled) NewBatch() *Batch { return &Batch{c: c} }
+
+// Evaluate predicts one configuration on the kernel's scratch.
+func (b *Batch) Evaluate(cfg *config.Config) *Result { return b.c.evaluate(cfg, &b.scr) }
+
+// EvaluateBatch evaluates every configuration in input order on one kernel,
+// checking ctx between configurations so cancellation inside a large batch
+// is observed promptly. Results land at their input index; on cancellation
+// the slice is returned with the configurations evaluated so far alongside
+// ctx.Err(). A nil ctx disables the cancellation checks.
+func (c *Compiled) EvaluateBatch(ctx context.Context, cfgs []*config.Config) ([]*Result, error) {
+	out := make([]*Result, len(cfgs))
+	b := c.NewBatch()
+	for i, cfg := range cfgs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		out[i] = b.Evaluate(cfg)
+	}
+	return out, nil
+}
+
+// evaluate applies Equation 3.1 across the micro-traces for one
+// configuration and combines the predictions.
+func (c *Compiled) evaluate(cfg *config.Config, scr *scratch) *Result {
+	p := c.model.Profile
+	ge := c.geometry(cfg)
+	res := &Result{
+		Config:       cfg.Name,
+		Workload:     p.Workload,
+		Uops:         float64(p.TotalUops),
+		Instructions: float64(p.TotalInstrs),
+	}
+	res.BranchMissRate = c.opts.BranchMissRate
+	if res.BranchMissRate < 0 {
+		res.BranchMissRate = c.model.missRateFor(cfg.Predictor)
+	}
+
+	prm := c.prm
+	prm.ROB = cfg.ROB
+	prm.MSHRs = cfg.MSHRs
+	mem := cfg.MemConfig()
+	prm.MemLatency = mem.LatencyCycles
+	prm.BusPerLine = mem.BusCyclesPerLine
+	prm.L1Lines = float64(cfg.L1D.Lines())
+	prm.L2Lines = float64(cfg.L2.Lines())
+	prm.LLCLines = float64(cfg.L3.Lines())
+	prm.Prefetch = cfg.Prefetcher
+
+	res.MicroCPI = make([]float64, 0, len(c.micros))
+	var totalUops float64
+	var deffSum, mlpSum, mlpW float64
+	var missSum, dramStall float64
+	for mi, micro := range c.micros {
+		ev := c.evaluateMicro(mi, cfg, ge, prm, scr)
+		res.Stack.Add(&ev.stack)
+		totalUops += float64(micro.Len)
+		deffSum += ev.deff * float64(micro.Len)
+		if ev.misses > 0 {
+			mlpSum += ev.mlp * ev.misses
+			mlpW += ev.misses
+			missSum += ev.misses
+			dramStall += ev.stack.Cycles[perf.DRAM]
+		}
+		res.MicroCPI = append(res.MicroCPI, ev.stack.Total()/float64(micro.Len))
+		res.Limiter[ev.limiter]++
+	}
+	if totalUops == 0 {
+		return res
+	}
+	// Scale the sampled prediction to the full stream.
+	scale := float64(p.TotalUops) / totalUops
+	res.Stack.Scale(scale)
+	res.Cycles = res.Stack.Total()
+	res.Deff = deffSum / totalUops
+	if mlpW > 0 {
+		res.MLP = mlpSum / mlpW
+	} else {
+		res.MLP = 1
+	}
+	res.LLCLoadMisses = missSum * scale
+	if missSum > 0 {
+		res.DRAMStallPerMiss = dramStall / missSum
+	}
+	c.fillActivity(res, ge.pred)
+	return res
+}
+
+// evaluateMicro applies Equation 3.1 to one micro-trace.
+func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm mlp.Params, scr *scratch) microEval {
+	micro := c.micros[mi]
+	var ev microEval
+	n := float64(micro.Len)
+	if n == 0 {
+		return ev
+	}
+	mix := c.microMixes[mi]
+
+	// Per-micro cache behaviour: L1/L2/LLC load miss ratios.
+	mrL1 := c.missRatio(mi, prm.L1Lines)
+	mrL2 := c.missRatio(mi, prm.L2Lines)
+	mrLLC := c.missRatio(mi, prm.LLCLines)
+	if mrL2 > mrL1 {
+		mrL2 = mrL1
+	}
+	if mrLLC > mrL2 {
+		mrLLC = mrL2
+	}
+
+	// Average instruction latency including short (L1/L2-hit) loads.
+	lat := averageLatency(mix, cfg, mrL1)
+
+	// Effective dispatch rate (Eq 3.10) with the per-ROB critical path.
+	_, abp, cp := c.chainAt(mi, cfg.ROB)
+	deff, limiter := effectiveDispatchScratch(mix, cfg, lat, cp, c.opts.DispatchModel, scr)
+	ev.deff = deff
+	ev.limiter = limiter
+
+	// Base component.
+	if c.opts.DispatchModel == DispatchInstructions {
+		ev.stack.Cycles[perf.Base] = float64(micro.Instrs) / float64(cfg.DispatchWidth)
+	} else {
+		ev.stack.Cycles[perf.Base] = n / deff
+	}
+
+	// Branch misprediction component: m_bpred × (c_res + c_fe). When the
+	// backend, not the front-end, is the bottleneck (Deff < D), the ROB
+	// backlog keeps the core busy while the front-end recovers; only the
+	// part of the recovery that outlasts the backlog drain costs cycles.
+	missRate := c.opts.BranchMissRate
+	if missRate < 0 {
+		missRate = c.model.missRateFor(cfg.Predictor)
+	}
+	branches := float64(micro.Branches)
+	mispred := branches * missRate
+	if mispred > 0 {
+		cres, occ := c.branchResolution(mi, cfg, lat, abp, mispred, n)
+		// The resolution overlaps with the backend draining the ROB
+		// backlog (occ uops at Deff); the front-end refill does not.
+		drain := occ / deff
+		resolution := cres - drain
+		if resolution < 0 {
+			resolution = 0
+		}
+		ev.stack.Cycles[perf.BranchComp] = mispred * (resolution + float64(cfg.FrontEndDepth))
+		prm.MispredictEvery = n / mispred
+	} else {
+		prm.MispredictEvery = 0
+	}
+
+	// I-cache component: misses resolved from L2.
+	if ge.pred.ICacheMPKI > 0 {
+		icMisses := ge.pred.ICacheMPKI / 1000 * float64(micro.Instrs)
+		ev.stack.Cycles[perf.ICache] = icMisses * float64(cfg.L2.LatencyCycles)
+	}
+
+	// Memory component: m_LLC × (c_mem + c_bus)/MLP with prefetch,
+	// MSHR and bus corrections.
+	prm.DispatchRate = deff
+	mem := c.mcs[mi].Evaluate(prm)
+	misses := mrLLC * float64(micro.LoadCount)
+	ev.misses = misses
+	ev.mlp = mem.MLP
+	if misses > 0 {
+		cmem := float64(prm.MemLatency) + float64(cfg.L3.LatencyCycles)
+		cbus := 0.0
+		if !c.opts.NoBusQueue {
+			mlpPrime := mlp.RescaleForStores(mem.MLP, misses, ge.storeMissPerUop*n)
+			cbus = mlp.BusLatency(mlpPrime, prm.BusPerLine)
+		}
+		// Prefetch coverage (Eq 4.13): timely misses cost nothing;
+		// partial ones cost the residual latency.
+		demand := misses * (1 - mem.PrefetchTimely - mem.PrefetchPartial)
+		partial := misses * mem.PrefetchPartial
+		penalty := demand * (cmem + cbus)
+		if partial > 0 {
+			residual := cmem - mem.PartialSpacing/deff
+			if residual < 0 {
+				residual = 0
+			}
+			penalty += partial * residual
+		}
+		penalty /= mem.MLP
+		// The stall starts only when the load reaches the ROB head and
+		// the ROB has filled behind it (§2.5.3); dispatch proceeds at D
+		// during the fill, so ROB/D cycles per stalling window overlap
+		// with the base component and are subtracted, mirroring the
+		// ROB-fill subtraction Equation 4.11 applies to chained LLC
+		// hits.
+		windows := n / float64(cfg.ROB)
+		missWindows := math.Min(windows, misses)
+		if missWindows > 0 {
+			perWindow := penalty / missWindows
+			hidden := math.Min(float64(cfg.ROB)/float64(cfg.DispatchWidth), perWindow)
+			penalty -= hidden * missWindows
+		}
+		if penalty < 0 {
+			penalty = 0
+		}
+		ev.stack.Cycles[perf.DRAM] = penalty
+	}
+
+	// Chained LLC hits (§4.8, Eq 4.7-4.12).
+	if !c.opts.NoLLCChain {
+		ev.stack.Cycles[perf.LLCHit] = c.llcChainPenalty(mi, cfg, deff, mrL2, mrLLC)
+	}
+	return ev
+}
+
+// branchResolution memoizes the leaky-bucket fixpoint (Algorithm 3.2): it
+// tracks how full the ROB is when the mispredicted branch finally executes
+// and prices the resolution as lat × ABP at that occupancy. It also returns
+// the ROB occupancy, which bounds how much of the recovery the backlog can
+// hide.
+func (c *Compiled) branchResolution(mi int, cfg *config.Config, lat, abp, mispred, n float64) (float64, float64) {
+	if mispred <= 0 {
+		return lat * abp, 0
+	}
+	key := branchKey{micro: mi, rob: cfg.ROB, width: cfg.DispatchWidth, lat: lat, mispred: mispred}
+	c.mu.RLock()
+	v, ok := c.branches[key]
+	c.mu.RUnlock()
+	if ok {
+		return v[0], v[1]
+	}
+	ni := n / mispred // uops between mispredictions
+	d := float64(cfg.DispatchWidth)
+	rob := float64(cfg.ROB)
+	robi := 0.0
+	for iter := 0; ni > d && iter < 4096; iter++ {
+		if robi+d <= rob {
+			ni -= d
+			robi += d
+		} else {
+			ni -= rob - robi
+			robi = rob
+		}
+		// Independent instructions at the current occupancy.
+		_, _, cpi := c.chainAt(mi, int(robi+0.5))
+		iRob := robi
+		if cpi > 0 {
+			iRob = robi / (lat * cpi)
+		}
+		leave := math.Min(iRob, d)
+		robi -= leave
+		if robi < 0 {
+			robi = 0
+		}
+	}
+	occ := int(robi + 0.5)
+	if occ < 1 {
+		occ = 1
+	}
+	_, abpOcc, _ := c.chainAt(mi, occ)
+	if abpOcc < 1 {
+		abpOcc = 1
+	}
+	c.mu.Lock()
+	if len(c.branches) < maxMemoEntries {
+		c.branches[key] = [2]float64{lat * abpOcc, robi}
+	}
+	c.mu.Unlock()
+	return lat * abpOcc, robi
+}
+
+// llcChainPenalty implements Equations 4.7-4.12.
+func (c *Compiled) llcChainPenalty(mi int, cfg *config.Config, deff, mrL2, mrLLC float64) float64 {
+	micro := c.micros[mi]
+	n := float64(micro.Len)
+	loadFrac := 0.0
+	if micro.Len > 0 {
+		loadFrac = float64(micro.LoadCount) / n
+	}
+	loadsPerROB := loadFrac * float64(cfg.ROB)
+	if loadsPerROB <= 0 {
+		return 0
+	}
+	// LLC hits: loads missing L2 but hitting L3.
+	hitRate := mrL2 - mrLLC
+	if hitRate <= 0 {
+		return 0
+	}
+	hLLC := hitRate * loadsPerROB
+	f := c.loadDepHist(cfg.ROB)
+	f1 := f.Fraction(1)
+	if f1 <= 0 {
+		f1 = 1
+	}
+	pload := f1 * loadsPerROB
+	if pload < 1 {
+		pload = 1
+	}
+	lop := loadsPerROB / pload
+	lhcAvg := hLLC / pload                   // Eq 4.7
+	lhcMax := math.Min(hLLC, lop)            // Eq 4.8
+	lhcExp := lhcAvg + (lhcMax-lhcAvg)/pload // Eq 4.9
+	if lhcExp < 0 {
+		lhcExp = 0
+	}
+	pPrime := float64(cfg.L3.LatencyCycles) * lhcExp // Eq 4.10
+	perWindow := pPrime - float64(cfg.ROB)/deff      // Eq 4.11
+	if perWindow <= 0 {
+		return 0
+	}
+	return perWindow * n / float64(cfg.ROB) // Eq 4.12
+}
+
+// fillActivity derives the predicted activity factors (Eq 3.16).
+func (c *Compiled) fillActivity(res *Result, pred *statstack.Prediction) {
+	p := c.model.Profile
+	a := &res.Activity
+	a.Cycles = res.Cycles
+	a.UopsDispatched = float64(p.TotalUops)
+	a.UopsCommitted = float64(p.TotalUops)
+	for cl := trace.Class(0); cl < trace.NumClasses; cl++ {
+		a.PerClass[cl] = c.mix[cl] * float64(p.TotalUops)
+	}
+	a.BranchLookups = float64(p.Branches)
+	a.L1IAccesses = float64(p.InstrFetch)
+	a.L1IMisses = pred.ICacheMPKI / 1000 * float64(p.TotalInstrs)
+	a.L1DAccesses = float64(p.MemAccesses)
+	l1 := pred.Levels[0]
+	l2 := pred.Levels[1]
+	l3 := pred.Levels[2]
+	a.L1DMisses = l1.Misses
+	a.L2Accesses = l1.Misses
+	a.L2Misses = l2.Misses
+	a.L3Accesses = l2.Misses
+	a.L3Misses = l3.Misses
+	a.DRAMAccesses = l3.Misses
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mipp/internal/config"
+	"mipp/internal/mlp"
+)
+
+// TestGeometryMemoOnePredictPerGeometry pins the miss-ratio memo table:
+// evaluating two configurations with the same cache geometry must run
+// StatStack once, and the second evaluation must return ratios identical to
+// the first (a memo hit returns exactly what a fresh prediction would).
+func TestGeometryMemoOnePredictPerGeometry(t *testing.T) {
+	m := modelFor(t, "mcf", 60_000)
+	c := m.Compile(DefaultOptions())
+
+	// Same geometry, different frequency and ROB — a DVFS/window sweep.
+	a := config.Reference()
+	b := config.Reference()
+	b.Name = "ref-dvfs"
+	b.FrequencyGHz = 1.6
+	b.VoltageV = 0.95
+	b.ROB = 256
+	ra := c.Evaluate(a)
+	rb := c.Evaluate(b)
+
+	st := c.Stats()
+	if st.StatStackPredicts != 1 {
+		t.Errorf("two same-geometry configs ran StatStack %d times, want 1", st.StatStackPredicts)
+	}
+	if st.GeometryLookups != 2 {
+		t.Errorf("geometry lookups = %d, want 2", st.GeometryLookups)
+	}
+	// The activity factors are pure cache-geometry quantities; the memoized
+	// prediction must reproduce them exactly.
+	if ra.Activity.L3Misses != rb.Activity.L3Misses || ra.Activity.L1DMisses != rb.Activity.L1DMisses {
+		t.Errorf("same geometry, different miss counts: %+v vs %+v", ra.Activity, rb.Activity)
+	}
+
+	// A different LLC size is a new geometry.
+	d := config.Reference()
+	d.Name = "llc2m"
+	d.L3.SizeBytes = 2 << 20
+	c.Evaluate(d)
+	if st := c.Stats(); st.StatStackPredicts != 2 {
+		t.Errorf("new geometry ran StatStack %d times total, want 2", st.StatStackPredicts)
+	}
+}
+
+// TestMissRatioMemoIdentical asserts the per-micro miss-ratio memo returns
+// identical values on hit and that lookups collapse across a same-geometry
+// re-evaluation.
+func TestMissRatioMemoIdentical(t *testing.T) {
+	m := modelFor(t, "soplex", 60_000)
+	c := m.Compile(DefaultOptions())
+	cfg := config.Reference()
+
+	first := c.Evaluate(cfg)
+	afterFirst := c.Stats()
+	second := c.Evaluate(cfg)
+	afterSecond := c.Stats()
+
+	if afterSecond.MissRatioComputes != afterFirst.MissRatioComputes {
+		t.Errorf("re-evaluating the same config recomputed miss ratios: %d -> %d",
+			afterFirst.MissRatioComputes, afterSecond.MissRatioComputes)
+	}
+	if afterSecond.MissRatioLookups <= afterFirst.MissRatioLookups {
+		t.Errorf("second evaluation did no miss-ratio lookups")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("memo-hit evaluation differs from the evaluation that filled the memo")
+	}
+}
+
+// TestEvaluateBatchMatchesSequential is the kernel-level equivalence
+// guarantee: a batched evaluation with reused scratch buffers must produce
+// results deeply equal to one-at-a-time Evaluate calls, in input order.
+func TestEvaluateBatchMatchesSequential(t *testing.T) {
+	m := modelFor(t, "gcc", 60_000)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{MLPMode: mlp.ColdMiss, BranchMissRate: -1},
+		{MLPMode: mlp.StrideMLP, Combined: true, BranchMissRate: -1},
+	} {
+		c := m.Compile(opts)
+		configs := config.DesignSpace()[:30]
+		batch, err := c.EvaluateBatch(context.Background(), configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range configs {
+			single := c.Evaluate(cfg)
+			if !reflect.DeepEqual(single, batch[i]) {
+				t.Fatalf("opts %+v: batch[%d] (%s) differs from single evaluation", opts, i, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchCancellation asserts the kernel checks the context
+// between configurations, not only at batch boundaries.
+func TestEvaluateBatchCancellation(t *testing.T) {
+	m := modelFor(t, "gamess", 60_000)
+	c := m.Compile(DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := c.EvaluateBatch(ctx, config.DesignSpace()[:10])
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range out {
+		if r != nil {
+			t.Fatalf("out[%d] evaluated despite pre-cancelled context", i)
+		}
+	}
+}
+
+// TestMemoOverflowIdentical floods the mlp stream cache past its bound
+// (maxStreamEntries distinct LLC geometries) and asserts overflow changes
+// nothing but speed: an evaluation whose memo entry was never stored still
+// returns exactly what the cached evaluation returned.
+func TestMemoOverflowIdentical(t *testing.T) {
+	m := modelFor(t, "mcf", 60_000)
+	c := m.Compile(DefaultOptions())
+	base := config.Reference()
+	first := c.Evaluate(base)
+	// 70 distinct L3 line counts (> maxStreamEntries = 64); line-multiple
+	// sizes keep the geometry meaningful without needing Validate.
+	for i := 0; i < 70; i++ {
+		cfg := config.Reference()
+		cfg.Name = "flood"
+		cfg.L3.SizeBytes = int64(1<<20 + (i+1)*64*1024)
+		c.Evaluate(cfg)
+	}
+	again := c.Evaluate(base)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("evaluation after memo overflow differs from the original")
+	}
+}
+
+// TestModelEvaluateSharesCompiledKernel asserts the legacy single-config
+// path reuses the compiled kernel — the hoisted config-invariant state —
+// rather than recompiling per call.
+func TestModelEvaluateSharesCompiledKernel(t *testing.T) {
+	m := modelFor(t, "gobmk", 60_000)
+	if m.Compile(DefaultOptions()) != m.Compile(DefaultOptions()) {
+		t.Fatal("Compile(opts) not cached per option set")
+	}
+	cfg := config.Reference()
+	m.Evaluate(cfg, DefaultOptions())
+	m.Evaluate(cfg, DefaultOptions())
+	st := m.Compile(DefaultOptions()).Stats()
+	if st.StatStackPredicts != 1 {
+		t.Errorf("legacy Evaluate ran StatStack %d times for one geometry, want 1", st.StatStackPredicts)
+	}
+	// A different option set compiles its own kernel.
+	other := DefaultOptions()
+	other.NoLLCChain = true
+	if m.Compile(other) == m.Compile(DefaultOptions()) {
+		t.Fatal("distinct option sets share a kernel")
+	}
+}

@@ -15,16 +15,22 @@
 // The model is evaluated per micro-trace and the predictions combined
 // (the sampled-model-evaluation contribution of the TC'16 paper), which
 // captures bursty contention that an averaged profile would smear out.
+//
+// Evaluation is split into two phases. Compile (phase 1) precomputes and
+// memoizes everything that does not depend on the full configuration — the
+// StatStack curves, per-micro mixes and MLP models, per-cache-geometry miss
+// ratios. Evaluate / EvaluateBatch (phase 2) is then a cheap analytical
+// query per configuration; see Compiled.
 package core
 
 import (
 	"math"
+	"sync"
 
 	"mipp/internal/config"
 	"mipp/internal/mlp"
 	"mipp/internal/perf"
 	"mipp/internal/profiler"
-	"mipp/internal/statstack"
 	"mipp/internal/trace"
 )
 
@@ -114,15 +120,19 @@ func (r *Result) TimeSeconds(freqGHz float64) float64 {
 }
 
 // Model carries everything needed to evaluate one profile against many
-// configurations: the profile, its StatStack curve, and the branch entropy
-// model. Building it is cheap; Evaluate is nearly instantaneous per
-// configuration — the property that makes design-space exploration fast.
+// configurations: the profile, the branch entropy model, and a cache of
+// compiled evaluation kernels per option set. Evaluate is nearly
+// instantaneous per configuration — the property that makes design-space
+// exploration fast. A Model must not be copied after first use.
 type Model struct {
 	Profile *profiler.Profile
 	// EntropyFit maps linear branch entropy to a misprediction rate for
 	// the configured predictor (Figure 3.9); slope/intercept per
 	// predictor name.
 	EntropyFits map[string]func(entropy float64) float64
+
+	mu       sync.Mutex
+	compiled map[Options]*Compiled
 }
 
 // New builds a Model for a profile. entropyFits may be nil, in which case a
@@ -130,6 +140,31 @@ type Model struct {
 // linear branch entropy metric) is used for every predictor.
 func New(p *profiler.Profile, entropyFits map[string]func(float64) float64) *Model {
 	return &Model{Profile: p, EntropyFits: entropyFits}
+}
+
+// Compile returns the compiled evaluation kernel for one option set,
+// building it on first use (phase 1 of the compile → evaluate split). The
+// kernel is cached: repeated Evaluate calls with the same options share one
+// set of StatStack curves, MLP streams and memo tables.
+func (m *Model) Compile(opts Options) *Compiled {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.compiled == nil {
+		m.compiled = make(map[Options]*Compiled)
+	}
+	if c, ok := m.compiled[opts]; ok {
+		return c
+	}
+	c := newCompiled(m, opts)
+	m.compiled[opts] = c
+	return c
+}
+
+// Evaluate predicts performance for one configuration, compiling (or
+// reusing) the kernel for opts first. Callers evaluating many
+// configurations should Compile once and use Compiled.EvaluateBatch.
+func (m *Model) Evaluate(cfg *config.Config, opts Options) *Result {
+	return m.Compile(opts).Evaluate(cfg)
 }
 
 // missRateFor returns the predicted branch misprediction rate for a
@@ -155,85 +190,6 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-// Evaluate predicts performance for one configuration.
-func (m *Model) Evaluate(cfg *config.Config, opts Options) *Result {
-	p := m.Profile
-	pred := statstack.Predict(p, cfg.CacheLevels(), cfg.L1I)
-	res := &Result{
-		Config:       cfg.Name,
-		Workload:     p.Workload,
-		Uops:         float64(p.TotalUops),
-		Instructions: float64(p.TotalInstrs),
-	}
-	res.BranchMissRate = opts.BranchMissRate
-	if res.BranchMissRate < 0 {
-		res.BranchMissRate = m.missRateFor(cfg.Predictor)
-	}
-
-	micros := p.Micros
-	if opts.Combined {
-		micros = []*profiler.Micro{combineMicros(p)}
-	}
-
-	prm := mlp.Params{
-		ROB:        cfg.ROB,
-		MSHRs:      cfg.MSHRs,
-		MemLatency: cfg.MemConfig().LatencyCycles,
-		BusPerLine: cfg.MemConfig().BusCyclesPerLine,
-		L1Lines:    float64(cfg.L1D.Lines()),
-		L2Lines:    float64(cfg.L2.Lines()),
-		LLCLines:   float64(cfg.L3.Lines()),
-		LoadFrac:   p.LoadFrac(),
-		Prefetch:   cfg.Prefetcher,
-		Mode:       opts.MLPMode,
-	}
-
-	// Global store miss ratio for bus contention (Eq 4.6).
-	llcStats := pred.Levels[len(pred.Levels)-1]
-	storeMissPerUop := 0.0
-	if p.TotalUops > 0 {
-		storeMissPerUop = llcStats.StoreMisses / float64(p.TotalUops)
-	}
-
-	var totalCycles, totalUops float64
-	var deffSum, mlpSum, mlpW float64
-	var missSum, dramStall float64
-	for _, micro := range micros {
-		ev := m.evaluateMicro(micro, cfg, opts, pred, prm, storeMissPerUop)
-		res.Stack.Add(&ev.stack)
-		totalCycles += ev.stack.Total()
-		totalUops += float64(micro.Len)
-		deffSum += ev.deff * float64(micro.Len)
-		if ev.misses > 0 {
-			mlpSum += ev.mlp * ev.misses
-			mlpW += ev.misses
-			missSum += ev.misses
-			dramStall += ev.stack.Cycles[perf.DRAM]
-		}
-		res.MicroCPI = append(res.MicroCPI, ev.stack.Total()/float64(micro.Len))
-		res.Limiter[ev.limiter]++
-	}
-	if totalUops == 0 {
-		return res
-	}
-	// Scale the sampled prediction to the full stream.
-	scale := float64(p.TotalUops) / totalUops
-	res.Stack.Scale(scale)
-	res.Cycles = res.Stack.Total()
-	res.Deff = deffSum / totalUops
-	if mlpW > 0 {
-		res.MLP = mlpSum / mlpW
-	} else {
-		res.MLP = 1
-	}
-	res.LLCLoadMisses = missSum * scale
-	if missSum > 0 {
-		res.DRAMStallPerMiss = dramStall / missSum
-	}
-	m.fillActivity(res, cfg, pred)
-	return res
-}
-
 type microEval struct {
 	stack   perf.CPIStack
 	deff    float64
@@ -242,134 +198,9 @@ type microEval struct {
 	limiter int
 }
 
-// evaluateMicro applies Equation 3.1 to one micro-trace.
-func (m *Model) evaluateMicro(micro *profiler.Micro, cfg *config.Config, opts Options,
-	pred *statstack.Prediction, prm mlp.Params, storeMissPerUop float64) microEval {
-
-	p := m.Profile
-	var ev microEval
-	n := float64(micro.Len)
-	if n == 0 {
-		return ev
-	}
-	mix := micro.Mix()
-
-	// Per-micro cache behaviour: L1/L2/LLC load miss ratios.
-	mrL1 := statstack.MissRatioForMicro(pred.Curve, micro, prm.L1Lines)
-	mrL2 := statstack.MissRatioForMicro(pred.Curve, micro, prm.L2Lines)
-	mrLLC := statstack.MissRatioForMicro(pred.Curve, micro, prm.LLCLines)
-	if mrL2 > mrL1 {
-		mrL2 = mrL1
-	}
-	if mrLLC > mrL2 {
-		mrLLC = mrL2
-	}
-
-	// Average instruction latency including short (L1/L2-hit) loads.
-	lat := m.averageLatency(mix, cfg, mrL1)
-
-	// Effective dispatch rate (Eq 3.10) with the per-ROB critical path.
-	_, abp, cp := micro.Chains.At(cfg.ROB)
-	deff, limiter := effectiveDispatch(mix, cfg, lat, cp, opts.DispatchModel)
-	ev.deff = deff
-	ev.limiter = limiter
-
-	// Base component.
-	var instrs float64
-	if opts.DispatchModel == DispatchInstructions {
-		instrs = float64(micro.Instrs)
-		ev.stack.Cycles[perf.Base] = instrs / float64(cfg.DispatchWidth)
-	} else {
-		ev.stack.Cycles[perf.Base] = n / deff
-	}
-
-	// Branch misprediction component: m_bpred × (c_res + c_fe). When the
-	// backend, not the front-end, is the bottleneck (Deff < D), the ROB
-	// backlog keeps the core busy while the front-end recovers; only the
-	// part of the recovery that outlasts the backlog drain costs cycles.
-	missRate := opts.BranchMissRate
-	if missRate < 0 {
-		missRate = m.missRateFor(cfg.Predictor)
-	}
-	branches := float64(micro.Branches)
-	mispred := branches * missRate
-	if mispred > 0 {
-		cres, occ := branchResolution(cfg, micro, lat, abp, cp, mispred, n)
-		// The resolution overlaps with the backend draining the ROB
-		// backlog (occ uops at Deff); the front-end refill does not.
-		drain := occ / deff
-		resolution := cres - drain
-		if resolution < 0 {
-			resolution = 0
-		}
-		ev.stack.Cycles[perf.BranchComp] = mispred * (resolution + float64(cfg.FrontEndDepth))
-		prm.MispredictEvery = n / mispred
-	} else {
-		prm.MispredictEvery = 0
-	}
-
-	// I-cache component: misses resolved from L2.
-	if pred.ICacheMPKI > 0 {
-		icMisses := pred.ICacheMPKI / 1000 * float64(micro.Instrs)
-		ev.stack.Cycles[perf.ICache] = icMisses * float64(cfg.L2.LatencyCycles)
-	}
-
-	// Memory component: m_LLC × (c_mem + c_bus)/MLP with prefetch,
-	// MSHR and bus corrections.
-	prm.DispatchRate = deff
-	mem := mlp.Evaluate(p, micro, pred.Curve, prm)
-	misses := mrLLC * float64(micro.LoadCount)
-	ev.misses = misses
-	ev.mlp = mem.MLP
-	if misses > 0 {
-		cmem := float64(prm.MemLatency) + float64(cfg.L3.LatencyCycles)
-		cbus := 0.0
-		if !opts.NoBusQueue {
-			mlpPrime := mlp.RescaleForStores(mem.MLP, misses, storeMissPerUop*n)
-			cbus = mlp.BusLatency(mlpPrime, prm.BusPerLine)
-		}
-		// Prefetch coverage (Eq 4.13): timely misses cost nothing;
-		// partial ones cost the residual latency.
-		demand := misses * (1 - mem.PrefetchTimely - mem.PrefetchPartial)
-		partial := misses * mem.PrefetchPartial
-		penalty := demand * (cmem + cbus)
-		if partial > 0 {
-			residual := cmem - mem.PartialSpacing/deff
-			if residual < 0 {
-				residual = 0
-			}
-			penalty += partial * residual
-		}
-		penalty /= mem.MLP
-		// The stall starts only when the load reaches the ROB head and
-		// the ROB has filled behind it (§2.5.3); dispatch proceeds at D
-		// during the fill, so ROB/D cycles per stalling window overlap
-		// with the base component and are subtracted, mirroring the
-		// ROB-fill subtraction Equation 4.11 applies to chained LLC
-		// hits.
-		windows := n / float64(cfg.ROB)
-		missWindows := math.Min(windows, misses)
-		if missWindows > 0 {
-			perWindow := penalty / missWindows
-			hidden := math.Min(float64(cfg.ROB)/float64(cfg.DispatchWidth), perWindow)
-			penalty -= hidden * missWindows
-		}
-		if penalty < 0 {
-			penalty = 0
-		}
-		ev.stack.Cycles[perf.DRAM] = penalty
-	}
-
-	// Chained LLC hits (§4.8, Eq 4.7-4.12).
-	if !opts.NoLLCChain {
-		ev.stack.Cycles[perf.LLCHit] = m.llcChainPenalty(micro, cfg, deff, mrL2, mrLLC)
-	}
-	return ev
-}
-
 // averageLatency returns the mix-weighted uop execution latency, counting
 // loads at their L1/L2-hit cost (long misses are separate penalty terms).
-func (m *Model) averageLatency(mix [trace.NumClasses]float64, cfg *config.Config, mrL1 float64) float64 {
+func averageLatency(mix [trace.NumClasses]float64, cfg *config.Config, mrL1 float64) float64 {
 	lat := 0.0
 	for c := trace.Class(0); c < trace.NumClasses; c++ {
 		f := mix[c]
@@ -394,6 +225,13 @@ func (m *Model) averageLatency(mix [trace.NumClasses]float64, cfg *config.Config
 // limits it: 0 = dispatch width, 1 = dependences, 2 = functional port,
 // 3 = functional unit.
 func effectiveDispatch(mix [trace.NumClasses]float64, cfg *config.Config, lat, cp float64, dm DispatchModel) (float64, int) {
+	var scr scratch
+	return effectiveDispatchScratch(mix, cfg, lat, cp, dm, &scr)
+}
+
+// effectiveDispatchScratch is effectiveDispatch on caller-owned scratch, so
+// the batched hot path schedules ports without allocating.
+func effectiveDispatchScratch(mix [trace.NumClasses]float64, cfg *config.Config, lat, cp float64, dm DispatchModel, scr *scratch) (float64, int) {
 	deff := float64(cfg.DispatchWidth)
 	limiter := 0
 	if dm == DispatchUops || dm == DispatchInstructions {
@@ -411,7 +249,7 @@ func effectiveDispatch(mix [trace.NumClasses]float64, cfg *config.Config, lat, c
 	}
 	// Port contention: schedule the mix onto ports (§3.4's greedy
 	// algorithm) and bound by the busiest port's activity.
-	if portD := portLimit(mix, cfg); portD < deff {
+	if portD := portLimit(mix, cfg, scr); portD < deff {
 		deff = portD
 		limiter = 2
 	}
@@ -431,34 +269,45 @@ func effectiveDispatch(mix [trace.NumClasses]float64, cfg *config.Config, lat, c
 // single port are pinned first; classes with a choice are balanced over
 // their ports given the already-scheduled activity. The dispatch bound is
 // 1 / (busiest port's activity per uop).
-func portLimit(mix [trace.NumClasses]float64, cfg *config.Config) float64 {
-	activity := make([]float64, len(cfg.Ports))
-	var multi []trace.Class
+func portLimit(mix [trace.NumClasses]float64, cfg *config.Config, scr *scratch) float64 {
+	if cap(scr.activity) < len(cfg.Ports) {
+		scr.activity = make([]float64, len(cfg.Ports))
+	}
+	activity := scr.activity[:len(cfg.Ports)]
+	for i := range activity {
+		activity[i] = 0
+	}
+	multi := scr.multi[:0]
 	for c := trace.Class(0); c < trace.NumClasses; c++ {
 		if mix[c] == 0 {
 			continue
 		}
-		var serving []int
+		first, count := -1, 0
 		for pi, port := range cfg.Ports {
 			if port.Serves(c) {
-				serving = append(serving, pi)
+				if count == 0 {
+					first = pi
+				}
+				count++
 			}
 		}
-		if len(serving) == 1 {
-			activity[serving[0]] += mix[c]
-		} else if len(serving) > 1 {
+		if count == 1 {
+			activity[first] += mix[c]
+		} else if count > 1 {
 			multi = append(multi, c)
 		}
 	}
+	scr.multi = multi
 	for _, c := range multi {
 		// Spread this class over its ports as evenly as possible,
 		// water-filling against existing activity.
-		var serving []int
+		serving := scr.serving[:0]
 		for pi, port := range cfg.Ports {
 			if port.Serves(c) {
 				serving = append(serving, pi)
 			}
 		}
+		scr.serving = serving
 		remaining := mix[c]
 		// Water-fill: repeatedly raise the least-loaded serving ports
 		// (all ports tied at the minimum level) towards the next level.
@@ -469,7 +318,7 @@ func portLimit(mix [trace.NumClasses]float64, cfg *config.Config) float64 {
 					minVal = activity[pi]
 				}
 			}
-			var tied []int
+			tied := scr.tied[:0]
 			next := math.Inf(1)
 			for _, pi := range serving {
 				if activity[pi] == minVal {
@@ -478,6 +327,7 @@ func portLimit(mix [trace.NumClasses]float64, cfg *config.Config) float64 {
 					next = activity[pi]
 				}
 			}
+			scr.tied = tied
 			give := remaining / float64(len(tied))
 			if !math.IsInf(next, 1) && next-minVal < give {
 				give = next - minVal
@@ -525,91 +375,6 @@ func unitLimit(mix [trace.NumClasses]float64, cfg *config.Config) float64 {
 	return limit
 }
 
-// branchResolution implements the leaky-bucket algorithm (Algorithm 3.2):
-// it tracks how full the ROB is when the mispredicted branch finally
-// executes and prices the resolution as lat × ABP at that occupancy. It
-// also returns the ROB occupancy, which bounds how much of the recovery the
-// backlog can hide.
-func branchResolution(cfg *config.Config, micro *profiler.Micro, lat, abp, cp float64, mispred, n float64) (float64, float64) {
-	if mispred <= 0 {
-		return lat * abp, 0
-	}
-	ni := n / mispred // uops between mispredictions
-	d := float64(cfg.DispatchWidth)
-	rob := float64(cfg.ROB)
-	robi := 0.0
-	for iter := 0; ni > d && iter < 4096; iter++ {
-		if robi+d <= rob {
-			ni -= d
-			robi += d
-		} else {
-			ni -= rob - robi
-			robi = rob
-		}
-		// Independent instructions at the current occupancy.
-		_, _, cpi := micro.Chains.At(int(robi + 0.5))
-		iRob := robi
-		if cpi > 0 {
-			iRob = robi / (lat * cpi)
-		}
-		leave := math.Min(iRob, d)
-		robi -= leave
-		if robi < 0 {
-			robi = 0
-		}
-	}
-	occ := int(robi + 0.5)
-	if occ < 1 {
-		occ = 1
-	}
-	_, abpOcc, _ := micro.Chains.At(occ)
-	if abpOcc < 1 {
-		abpOcc = 1
-	}
-	return lat * abpOcc, robi
-}
-
-// llcChainPenalty implements Equations 4.7-4.12.
-func (m *Model) llcChainPenalty(micro *profiler.Micro, cfg *config.Config, deff, mrL2, mrLLC float64) float64 {
-	n := float64(micro.Len)
-	loadFrac := 0.0
-	if micro.Len > 0 {
-		loadFrac = float64(micro.LoadCount) / n
-	}
-	loadsPerROB := loadFrac * float64(cfg.ROB)
-	if loadsPerROB <= 0 {
-		return 0
-	}
-	// LLC hits: loads missing L2 but hitting L3.
-	hitRate := mrL2 - mrLLC
-	if hitRate <= 0 {
-		return 0
-	}
-	hLLC := hitRate * loadsPerROB
-	f := m.Profile.LoadDepHistFor(cfg.ROB)
-	f1 := f.Fraction(1)
-	if f1 <= 0 {
-		f1 = 1
-	}
-	pload := f1 * loadsPerROB
-	if pload < 1 {
-		pload = 1
-	}
-	lop := loadsPerROB / pload
-	lhcAvg := hLLC / pload                   // Eq 4.7
-	lhcMax := math.Min(hLLC, lop)            // Eq 4.8
-	lhcExp := lhcAvg + (lhcMax-lhcAvg)/pload // Eq 4.9
-	if lhcExp < 0 {
-		lhcExp = 0
-	}
-	pPrime := float64(cfg.L3.LatencyCycles) * lhcExp // Eq 4.10
-	perWindow := pPrime - float64(cfg.ROB)/deff      // Eq 4.11
-	if perWindow <= 0 {
-		return 0
-	}
-	return perWindow * n / float64(cfg.ROB) // Eq 4.12
-}
-
 // combineMicros collapses all micro-traces into one averaged pseudo-trace
 // (the pre-TC'16 "combined" evaluation of Figure 6.4).
 func combineMicros(p *profiler.Profile) *profiler.Micro {
@@ -639,30 +404,4 @@ func combineMicros(p *profiler.Profile) *profiler.Micro {
 		}
 	}
 	return out
-}
-
-// fillActivity derives the predicted activity factors (Eq 3.16).
-func (m *Model) fillActivity(res *Result, cfg *config.Config, pred *statstack.Prediction) {
-	p := m.Profile
-	a := &res.Activity
-	a.Cycles = res.Cycles
-	a.UopsDispatched = float64(p.TotalUops)
-	a.UopsCommitted = float64(p.TotalUops)
-	mix := p.Mix()
-	for c := trace.Class(0); c < trace.NumClasses; c++ {
-		a.PerClass[c] = mix[c] * float64(p.TotalUops)
-	}
-	a.BranchLookups = float64(p.Branches)
-	a.L1IAccesses = float64(p.InstrFetch)
-	a.L1IMisses = pred.ICacheMPKI / 1000 * float64(p.TotalInstrs)
-	a.L1DAccesses = float64(p.MemAccesses)
-	l1 := pred.Levels[0]
-	l2 := pred.Levels[1]
-	l3 := pred.Levels[2]
-	a.L1DMisses = l1.Misses
-	a.L2Accesses = l1.Misses
-	a.L2Misses = l2.Misses
-	a.L3Accesses = l2.Misses
-	a.L3Misses = l3.Misses
-	a.DRAMAccesses = l3.Misses
 }

@@ -100,28 +100,12 @@ type MicroMem struct {
 	PartialSpacing float64
 }
 
-// Evaluate predicts the memory behaviour of one micro-trace.
+// Evaluate predicts the memory behaviour of one micro-trace. It is the
+// one-shot entry point: callers evaluating the same micro-trace against
+// many configurations should Compile once and reuse the Compiled's memo
+// tables instead.
 func Evaluate(p *profiler.Profile, m *profiler.Micro, curve *statstack.Curve, prm Params) MicroMem {
-	out := MicroMem{Loads: float64(m.LoadCount)}
-	out.MissPerLoad = statstack.MissRatioForMicro(curve, m, prm.LLCLines)
-	switch prm.Mode {
-	case None:
-		out.MLP, out.RawMLP = 1, 1
-	case ColdMiss:
-		out.RawMLP = coldMissMLP(p, m, curve, prm)
-		out.MLP = mshrCap(out.RawMLP, prm)
-	default:
-		raw, pf := strideMLP(p, m, curve, prm)
-		out.RawMLP = raw
-		out.MLP = mshrCap(raw, prm)
-		out.PrefetchTimely = pf.timely
-		out.PrefetchPartial = pf.partial
-		out.PartialSpacing = pf.spacing
-	}
-	if out.MLP < 1 {
-		out.MLP = 1
-	}
-	return out
+	return Compile(p, m, curve).evaluate(prm)
 }
 
 // mshrCap applies the soft MSHR cap of Equation 4.4. The DRAM_MSHR parallel
@@ -167,16 +151,7 @@ func RescaleForStores(mlp, loadMisses, storeMisses float64) float64 {
 // microLoadDeps returns the micro-trace's own f(ℓ) histogram for the
 // profiled ROB size nearest rob, falling back to the profile aggregate.
 func microLoadDeps(p *profiler.Profile, m *profiler.Micro, rob int) *stats.Histogram {
-	best, bestDiff := -1, 1<<30
-	for i, r := range p.Opts.ROBs {
-		d := r - rob
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDiff {
-			best, bestDiff = i, d
-		}
-	}
+	best := p.Opts.ROBIndexFor(rob)
 	if best >= 0 && best < len(m.LoadDeps) && m.LoadDeps[best] != nil && m.LoadDeps[best].Total() > 0 {
 		return m.LoadDeps[best]
 	}

@@ -25,23 +25,14 @@ type pfStats struct {
 	spacing float64 // average trigger distance (uops) for partial misses
 }
 
-// strideMLP implements the stride-MLP model: it rebuilds a virtual
-// instruction stream from the load-spacing, stride, reuse-distance and
-// inter-load dependence distributions, marks hits and misses, and steps an
-// abstract ROB over the stream counting independent misses.
-func strideMLP(p *profiler.Profile, m *profiler.Micro, curve *statstack.Curve, prm Params) (float64, pfStats) {
-	target := statstack.MissRatioForMicro(curve, m, prm.LLCLines) * float64(m.LoadCount)
-	stream := buildVirtualStream(p, m, curve, prm, target)
-	if len(stream) == 0 {
-		return 1, pfStats{}
-	}
-	assignDepths(stream, p, m, prm.ROB)
-	pf := modelPrefetcher(stream, m, prm)
-	// Branch mispredictions drain the window (§2.5.2), so the abstract
-	// ROB steps with the truncated window size.
-	mlp := stepROB(stream, m.Len, prm.window())
-	return mlp, pf
-}
+// The stride-MLP model rebuilds a virtual instruction stream from the
+// load-spacing, stride, reuse-distance and inter-load dependence
+// distributions, marks hits and misses, and steps an abstract ROB over the
+// stream counting independent misses. The entry point is
+// Compiled.strideMLP (compile.go), which caches the stream construction
+// per (LLC geometry, profiled-ROB index); branch mispredictions drain the
+// window (§2.5.2), so the abstract ROB steps with the truncated window
+// size.
 
 // buildVirtualStream positions each static load's recurrences with the
 // load-spacing distribution, assigns addresses along its classified stride

@@ -38,6 +38,26 @@ type Options struct {
 	Bursts int
 }
 
+// ROBIndexFor returns the index into o.ROBs of the profiled ROB size nearest
+// rob (the first wins on ties, matching the strict-< scans it replaces), or
+// -1 when no ROB sizes were profiled. Every consumer that quantizes an
+// arbitrary ROB to a profiled one — dependence histograms, cold-miss
+// windows, the stride-MLP depth assignment — goes through this, so memo
+// tables keyed by the index agree exactly with the lookups they cache.
+func (o Options) ROBIndexFor(rob int) int {
+	best, bestDiff := -1, 1<<30
+	for i, r := range o.ROBs {
+		d := r - rob
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
 func (o Options) withDefaults(streamLen int) Options {
 	if o.MicroUops <= 0 {
 		o.MicroUops = 1000
@@ -257,15 +277,9 @@ func (p *Profile) coldHistFor(rob int) *stats.Histogram {
 	if len(p.ColdPerROB) == 0 {
 		return nil
 	}
-	best, bestDiff := 0, 1<<30
-	for i, r := range p.Opts.ROBs {
-		d := r - rob
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDiff {
-			best, bestDiff = i, d
-		}
+	best := p.Opts.ROBIndexFor(rob)
+	if best < 0 {
+		best = 0
 	}
 	return p.ColdPerROB[best]
 }
@@ -273,15 +287,9 @@ func (p *Profile) coldHistFor(rob int) *stats.Histogram {
 // LoadDepHistFor returns the aggregate inter-load dependence distribution
 // f(ℓ) for the profiled ROB size closest to rob, merged across micro-traces.
 func (p *Profile) LoadDepHistFor(rob int) *stats.Histogram {
-	best, bestDiff := 0, 1<<30
-	for i, r := range p.Opts.ROBs {
-		d := r - rob
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDiff {
-			best, bestDiff = i, d
-		}
+	best := p.Opts.ROBIndexFor(rob)
+	if best < 0 {
+		best = 0
 	}
 	out := stats.NewHistogram()
 	for _, m := range p.Micros {

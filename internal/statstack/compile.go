@@ -1,0 +1,105 @@
+package statstack
+
+import (
+	"mipp/internal/cache"
+	"mipp/internal/profiler"
+)
+
+// CurveSet is the config-invariant compilation of one profile's reuse
+// behaviour: the combined reuse→stack curve, the per-burst curves (§5.4.1)
+// and the instruction-side curve. Every curve depends only on the profile,
+// so a CurveSet is built once and then queried for any number of cache
+// geometries — the curve construction that used to dominate Predict moves
+// out of the per-configuration loop entirely.
+//
+// A CurveSet is immutable after Compile and safe for concurrent use.
+type CurveSet struct {
+	profile *profiler.Profile
+	// Curve is the combined (loads+stores) reuse→stack curve, shared with
+	// the MLP models.
+	Curve *Curve
+
+	bursts []burstCurve
+	icurve *Curve // nil when the profile has no instruction-side reuse
+}
+
+// burstCurve pairs one reuse burst with its own reuse→stack curve, so phase
+// changes in locality do not smear the prediction (§5.4.1).
+type burstCurve struct {
+	curve *Curve
+	b     *profiler.ReuseBurst
+}
+
+// Compile builds every reuse→stack curve a profile needs: the combined
+// curve, one per non-empty burst, and the instruction-side curve.
+func Compile(p *profiler.Profile) *CurveSet {
+	cs := &CurveSet{profile: p, Curve: New(p.ReuseAll)}
+	for _, b := range p.Bursts {
+		if b.Loads+b.Stores == 0 {
+			continue
+		}
+		cs.bursts = append(cs.bursts, burstCurve{New(b.All), b})
+	}
+	if p.ReuseInstr.Total() > 0 || p.ColdInstr > 0 {
+		cs.icurve = New(p.ReuseInstr)
+	}
+	return cs
+}
+
+// Predict estimates miss ratios for every level of a data-cache hierarchy
+// plus the L1I, reusing the precompiled curves. It returns exactly what the
+// package-level Predict returns for the same profile and geometry.
+func (cs *CurveSet) Predict(levels []cache.Config, l1i cache.Config) *Prediction {
+	p := cs.profile
+	out := &Prediction{Curve: cs.Curve}
+	for _, cfg := range levels {
+		lines := float64(cfg.Lines())
+		ls := LevelStats{Config: cfg}
+		if len(cs.bursts) > 0 {
+			var loadMiss, storeMiss float64
+			for _, bc := range cs.bursts {
+				loadMiss += bc.curve.MissRatio(bc.b.Load, float64(bc.b.ColdLoad), lines) * float64(bc.b.Loads)
+				storeMiss += bc.curve.MissRatio(bc.b.Store, float64(bc.b.ColdStore), lines) * float64(bc.b.Stores)
+			}
+			ls.LoadMisses = loadMiss
+			ls.StoreMisses = storeMiss
+			if p.LoadCount > 0 {
+				ls.LoadMissRatio = loadMiss / float64(p.LoadCount)
+			}
+			if p.StoreCount > 0 {
+				ls.StoreMissRatio = storeMiss / float64(p.StoreCount)
+			}
+		} else {
+			ls.LoadMissRatio = cs.Curve.MissRatio(p.ReuseLoad, float64(p.ColdLoads), lines)
+			ls.StoreMissRatio = cs.Curve.MissRatio(p.ReuseStore, float64(p.ColdStores), lines)
+			ls.LoadMisses = ls.LoadMissRatio * float64(p.LoadCount)
+			ls.StoreMisses = ls.StoreMissRatio * float64(p.StoreCount)
+		}
+		ls.Misses = ls.LoadMisses + ls.StoreMisses
+		if p.MemAccesses > 0 {
+			ls.MissRatio = ls.Misses / float64(p.MemAccesses)
+		}
+		if p.TotalInstrs > 0 {
+			ls.MPKI = ls.Misses / float64(p.TotalInstrs) * 1000
+		}
+		out.Levels = append(out.Levels, ls)
+	}
+	// Instruction side: its own curve over the fetch-line stream.
+	if cs.icurve != nil {
+		ratio := cs.icurve.MissRatio(p.ReuseInstr, float64(p.ColdInstr), float64(l1i.Lines()))
+		if p.TotalInstrs > 0 {
+			out.ICacheMPKI = ratio * float64(p.InstrFetch) / float64(p.TotalInstrs) * 1000
+		}
+	}
+	if n := len(out.Levels); n > 0 {
+		llc := out.Levels[n-1]
+		if llc.LoadMisses > 0 {
+			cold := float64(p.ColdLoads)
+			if cold > llc.LoadMisses {
+				cold = llc.LoadMisses
+			}
+			out.ColdFraction = cold / llc.LoadMisses
+		}
+	}
+	return out
+}

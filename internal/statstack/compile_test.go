@@ -1,0 +1,53 @@
+package statstack
+
+import (
+	"reflect"
+	"testing"
+
+	"mipp/internal/config"
+)
+
+// TestCurveSetPredictGolden pins the compile → evaluate split at the
+// StatStack layer: one compiled CurveSet queried for many geometries must
+// return exactly what the one-shot Predict returns for each, and repeated
+// queries for the same geometry must be identical.
+func TestCurveSetPredictGolden(t *testing.T) {
+	for _, name := range []string{"gcc", "mcf"} {
+		p := profileOf(t, name, 100_000)
+		cs := Compile(p)
+		geometries := []*config.Config{
+			config.Reference(),
+			config.LowPower(),
+		}
+		for _, k := range []int{1, 81, 121} {
+			geometries = append(geometries, config.DesignSpace()[k])
+		}
+		for _, cfg := range geometries {
+			oneShot := Predict(p, cfg.CacheLevels(), cfg.L1I)
+			compiled := cs.Predict(cfg.CacheLevels(), cfg.L1I)
+			again := cs.Predict(cfg.CacheLevels(), cfg.L1I)
+			// The Curve pointers differ by construction (Predict compiles
+			// its own); every predicted quantity must not.
+			oneShot.Curve, compiled.Curve, again.Curve = nil, nil, nil
+			if !reflect.DeepEqual(oneShot, compiled) {
+				t.Errorf("%s/%s: CurveSet.Predict diverges from Predict:\none-shot %+v\ncompiled %+v",
+					name, cfg.Name, oneShot, compiled)
+			}
+			if !reflect.DeepEqual(compiled, again) {
+				t.Errorf("%s/%s: repeated CurveSet.Predict not identical", name, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestCurveSetSharesCurve asserts the combined curve is compiled once and
+// shared with every prediction (the MLP models key their memo tables on it).
+func TestCurveSetSharesCurve(t *testing.T) {
+	p := profileOf(t, "libquantum", 60_000)
+	cs := Compile(p)
+	a := cs.Predict(config.Reference().CacheLevels(), config.Reference().L1I)
+	b := cs.Predict(config.LowPower().CacheLevels(), config.LowPower().L1I)
+	if a.Curve != cs.Curve || b.Curve != cs.Curve {
+		t.Fatal("predictions do not share the compiled curve")
+	}
+}

@@ -155,75 +155,11 @@ type Prediction struct {
 }
 
 // Predict estimates miss ratios for every level of a data-cache hierarchy
-// plus the L1I, from a micro-architecture independent profile.
+// plus the L1I, from a micro-architecture independent profile. It compiles
+// the profile's curves and throws them away; callers predicting more than
+// one geometry should Compile once and call CurveSet.Predict per geometry.
 func Predict(p *profiler.Profile, levels []cache.Config, l1i cache.Config) *Prediction {
-	curve := New(p.ReuseAll)
-	out := &Prediction{Curve: curve}
-	// Per-burst conversion (§5.4.1): each burst gets its own reuse→stack
-	// curve, so phase changes in locality do not smear the prediction;
-	// miss masses aggregate across bursts.
-	type burstCurve struct {
-		curve *Curve
-		b     *profiler.ReuseBurst
-	}
-	var bcs []burstCurve
-	for _, b := range p.Bursts {
-		if b.Loads+b.Stores == 0 {
-			continue
-		}
-		bcs = append(bcs, burstCurve{New(b.All), b})
-	}
-	for _, cfg := range levels {
-		lines := float64(cfg.Lines())
-		ls := LevelStats{Config: cfg}
-		if len(bcs) > 0 {
-			var loadMiss, storeMiss float64
-			for _, bc := range bcs {
-				loadMiss += bc.curve.MissRatio(bc.b.Load, float64(bc.b.ColdLoad), lines) * float64(bc.b.Loads)
-				storeMiss += bc.curve.MissRatio(bc.b.Store, float64(bc.b.ColdStore), lines) * float64(bc.b.Stores)
-			}
-			ls.LoadMisses = loadMiss
-			ls.StoreMisses = storeMiss
-			if p.LoadCount > 0 {
-				ls.LoadMissRatio = loadMiss / float64(p.LoadCount)
-			}
-			if p.StoreCount > 0 {
-				ls.StoreMissRatio = storeMiss / float64(p.StoreCount)
-			}
-		} else {
-			ls.LoadMissRatio = curve.MissRatio(p.ReuseLoad, float64(p.ColdLoads), lines)
-			ls.StoreMissRatio = curve.MissRatio(p.ReuseStore, float64(p.ColdStores), lines)
-			ls.LoadMisses = ls.LoadMissRatio * float64(p.LoadCount)
-			ls.StoreMisses = ls.StoreMissRatio * float64(p.StoreCount)
-		}
-		ls.Misses = ls.LoadMisses + ls.StoreMisses
-		if p.MemAccesses > 0 {
-			ls.MissRatio = ls.Misses / float64(p.MemAccesses)
-		}
-		if p.TotalInstrs > 0 {
-			ls.MPKI = ls.Misses / float64(p.TotalInstrs) * 1000
-		}
-		out.Levels = append(out.Levels, ls)
-	}
-	// Instruction side: its own curve over the fetch-line stream.
-	if p.ReuseInstr.Total() > 0 || p.ColdInstr > 0 {
-		icurve := New(p.ReuseInstr)
-		ratio := icurve.MissRatio(p.ReuseInstr, float64(p.ColdInstr), float64(l1i.Lines()))
-		if p.TotalInstrs > 0 {
-			out.ICacheMPKI = ratio * float64(p.InstrFetch) / float64(p.TotalInstrs) * 1000
-		}
-	}
-	if n := len(out.Levels); n > 0 {
-		llc := out.Levels[n-1]
-		if llc.LoadMisses > 0 {
-			cold := float64(p.ColdLoads)
-			if cold > llc.LoadMisses {
-				cold = llc.LoadMisses
-			}
-			out.ColdFraction = cold / llc.LoadMisses
-		}
-	}
-	return out
+	return Compile(p).Predict(levels, l1i)
 }
 
 // MissRatioForMicro estimates the load miss ratio of one micro-trace at a

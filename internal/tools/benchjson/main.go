@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// perf record and enforces metric budgets, so CI can both archive the perf
+// trajectory (BENCH_pr3.json) and fail when the batched hot path regresses.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=... -benchmem . | \
+//	    go run ./internal/tools/benchjson -out BENCH_pr3.json \
+//	        -limit 'PredictBatch:allocs/config:10'
+//
+// Every benchmark line becomes an entry keyed by its name (the -<procs>
+// suffix stripped), holding iterations plus each reported metric verbatim
+// ("ns/op", "configs/s", "allocs/config", ...). A -limit NAME:METRIC:MAX
+// flag (repeatable) makes the run fail if the named benchmark is missing,
+// the metric is absent, or its value exceeds MAX.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches "BenchmarkName[-procs]  iterations  v unit  v unit ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(.*)$`)
+
+type entry struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type record struct {
+	SchemaVersion int    `json:"schema_version"`
+	PR            int    `json:"pr"`
+	Note          string `json:"note,omitempty"`
+	// Seed records the pre-split baseline of the same Engine.Evaluate
+	// benchmark (commit 28e8d8e, same 2×81-item batch, 1 worker) so the
+	// trajectory is readable from this file alone.
+	Seed     map[string]float64 `json:"seed_baseline"`
+	Benches  map[string]entry   `json:"benchmarks"`
+	Failures []string           `json:"budget_failures,omitempty"`
+}
+
+type limits []string
+
+func (l *limits) String() string     { return strings.Join(*l, ",") }
+func (l *limits) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_pr3.json", "output JSON path (- for stdout)")
+		lims limits
+	)
+	flag.Var(&lims, "limit", "budget NAME:METRIC:MAX (repeatable); fail if exceeded or missing")
+	flag.Parse()
+
+	rec := record{
+		SchemaVersion: 1,
+		PR:            3,
+		Note:          "compile→evaluate split: batched phase-2 kernel over the 81-config stock design-space sample",
+		Seed: map[string]float64{
+			"engine_evaluate_configs_per_s":     1085,
+			"engine_evaluate_allocs_per_config": 1009,
+		},
+		Benches: make(map[string]entry),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Iterations: iters, Metrics: make(map[string]float64)}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		rec.Benches[strings.TrimPrefix(m[1], "Benchmark")] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	for _, lim := range lims {
+		parts := strings.Split(lim, ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -limit %q (want NAME:METRIC:MAX)\n", lim)
+			os.Exit(2)
+		}
+		maxV, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -limit max %q: %v\n", parts[2], err)
+			os.Exit(2)
+		}
+		e, ok := rec.Benches[parts[0]]
+		if !ok {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("benchmark %q missing", parts[0]))
+			continue
+		}
+		v, ok := e.Metrics[parts[1]]
+		if !ok {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: metric %q missing", parts[0], parts[1]))
+			continue
+		}
+		if v > maxV {
+			rec.Failures = append(rec.Failures,
+				fmt.Sprintf("%s: %s = %g exceeds budget %g", parts[0], parts[1], v, maxV))
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	for _, f := range rec.Failures {
+		fmt.Fprintf(os.Stderr, "benchjson: BUDGET FAILURE: %s\n", f)
+	}
+	if len(rec.Failures) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package mipp
 
 import (
+	"context"
 	"fmt"
 
 	"mipp/internal/config"
@@ -65,13 +66,17 @@ const (
 type EntropyFit func(entropy float64) float64
 
 // Predictor evaluates one workload profile against processor
-// configurations. Building a Predictor is cheap; Predict is nearly
-// instantaneous per configuration — the property that makes design-space
-// exploration fast. A Predictor is safe for concurrent use.
+// configurations. NewPredictor compiles the profile once (phase 1: the
+// StatStack curves, per-micro-trace mixes and MLP models, and the memo
+// tables every config-invariant quantity lands in); Predict and
+// PredictBatch are then cheap analytical queries (phase 2) — the property
+// that makes design-space exploration fast. A Predictor is safe for
+// concurrent use.
 type Predictor struct {
 	model      *core.Model
 	opts       core.Options
 	prefetcher *bool
+	compiled   *core.Compiled
 }
 
 // PredictorOption customizes a Predictor.
@@ -143,6 +148,7 @@ func NewPredictor(p *Profile, opts ...PredictorOption) (*Predictor, error) {
 	for _, o := range opts {
 		o(pd)
 	}
+	pd.compiled = pd.model.Compile(pd.opts)
 	return pd, nil
 }
 
@@ -212,9 +218,9 @@ func (r *Result) Point() Point {
 	return Point{Config: r.Config, Time: r.TimeSeconds(), Power: r.Watts()}
 }
 
-// Predict evaluates one configuration. The configuration is validated first
-// and never mutated; Predict is safe to call concurrently.
-func (pd *Predictor) Predict(cfg *Config) (*Result, error) {
+// resolve validates cfg and applies the predictor's prefetcher override,
+// copying the configuration when the override changes it.
+func (pd *Predictor) resolve(cfg *Config) (*Config, error) {
 	if cfg == nil {
 		return nil, fmt.Errorf("mipp: Predict: nil config")
 	}
@@ -227,7 +233,12 @@ func (pd *Predictor) Predict(cfg *Config) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("mipp: Predict: %w", err)
 	}
-	res := pd.model.Evaluate(c, pd.opts)
+	return c, nil
+}
+
+// toResult lifts a core prediction into the public Result, attaching the
+// power estimate.
+func toResult(c *Config, res *core.Result) *Result {
 	return &Result{
 		Config:         res.Config,
 		Workload:       res.Workload,
@@ -242,7 +253,56 @@ func (pd *Predictor) Predict(cfg *Config) (*Result, error) {
 		MLP:            res.MLP,
 		BranchMissRate: res.BranchMissRate,
 		MicroCPI:       res.MicroCPI,
-	}, nil
+	}
+}
+
+// Predict evaluates one configuration. The configuration is validated first
+// and never mutated; Predict is safe to call concurrently.
+func (pd *Predictor) Predict(cfg *Config) (*Result, error) {
+	c, err := pd.resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(c, pd.compiled.Evaluate(c)), nil
+}
+
+// PredictBatch evaluates every configuration in input order on one reused
+// evaluation kernel — the batched phase-2 path Sweep and the service layer
+// run on. results[i] always corresponds to configs[i] and is byte-identical
+// to what Predict(configs[i]) returns; errs[i] is non-nil exactly where the
+// configuration failed validation (a bad configuration skips its slot, it
+// does not abort the batch).
+//
+// The context is checked between configurations, so cancellation inside a
+// large batch is observed promptly; on cancellation the partial results are
+// returned alongside ctx.Err(). Safe for concurrent use.
+func (pd *Predictor) PredictBatch(ctx context.Context, configs []*Config) (Results, []error, error) {
+	results := make(Results, len(configs))
+	errs := make([]error, len(configs))
+	err := pd.predictBatchInto(ctx, configs, results, errs)
+	return results, errs, err
+}
+
+// predictBatchInto is PredictBatch writing into caller-owned slices, so the
+// pool fan-out in Sweep and Engine lands chunk results directly at their
+// input index without per-chunk allocation.
+func (pd *Predictor) predictBatchInto(ctx context.Context, configs []*Config, results Results, errs []error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batch := pd.compiled.NewBatch()
+	for i, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := pd.resolve(cfg)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		results[i] = toResult(c, batch.Evaluate(c))
+	}
+	return nil
 }
 
 // Config is a complete processor description; see mipp/arch for

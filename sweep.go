@@ -59,16 +59,47 @@ func runPool(ctx context.Context, n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// Sweep evaluates the predictor over every configuration using a worker
-// pool. results[i] always corresponds to configs[i], and the output is
-// byte-for-byte identical regardless of worker count — evaluation order is
-// the only thing concurrency changes.
+// batchChunk sizes the contiguous batches a sweep is split into: enough
+// chunks for the pool to load-balance (about four per worker), big enough
+// that the batch kernel's scratch and memo reuse pay off.
+func batchChunk(n, workers int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// sweepBatches fans the predictor's batch kernel over contiguous chunks of
+// configs on the pool, landing results and per-config errors at their input
+// index in the caller-owned slices. It is the one fan-out used by Sweep and
+// the Engine; cancellation is observed between configs inside each chunk
+// (a context error surfaces through the caller's ctx.Err() check).
+func sweepBatches(ctx context.Context, pd *Predictor, configs []*Config, workers int, results Results, errs []error) {
+	chunk := batchChunk(len(configs), workers)
+	nchunks := (len(configs) + chunk - 1) / chunk
+	runPool(ctx, nchunks, workers, func(ci int) {
+		lo := ci * chunk
+		hi := min(lo+chunk, len(configs))
+		_ = pd.predictBatchInto(ctx, configs[lo:hi], results[lo:hi], errs[lo:hi])
+	})
+}
+
+// Sweep evaluates the predictor over every configuration, fanning
+// contiguous batches out over a worker pool; each worker runs the compiled
+// batch kernel (PredictBatch) over its chunk. results[i] always corresponds
+// to configs[i], and the output is byte-for-byte identical regardless of
+// worker count — evaluation order is the only thing concurrency changes.
 //
-// On context cancellation Sweep stops promptly, drains its workers and
-// returns ctx.Err(). Configuration failures are aggregated: the returned
-// error joins every per-config failure (with its index and name) rather
-// than reporting only the first, so one diagnostic pass surfaces all bad
-// configs in a generated space.
+// On context cancellation Sweep stops promptly — the batch kernel checks
+// the context between configurations, not just at chunk boundaries — drains
+// its workers and returns ctx.Err(). Configuration failures are aggregated:
+// the returned error joins every per-config failure (with its index and
+// name) rather than reporting only the first, so one diagnostic pass
+// surfaces all bad configs in a generated space.
 func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepOption) (Results, error) {
 	if pd == nil {
 		return nil, fmt.Errorf("mipp: Sweep: nil predictor")
@@ -83,9 +114,7 @@ func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepO
 
 	results := make(Results, len(configs))
 	errs := make([]error, len(configs))
-	runPool(ctx, len(configs), sc.workers, func(i int) {
-		results[i], errs[i] = pd.Predict(configs[i])
-	})
+	sweepBatches(ctx, pd, configs, sc.workers, results, errs)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -102,6 +102,28 @@ func TestSweepCancellation(t *testing.T) {
 	}
 }
 
+// TestSweepCancellationBatchGranularity asserts Sweep observes cancellation
+// between configs inside a batch — not only at work-item boundaries: a
+// context that cancels mid-chunk (well before the single worker's first
+// ~60-config chunk ends) must still abort the sweep with ctx.Err(). The
+// poll-counting context lives in batch_test.go; the batch kernel polls it
+// once per configuration.
+func TestSweepCancellationBatchGranularity(t *testing.T) {
+	pred := sweepPredictor(t)
+	configs := arch.DesignSpace() // 243 configs; 1 worker → ~61-config chunks
+	ctx := &pollCountCtx{Context: context.Background(), after: 5}
+	results, err := mipp.Sweep(ctx, pred, configs, mipp.WithWorkers(1))
+	if err != context.Canceled {
+		t.Fatalf("mid-batch cancel: err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Error("cancelled Sweep returned results")
+	}
+	if polls := ctx.polls.Load(); polls > 30 {
+		t.Errorf("cancellation observed only after %d polls; batch kernel should poll per config and stop promptly", polls)
+	}
+}
+
 func TestSweepErrorPropagation(t *testing.T) {
 	pred := sweepPredictor(t)
 	configs := arch.DesignSpaceSample(30)
