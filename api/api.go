@@ -59,34 +59,101 @@ func (cs ConfigSpec) Resolve() (*arch.Config, error) {
 }
 
 // SpaceSpec expands to a family of configurations server-side, so sweeping
-// the paper's design space does not require shipping 243 inline configs.
+// the paper's design space does not require shipping 243 inline configs —
+// and, in its "parametric" form, names combinatorially large spaces that
+// are never shipped at all.
 type SpaceSpec struct {
-	// Kind selects the family: "design" (the 3^5 space of Table 6.3) or
-	// "dvfs" (the reference core at each Table 7.2 operating point).
+	// Kind selects the family: "design" (the 3^5 space of Table 6.3),
+	// "dvfs" (the reference core at each Table 7.2 operating point) or
+	// "parametric" (an explicit lazy arch.Space in the Space field).
 	Kind string `json:"kind"`
-	// Stride samples every stride-th configuration of the "design"
-	// enumeration (<= 1 keeps all 243).
+	// Stride samples every stride-th configuration of the "design" or
+	// "parametric" enumeration (<= 1 keeps all).
 	Stride int `json:"stride,omitempty"`
+	// Space is the axes of a "parametric" space. Search requests walk it
+	// lazily; sweep/batch/pareto requests materialize it and are bounded
+	// by MaxMaterializedSpace.
+	Space *arch.Space `json:"space,omitempty"`
 }
+
+// MaxMaterializedSpace bounds how many configurations a parametric space
+// may expand to on the synchronous sweep/batch/pareto paths. Larger spaces
+// must go through /v1/search, which never materializes them.
+const MaxMaterializedSpace = 1 << 16
 
 // Expand enumerates the configuration family.
 func (s SpaceSpec) Expand() ([]*arch.Config, error) {
+	if s.Stride < 0 {
+		return nil, fmt.Errorf("api: negative space stride %d", s.Stride)
+	}
 	switch s.Kind {
 	case "design":
+		if s.Space != nil {
+			return nil, fmt.Errorf("api: space axes are only valid for the parametric kind, not %q", s.Kind)
+		}
 		return arch.DesignSpaceSample(s.Stride), nil
 	case "dvfs":
-		if s.Stride != 0 {
-			return nil, fmt.Errorf("api: stride is only valid for the design space, not %q", s.Kind)
+		if s.Stride != 0 || s.Space != nil {
+			return nil, fmt.Errorf("api: stride and space axes are not valid for kind %q", s.Kind)
 		}
-		ref := arch.Reference()
-		points := arch.DVFSPoints()
-		out := make([]*arch.Config, 0, len(points))
-		for _, p := range points {
-			out = append(out, arch.WithDVFS(ref, p))
+		// Materialize through the same parametric enumeration the lazy
+		// (search) path walks, so the two paths agree on configuration
+		// names and results join across endpoints.
+		sp := arch.DVFSSpace()
+		out := make([]*arch.Config, 0, sp.Size())
+		for _, c := range sp.All() {
+			out = append(out, c)
+		}
+		return out, nil
+	case "parametric":
+		lazy := s
+		lazy.Stride = 0
+		sp, err := lazy.Lazy()
+		if err != nil {
+			return nil, err
+		}
+		stride := s.Stride
+		if stride < 1 {
+			stride = 1
+		}
+		n := sp.Size()
+		if (n+stride-1)/stride > MaxMaterializedSpace {
+			return nil, fmt.Errorf("api: parametric space has %d points (max %d materialized); submit it to /v1/search instead", n, MaxMaterializedSpace)
+		}
+		out := make([]*arch.Config, 0, (n+stride-1)/stride)
+		for i := 0; i < n; i += stride {
+			out = append(out, sp.At(i))
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("api: unknown config space %q (want design or dvfs)", s.Kind)
+	return nil, fmt.Errorf("api: unknown config space %q (want design, dvfs or parametric)", s.Kind)
+}
+
+// Lazy returns the spec as a parametric space without materializing it —
+// the form the search subsystem walks. Stride is rejected for every kind:
+// a search strategy owns its own sampling.
+func (s SpaceSpec) Lazy() (*arch.Space, error) {
+	if s.Stride != 0 {
+		return nil, fmt.Errorf("api: stride is not valid for a lazy space (a search strategy owns its sampling)")
+	}
+	if s.Space != nil && s.Kind != "parametric" {
+		return nil, fmt.Errorf("api: space axes are only valid for the parametric kind, not %q", s.Kind)
+	}
+	switch s.Kind {
+	case "design":
+		return arch.TableSpace(), nil
+	case "dvfs":
+		return arch.DVFSSpace(), nil
+	case "parametric":
+		if s.Space == nil {
+			return nil, fmt.Errorf("api: parametric space spec has no axes")
+		}
+		if err := s.Space.Validate(); err != nil {
+			return nil, err
+		}
+		return s.Space, nil
+	}
+	return nil, fmt.Errorf("api: unknown config space %q (want design, dvfs or parametric)", s.Kind)
 }
 
 // ExpandConfigs resolves explicit specs and appends the optional space

@@ -187,3 +187,133 @@ func TestResultWireFormat(t *testing.T) {
 		t.Error("empty micro_cpi not omitted")
 	}
 }
+
+func TestSpaceSpecParametric(t *testing.T) {
+	small := &arch.Space{Widths: []int{2, 4}, ROBs: []int{64, 128}}
+	cfgs, err := SpaceSpec{Kind: "parametric", Space: small}.Expand()
+	if err != nil || len(cfgs) != 4 {
+		t.Fatalf("parametric expand = %d configs, err %v", len(cfgs), err)
+	}
+	if cfgs[0].Name == "" || cfgs[0].Name == cfgs[3].Name {
+		t.Errorf("expanded names not distinct: %q %q", cfgs[0].Name, cfgs[3].Name)
+	}
+
+	// Stride samples the enumeration.
+	cfgs, err = SpaceSpec{Kind: "parametric", Space: small, Stride: 2}.Expand()
+	if err != nil || len(cfgs) != 2 {
+		t.Fatalf("strided parametric expand = %d configs, err %v", len(cfgs), err)
+	}
+
+	// Oversized spaces must be refused on the materializing paths and
+	// directed to /v1/search...
+	big := &arch.Space{
+		Widths:  []int{1, 2, 3, 4, 5, 6},
+		ROBs:    []int{16, 24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 512},
+		L2Bytes: []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		L3Bytes: []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
+		Clocks: []arch.DVFSPoint{
+			{FrequencyGHz: 1.2, VoltageV: 0.85}, {FrequencyGHz: 1.6, VoltageV: 0.95},
+			{FrequencyGHz: 2.0, VoltageV: 1.0}, {FrequencyGHz: 2.4, VoltageV: 1.05},
+			{FrequencyGHz: 2.66, VoltageV: 1.1}, {FrequencyGHz: 2.8, VoltageV: 1.13},
+			{FrequencyGHz: 3.2, VoltageV: 1.2}, {FrequencyGHz: 3.33, VoltageV: 1.25},
+		},
+		Prefetcher: []bool{false, true},
+	}
+	if _, err := (SpaceSpec{Kind: "parametric", Space: big}).Expand(); err == nil ||
+		!strings.Contains(err.Error(), "/v1/search") {
+		t.Errorf("oversized parametric expand err = %v, want /v1/search hint", err)
+	}
+	// ...but walk lazily without complaint.
+	sp, err := SpaceSpec{Kind: "parametric", Space: big}.Lazy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 6*16*7*7*8*2 {
+		t.Errorf("lazy size = %d", sp.Size())
+	}
+
+	// Lazy forms of the named kinds.
+	if sp, err := (SpaceSpec{Kind: "design"}).Lazy(); err != nil || sp.Size() != 243 {
+		t.Errorf("lazy design = %v size %d", err, sp.Size())
+	}
+	if sp, err := (SpaceSpec{Kind: "dvfs"}).Lazy(); err != nil || sp.Size() != 5 {
+		t.Errorf("lazy dvfs = %v", err)
+	}
+	// The materialized and lazy dvfs paths must agree on names, so sweep
+	// and search results join across endpoints.
+	dvfsCfgs, err := SpaceSpec{Kind: "dvfs"}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvfsSpace, _ := SpaceSpec{Kind: "dvfs"}.Lazy()
+	for i, c := range dvfsCfgs {
+		if lazy := dvfsSpace.At(i); lazy.Name != c.Name {
+			t.Errorf("dvfs name mismatch at %d: expand %q vs lazy %q", i, c.Name, lazy.Name)
+		}
+	}
+	if _, err := (SpaceSpec{Kind: "parametric"}).Lazy(); err == nil {
+		t.Error("axis-less parametric Lazy did not error")
+	}
+	if _, err := (SpaceSpec{Kind: "design", Stride: 3}).Lazy(); err == nil {
+		t.Error("strided lazy design space did not error")
+	}
+	if _, err := (SpaceSpec{Kind: "design", Space: small}).Lazy(); err == nil {
+		t.Error("design kind with parametric axes did not error")
+	}
+	if _, err := (SpaceSpec{Kind: "dvfs", Stride: 3}).Lazy(); err == nil {
+		t.Error("strided lazy dvfs space did not error")
+	}
+}
+
+func TestStrategySpecValidate(t *testing.T) {
+	good := []StrategySpec{
+		{Kind: "exhaustive"},
+		{Kind: "random", Seed: 9, Samples: 100},
+		{Kind: "hill", Restarts: 4},
+		{Kind: "genetic", Population: 32, Generations: 10, MutationRate: 0.2, Elite: 2},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v: %v", s, err)
+		}
+	}
+	bad := []StrategySpec{
+		{},
+		{Kind: "annealing"},
+		{Kind: "random", Samples: -1},
+		{Kind: "genetic", MutationRate: 1.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v validated, want error", s)
+		}
+	}
+}
+
+func TestSearchRequestValidate(t *testing.T) {
+	ok := SearchRequest{
+		SchemaVersion: SchemaVersion,
+		Workload:      "mcf",
+		Space:         SpaceSpec{Kind: "design"},
+		Strategy:      StrategySpec{Kind: "random"},
+		Objective:     "ed2p",
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	neg := -1.0
+	bad := []SearchRequest{
+		{SchemaVersion: 9, Workload: "m", Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "random"}},
+		{SchemaVersion: SchemaVersion, Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "random"}},
+		{SchemaVersion: SchemaVersion, Workload: "m", Strategy: StrategySpec{Kind: "random"}},
+		{SchemaVersion: SchemaVersion, Workload: "m", Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "nope"}},
+		{SchemaVersion: SchemaVersion, Workload: "m", Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "random"}, Objective: "speed"},
+		{SchemaVersion: SchemaVersion, Workload: "m", Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "random"}, Budget: -2},
+		{SchemaVersion: SchemaVersion, Workload: "m", Space: SpaceSpec{Kind: "design"}, Strategy: StrategySpec{Kind: "random"}, CapWatts: &neg},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad request %d validated", i)
+		}
+	}
+}

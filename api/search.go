@@ -1,0 +1,153 @@
+package api
+
+import (
+	"fmt"
+
+	"mipp/search"
+)
+
+// The search wire vocabulary: /v1/search submits an asynchronous
+// design-space search job against the engine's cached predictors,
+// GET /v1/search/{id} polls it and DELETE /v1/search/{id} cancels it. The
+// report DTOs alias mipp/search's types directly, so a search answered
+// in-process and the same search answered over the wire marshal to
+// byte-identical JSON for the same seed.
+
+// SearchReport is the wire form of a finished search: best point, Pareto
+// front over everything evaluated, evaluation count and convergence trace.
+type SearchReport = search.Report
+
+// SearchEval is one evaluated design point on the wire.
+type SearchEval = search.Eval
+
+// SearchTraceStep is one convergence-trace entry on the wire.
+type SearchTraceStep = search.TraceStep
+
+// StrategySpec selects and parameterizes a search strategy. Seed pins every
+// random decision, which is what makes remote and local runs byte-identical.
+// Zero-valued knobs take the strategy's defaults.
+type StrategySpec struct {
+	// Kind selects the optimizer: "exhaustive", "random", "hill" or
+	// "genetic".
+	Kind string `json:"kind"`
+	// Seed drives every random decision of the run.
+	Seed int64 `json:"seed,omitempty"`
+	// Samples is the draw count for "random" (0 = the request budget).
+	Samples int `json:"samples,omitempty"`
+	// Restarts is the restart count for "hill".
+	Restarts int `json:"restarts,omitempty"`
+	// Population, Generations, MutationRate and Elite parameterize
+	// "genetic".
+	Population   int     `json:"population,omitempty"`
+	Generations  int     `json:"generations,omitempty"`
+	MutationRate float64 `json:"mutation_rate,omitempty"`
+	Elite        int     `json:"elite,omitempty"`
+}
+
+// strategyKinds is the accepted strategy vocabulary.
+var strategyKinds = map[string]bool{"exhaustive": true, "random": true, "hill": true, "genetic": true}
+
+// Validate rejects unknown strategies and malformed knobs early.
+func (s StrategySpec) Validate() error {
+	if !strategyKinds[s.Kind] {
+		return fmt.Errorf("api: unknown strategy %q (want %s)", s.Kind, nameList(strategyKinds))
+	}
+	if s.Samples < 0 || s.Restarts < 0 || s.Population < 0 || s.Generations < 0 || s.Elite < 0 {
+		return fmt.Errorf("api: strategy %q has a negative parameter", s.Kind)
+	}
+	if s.MutationRate < 0 || s.MutationRate > 1 {
+		return fmt.Errorf("api: strategy %q mutation_rate %g outside [0,1]", s.Kind, s.MutationRate)
+	}
+	return nil
+}
+
+// SearchRequest submits an asynchronous design-space search: one workload,
+// one (usually parametric) space, one strategy, an objective and optional
+// constraints. The response is a job handle to poll.
+type SearchRequest struct {
+	SchemaVersion int           `json:"schema_version"`
+	Workload      string        `json:"workload"`
+	Space         SpaceSpec     `json:"space"`
+	Options       PredictorSpec `json:"options"`
+	Strategy      StrategySpec  `json:"strategy"`
+	// Objective is the scalar to minimize: "time" (default), "energy",
+	// "edp" or "ed2p".
+	Objective string `json:"objective,omitempty"`
+	// CapWatts and MaxArea restrict the feasible region (0/absent = no
+	// constraint).
+	CapWatts *float64 `json:"cap_watts,omitempty"`
+	MaxArea  *float64 `json:"max_area,omitempty"`
+	// Budget caps unique evaluations (0 = strategy default behavior).
+	Budget int `json:"budget,omitempty"`
+	// Workers caps the evaluation worker pool (0 = engine default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Validate checks version and shape; the space itself is validated when the
+// job is admitted.
+func (r *SearchRequest) Validate() error {
+	if err := CheckVersion(r.SchemaVersion); err != nil {
+		return err
+	}
+	if r.Workload == "" {
+		return fmt.Errorf("api: search request has no workload")
+	}
+	if r.Space.Kind == "" {
+		return fmt.Errorf("api: search request has no space")
+	}
+	if err := r.Strategy.Validate(); err != nil {
+		return err
+	}
+	if err := search.Objective(r.Objective).Validate(); err != nil {
+		return err
+	}
+	if r.Budget < 0 {
+		return fmt.Errorf("api: search request has negative budget %d", r.Budget)
+	}
+	if r.CapWatts != nil && *r.CapWatts <= 0 {
+		return fmt.Errorf("api: search request cap_watts must be positive")
+	}
+	if r.MaxArea != nil && *r.MaxArea <= 0 {
+		return fmt.Errorf("api: search request max_area must be positive")
+	}
+	return r.Options.Validate()
+}
+
+// Search job states.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// SearchJob is a job snapshot: identity, state, live progress counters and
+// — once done — the report.
+type SearchJob struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	// SpaceSize is the cardinality of the space under search.
+	SpaceSize int `json:"space_size"`
+	// Evaluations and Generations are live progress counters.
+	Evaluations int `json:"evaluations"`
+	Generations int `json:"generations"`
+	// Error is set when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Report is set when State is "done".
+	Report *SearchReport `json:"report,omitempty"`
+}
+
+// Terminal reports whether the job has finished (done, failed or
+// cancelled).
+func (j *SearchJob) Terminal() bool {
+	return j.State == JobDone || j.State == JobFailed || j.State == JobCancelled
+}
+
+// SearchJobResponse is the envelope of every /v1/search interaction:
+// submission, polling and cancellation all answer with a job snapshot.
+type SearchJobResponse struct {
+	SchemaVersion int       `json:"schema_version"`
+	Job           SearchJob `json:"job"`
+}

@@ -1,0 +1,26 @@
+package arch
+
+import "mipp/internal/config"
+
+// Space is a lazy parametric design space: axes over the reference
+// architecture (pipeline width, ROB, L2/L3 capacity, frequency-voltage
+// operating points, prefetcher on/off) whose cross product is enumerated on
+// demand — Size() points, deterministic At(i), and a lazy All() iterator —
+// so spaces of 10⁵–10⁷ configurations are searched without ever being
+// materialized. It is the input of mipp/search and the "parametric" kind of
+// api.SpaceSpec.
+type Space = config.Space
+
+// NumSpaceAxes is the length of a Space coordinate vector.
+const NumSpaceAxes = config.NumSpaceAxes
+
+// TableSpace returns the 3^5 = 243-point space of Table 6.3 in parametric
+// form: TableSpace().At(i) equals DesignSpace()[i], names included — the
+// reference subspace searches are validated against.
+func TableSpace() *Space { return config.TableSpace() }
+
+// DVFSSpace returns the reference core across the Table 7.2 operating
+// points as a one-axis parametric space.
+func DVFSSpace() *Space {
+	return &Space{Name: "dvfs", Clocks: config.DVFSPoints()}
+}

@@ -1,0 +1,123 @@
+package arch_test
+
+// Parametric-space tests: TableSpace must reproduce DesignSpace point for
+// point (the reference subspace searches are validated against), indices
+// must round-trip through coordinates, neighbors must be exactly the ±1
+// axis moves, and the iterator must stay lazy.
+
+import (
+	"reflect"
+	"testing"
+
+	"mipp/arch"
+)
+
+func TestTableSpaceMatchesDesignSpace(t *testing.T) {
+	sp := arch.TableSpace()
+	want := arch.DesignSpace()
+	if sp.Size() != len(want) {
+		t.Fatalf("TableSpace.Size() = %d, want %d", sp.Size(), len(want))
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got := sp.At(i)
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("TableSpace.At(%d) = %+v\nwant %+v", i, got, w)
+		}
+	}
+}
+
+func TestSpaceCoordsIndexRoundTrip(t *testing.T) {
+	sp := &arch.Space{
+		Widths:     []int{2, 4, 6},
+		ROBs:       []int{64, 128},
+		L3Bytes:    []int64{2 << 20, 8 << 20},
+		Clocks:     []arch.DVFSPoint{{FrequencyGHz: 2.0, VoltageV: 1.0}, {FrequencyGHz: 3.2, VoltageV: 1.2}},
+		Prefetcher: []bool{false, true},
+	}
+	n := sp.Size()
+	if n != 3*2*2*2*2 {
+		t.Fatalf("Size() = %d, want 48", n)
+	}
+	var coords []int
+	for i := 0; i < n; i++ {
+		coords = sp.Coords(i, coords)
+		if got := sp.Index(coords); got != i {
+			t.Fatalf("Index(Coords(%d)) = %d", i, got)
+		}
+	}
+	// Prefetcher is the innermost axis: consecutive indices toggle it.
+	if a, b := sp.At(0), sp.At(1); a.Prefetcher.Enabled || !b.Prefetcher.Enabled {
+		t.Errorf("innermost axis: At(0).pf=%v At(1).pf=%v", a.Prefetcher.Enabled, b.Prefetcher.Enabled)
+	}
+	// The "+pf" suffix keeps names unique across the prefetcher axis.
+	if a, b := sp.At(0).Name, sp.At(1).Name; a == b || b != a+"+pf" {
+		t.Errorf("names not distinguished: %q vs %q", a, b)
+	}
+}
+
+func TestSpaceNeighbors(t *testing.T) {
+	sp := arch.TableSpace()
+	// Index 0 is the all-minimum corner: exactly one +1 neighbor per
+	// non-pinned axis (5 of them).
+	n0 := sp.Neighbors(0, nil)
+	if len(n0) != 5 {
+		t.Fatalf("Neighbors(0) = %v, want 5 entries", n0)
+	}
+	var coords []int
+	for _, ni := range n0 {
+		coords = sp.Coords(ni, coords)
+		sum := 0
+		for _, c := range coords {
+			sum += c
+		}
+		if sum != 1 {
+			t.Errorf("neighbor %d has coords %v, not one step from origin", ni, coords)
+		}
+	}
+	// An interior point has two neighbors per non-pinned axis.
+	mid := sp.Index([]int{1, 1, 1, 1, 1, 0})
+	if got := sp.Neighbors(mid, nil); len(got) != 10 {
+		t.Errorf("interior Neighbors = %v, want 10 entries", got)
+	}
+}
+
+func TestSpaceIteratorLazy(t *testing.T) {
+	sp := arch.TableSpace()
+	seen := 0
+	for i, cfg := range sp.All() {
+		if cfg == nil || cfg.Name == "" {
+			t.Fatalf("All() yielded empty config at %d", i)
+		}
+		if seen++; seen == 7 {
+			break
+		}
+	}
+	if seen != 7 {
+		t.Fatalf("iterated %d points, want 7", seen)
+	}
+}
+
+func TestSpaceValidateRejectsBadAxes(t *testing.T) {
+	bad := []*arch.Space{
+		{L2Bytes: []int64{100 << 10}},                 // non-power-of-two sets
+		{Widths: []int{0}},                            // dispatch width 0
+		{Clocks: []arch.DVFSPoint{{FrequencyGHz: 0}}}, // zero clock
+		{ROBs: []int{-4}},                             // negative ROB
+		{Clocks: []arch.DVFSPoint{ // name-colliding frequencies
+			{FrequencyGHz: 2.0, VoltageV: 1.0},
+			{FrequencyGHz: 2.0, VoltageV: 1.2},
+		}},
+		{Clocks: []arch.DVFSPoint{ // collide after %.2f rounding
+			{FrequencyGHz: 2.66, VoltageV: 1.1},
+			{FrequencyGHz: 2.6649, VoltageV: 1.1},
+		}},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("space %d validated; want error", i)
+		}
+	}
+}

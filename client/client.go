@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
+	"time"
 
 	"mipp"
 	"mipp/api"
@@ -59,14 +61,18 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("mippd: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// Unwrap maps the remote status back onto the Evaluator sentinel errors, so
-// errors.Is works identically against local and remote evaluators.
-func (e *RemoteError) Unwrap() error {
+// Unwrap maps the remote status back onto the service sentinel errors, so
+// errors.Is works identically against local and remote evaluators. HTTP
+// does not distinguish which kind of name was unknown, so a 404 matches
+// both ErrUnknownWorkload and ErrUnknownJob.
+func (e *RemoteError) Unwrap() []error {
 	switch e.Status {
 	case http.StatusNotFound:
-		return mipp.ErrUnknownWorkload
+		return []error{mipp.ErrUnknownWorkload, mipp.ErrUnknownJob}
 	case http.StatusBadRequest:
-		return mipp.ErrBadRequest
+		return []error{mipp.ErrBadRequest}
+	case http.StatusTooManyRequests:
+		return []error{mipp.ErrBusy}
 	}
 	return nil
 }
@@ -182,6 +188,46 @@ func (c *Client) Pareto(ctx context.Context, req *api.ParetoRequest) (*api.Paret
 	return resp, checkVersion(resp.SchemaVersion)
 }
 
+// SubmitSearch implements mipp.Searcher: submit an asynchronous
+// design-space search job and return its handle.
+func (c *Client) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api.SearchJobResponse, error) {
+	resp := &api.SearchJobResponse{}
+	if err := c.call(ctx, http.MethodPost, "/v1/search", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// SearchJob implements mipp.Searcher: poll a job for progress and — once
+// done — its report.
+func (c *Client) SearchJob(ctx context.Context, id string) (*api.SearchJobResponse, error) {
+	resp := &api.SearchJobResponse{}
+	if err := c.call(ctx, http.MethodGet, "/v1/search/"+url.PathEscape(id), nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// CancelSearch implements mipp.Searcher: stop a running job and return its
+// final snapshot.
+func (c *Client) CancelSearch(ctx context.Context, id string) (*api.SearchJobResponse, error) {
+	resp := &api.SearchJobResponse{}
+	if err := c.call(ctx, http.MethodDelete, "/v1/search/"+url.PathEscape(id), nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// Search submits a job and polls it to completion — sugar over
+// SubmitSearch + mipp.WaitSearch for callers that just want the report.
+func (c *Client) Search(ctx context.Context, req *api.SearchRequest, poll time.Duration) (*api.SearchJobResponse, error) {
+	sub, err := c.SubmitSearch(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return mipp.WaitSearch(ctx, c, sub.Job.ID, poll)
+}
+
 func checkVersion(got int) error {
 	if err := api.CheckVersion(got); err != nil {
 		return fmt.Errorf("client: server response: %w", err)
@@ -189,5 +235,9 @@ func checkVersion(got int) error {
 	return nil
 }
 
-// Compile-time check: local and remote evaluation stay interchangeable.
-var _ mipp.Evaluator = (*Client)(nil)
+// Compile-time checks: local and remote evaluation — and the async search
+// surface — stay interchangeable.
+var (
+	_ mipp.Evaluator = (*Client)(nil)
+	_ mipp.Searcher  = (*Client)(nil)
+)

@@ -13,9 +13,11 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"mipp"
 	"mipp/api"
+	"mipp/arch"
 	"mipp/client"
 	"mipp/server"
 )
@@ -207,6 +209,82 @@ func TestRemoteErrors(t *testing.T) {
 	_, err = client.New("http://127.0.0.1:1").Workloads(ctx)
 	if err == nil {
 		t.Error("unreachable server did not error")
+	}
+}
+
+// TestSearchByteIdentical is the async half of the acceptance criterion:
+// the same seeded search request submitted through the in-process Engine
+// and through the HTTP client must produce byte-identical reports.
+func TestSearchByteIdentical(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	capW := 20.0
+	req := &api.SearchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space: api.SpaceSpec{Kind: "parametric", Space: &arch.Space{
+			Widths:  []int{2, 4, 6},
+			ROBs:    []int{64, 128, 256, 512},
+			L2Bytes: []int64{128 << 10, 256 << 10, 512 << 10},
+			Clocks: []arch.DVFSPoint{
+				{FrequencyGHz: 2.0, VoltageV: 1.0},
+				{FrequencyGHz: 2.66, VoltageV: 1.1},
+				{FrequencyGHz: 3.33, VoltageV: 1.25},
+			},
+			Prefetcher: []bool{false, true},
+		}},
+		Strategy:  api.StrategySpec{Kind: "genetic", Seed: 99, Population: 16, Generations: 5},
+		Objective: "edp",
+		CapWatts:  &capW,
+		Budget:    200,
+	}
+	got := map[string][]byte{}
+	for name, s := range map[string]mipp.Searcher{"local": h.engine, "remote": h.remote} {
+		sub, err := s.SubmitSearch(ctx, req)
+		if err != nil {
+			t.Fatalf("%s submit: %v", name, err)
+		}
+		final, err := mipp.WaitSearch(ctx, s, sub.Job.ID, time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s wait: %v", name, err)
+		}
+		if final.Job.State != api.JobDone || final.Job.Report == nil {
+			t.Fatalf("%s job = %+v", name, final.Job)
+		}
+		data, err := json.Marshal(final.Job.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[name] = data
+	}
+	if string(got["local"]) != string(got["remote"]) {
+		t.Errorf("local and remote search reports differ:\nlocal:  %.400s\nremote: %.400s", got["local"], got["remote"])
+	}
+}
+
+// TestSearchRemoteLifecycle exercises poll and cancel over the wire,
+// including the 404 taxonomy for unknown jobs.
+func TestSearchRemoteLifecycle(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	resp, err := h.remote.Search(ctx, &api.SearchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         api.SpaceSpec{Kind: "design"},
+		Strategy:      api.StrategySpec{Kind: "random", Seed: 1, Samples: 30},
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job.State != api.JobDone || resp.Job.Report == nil || resp.Job.Report.Evaluations != 30 {
+		t.Fatalf("remote search job = %+v", resp.Job)
+	}
+
+	if _, err := h.remote.SearchJob(ctx, "job-does-not-exist"); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Errorf("remote unknown-job error = %v, want ErrUnknownJob", err)
+	}
+	if _, err := h.remote.CancelSearch(ctx, "job-does-not-exist"); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Errorf("remote unknown-job cancel = %v, want ErrUnknownJob", err)
 	}
 }
 

@@ -28,11 +28,20 @@
 //     implements the same interface against a remote mippd daemon
 //     (mipp/server + cmd/mippd), so in-process and over-the-wire
 //     evaluation are interchangeable and byte-identical.
+//   - The search subsystem (mipp/search) spends that evaluation speed on
+//     purpose: lazy parametric spaces (arch.Space) that are never
+//     materialized, seeded pluggable strategies (exhaustive, random,
+//     hill-climbing, genetic) with multi-objective fitness and power/area
+//     constraints, driven through NewSearchEvaluator onto the batched
+//     kernel. Engine runs searches as asynchronous jobs (SubmitSearch /
+//     SearchJob / CancelSearch — the Searcher interface, served at
+//     /v1/search), and the same seed yields a byte-identical Report
+//     locally, remotely and at any worker count.
 //
 // Processor descriptions live in mipp/arch (the Table 6.1 reference core,
-// the 243-point design space of Table 6.3, DVFS operating points), and
-// Simulate exposes the cycle-level out-of-order reference simulator used as
-// ground truth.
+// the 243-point design space of Table 6.3, DVFS operating points, and
+// parametric Spaces), and Simulate exposes the cycle-level out-of-order
+// reference simulator used as ground truth.
 //
 // Everything below the façade is implementation detail under internal/: the
 // one-pass profiler (internal/profiler), the interval model and MLP models

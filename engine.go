@@ -33,6 +33,9 @@ type Engine struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// search holds the asynchronous design-space search jobs (jobs.go).
+	search searchJobs
 }
 
 type predictorKey struct {
@@ -145,6 +148,11 @@ type EngineStats struct {
 	// engine was created; invalidated entries count as new misses when
 	// recompiled.
 	CacheHits, CacheMisses uint64
+	// SearchJobsInFlight and SearchJobsCompleted count asynchronous
+	// search jobs currently running and finished (done, failed or
+	// cancelled) since the engine was created.
+	SearchJobsInFlight  int
+	SearchJobsCompleted uint64
 }
 
 // Stats returns current registry and cache counters.
@@ -152,10 +160,12 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return EngineStats{
-		Profiles:         len(e.profiles),
-		CachedPredictors: len(e.predictors),
-		CacheHits:        e.hits.Load(),
-		CacheMisses:      e.misses.Load(),
+		Profiles:            len(e.profiles),
+		CachedPredictors:    len(e.predictors),
+		CacheHits:           e.hits.Load(),
+		CacheMisses:         e.misses.Load(),
+		SearchJobsInFlight:  int(e.search.inFlight.Load()),
+		SearchJobsCompleted: e.search.completed.Load(),
 	}
 }
 

@@ -47,4 +47,7 @@ var (
 	// ErrBadRequest reports a structurally invalid request: bad schema
 	// version, unresolvable config spec, unknown option name (HTTP 400).
 	ErrBadRequest = errors.New("mipp: bad request")
+	// ErrBusy reports admission refusal under load — too many search
+	// jobs in flight (HTTP 429); the request is valid, retry later.
+	ErrBusy = errors.New("mipp: busy")
 )

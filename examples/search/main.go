@@ -1,0 +1,128 @@
+// Example search walks the design-space search subsystem end to end: a
+// ~123k-point parametric space that is never materialized, a power-capped
+// genetic search submitted as an asynchronous job against an Engine (the
+// exact flow POST /v1/search runs server-side), progress polling, and a
+// direct hill-climbing run through the library API for comparison.
+//
+// Run with: go run ./examples/search
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+	"mipp/search"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Profile once; the profile answers every question below.
+	stream, err := mipp.GenerateWorkload("mcf", 120_000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := mipp.NewProfiler().ProfileStream(stream)
+	engine := mipp.NewEngine()
+	if err := engine.Register("mcf", profile); err != nil {
+		log.Fatal(err)
+	}
+
+	// A lazy parametric space: 6·16·8·8·10·2 = 122880 points. Size() and
+	// At(i) are all it costs — no slice of 123k configs ever exists.
+	space := &arch.Space{
+		Name:   "wide-123k",
+		Widths: []int{1, 2, 3, 4, 5, 6},
+		ROBs:   []int{16, 24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 512},
+		L2Bytes: []int64{64 << 10, 128 << 10, 256 << 10, 512 << 10,
+			1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		L3Bytes: []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20,
+			16 << 20, 32 << 20, 64 << 20, 128 << 20},
+		Clocks: []arch.DVFSPoint{
+			{FrequencyGHz: 1.2, VoltageV: 0.85}, {FrequencyGHz: 1.6, VoltageV: 0.95},
+			{FrequencyGHz: 2.0, VoltageV: 1.0}, {FrequencyGHz: 2.2, VoltageV: 1.03},
+			{FrequencyGHz: 2.4, VoltageV: 1.05}, {FrequencyGHz: 2.66, VoltageV: 1.1},
+			{FrequencyGHz: 2.8, VoltageV: 1.13}, {FrequencyGHz: 3.0, VoltageV: 1.16},
+			{FrequencyGHz: 3.2, VoltageV: 1.2}, {FrequencyGHz: 3.33, VoltageV: 1.25},
+		},
+		Prefetcher: []bool{false, true},
+	}
+	fmt.Printf("space %q: %d points, never materialized\n", space.Name, space.Size())
+
+	// Submit a power-capped genetic search as an async job — the same
+	// call POST /v1/search makes. The job runs on the engine's cached
+	// predictor; we poll it like a remote client would.
+	ctx := context.Background()
+	cap := 20.0
+	sub, err := engine.SubmitSearch(ctx, &api.SearchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         api.SpaceSpec{Kind: "parametric", Space: space},
+		Strategy:      api.StrategySpec{Kind: "genetic", Seed: 7, Population: 64, Generations: 40},
+		Objective:     "time",
+		CapWatts:      &cap,
+		Budget:        space.Size() / 20, // look at no more than 5%
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (strategy %s over %d points)\n", sub.Job.ID, sub.Job.Strategy, sub.Job.SpaceSize)
+
+	for {
+		snap, err := engine.SearchJob(ctx, sub.Job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: generation %d, %d evaluations\n", snap.Job.State, snap.Job.Generations, snap.Job.Evaluations)
+		if snap.Job.Terminal() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	final, err := mipp.WaitSearch(ctx, engine, sub.Job.ID, time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := final.Job.Report
+	if rep == nil || rep.Best == nil {
+		log.Fatalf("search found no feasible point under %gW (job %+v)", cap, final.Job)
+	}
+	fmt.Printf("genetic: best %s time=%.6fs power=%.1fW after %d/%d evaluations (%.2f%% of the space)\n",
+		rep.Best.Config, rep.Best.TimeSeconds, rep.Best.Watts,
+		rep.Evaluations, rep.SpaceSize, 100*float64(rep.Evaluations)/float64(rep.SpaceSize))
+
+	// The same question through the library API with a different
+	// optimizer: multi-restart hill climbing over the axis neighborhood.
+	pred, err := engine.Predictor("mcf", api.PredictorSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hill, err := search.Run(ctx, mipp.NewSearchEvaluator(pred, 0), space, search.HillClimb{Restarts: 12}, search.Options{
+		Objective:   search.ObjectiveTime,
+		Constraints: search.Constraints{MaxWatts: cap},
+		Seed:        7,
+		Budget:      space.Size() / 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hill.Best == nil {
+		log.Fatalf("hill climb found no feasible point under %gW", cap)
+	}
+	fmt.Printf("hill:    best %s time=%.6fs power=%.1fW after %d evaluations\n",
+		hill.Best.Config, hill.Best.TimeSeconds, hill.Best.Watts, hill.Evaluations)
+
+	fmt.Println("power-capped Pareto front (genetic, evaluated subset):")
+	for i, e := range rep.Front {
+		if i == 8 {
+			fmt.Printf("  ... %d more\n", len(rep.Front)-8)
+			break
+		}
+		fmt.Printf("  %-40s time=%.6fs power=%5.1fW area=%.2f\n", e.Config, e.TimeSeconds, e.Watts, e.Area)
+	}
+}

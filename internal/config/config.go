@@ -311,10 +311,11 @@ func DesignSpace() []*Config {
 	return out
 }
 
-// DVFSPoint is one voltage/frequency operating point (Table 7.2).
+// DVFSPoint is one voltage/frequency operating point (Table 7.2). The JSON
+// form is the wire spelling used by parametric-space clock axes.
 type DVFSPoint struct {
-	FrequencyGHz float64
-	VoltageV     float64
+	FrequencyGHz float64 `json:"frequency_ghz"`
+	VoltageV     float64 `json:"voltage_v"`
 }
 
 // DVFSPoints returns the Nehalem-based DVFS settings of Table 7.2.

@@ -1,12 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // perf record and enforces metric budgets, so CI can both archive the perf
-// trajectory (BENCH_pr3.json) and fail when the batched hot path regresses.
+// trajectory (BENCH_pr4.json) and fail when a hot path regresses.
 //
 // Usage:
 //
-//	go test -run=NONE -bench=... -benchmem . | \
-//	    go run ./internal/tools/benchjson -out BENCH_pr3.json \
-//	        -limit 'PredictBatch:allocs/config:10'
+//	go test -run=NONE -bench=... -benchmem . ./search | \
+//	    go run ./internal/tools/benchjson -out BENCH_pr4.json \
+//	        -limit 'PredictBatch:allocs/config:10' \
+//	        -limit 'SearchRandom:allocs/eval:6.2'
 //
 // Every benchmark line becomes an entry keyed by its name (the -<procs>
 // suffix stripped), holding iterations plus each reported metric verbatim
@@ -38,9 +39,10 @@ type record struct {
 	SchemaVersion int    `json:"schema_version"`
 	PR            int    `json:"pr"`
 	Note          string `json:"note,omitempty"`
-	// Seed records the pre-split baseline of the same Engine.Evaluate
-	// benchmark (commit 28e8d8e, same 2×81-item batch, 1 worker) so the
-	// trajectory is readable from this file alone.
+	// Seed records the prior PR's achieved numbers (BENCH_pr3.json: the
+	// batched kernel and the 1-worker engine batch) so the trajectory is
+	// readable from this file alone. The search drivers are budgeted
+	// against the kernel's allocs/config floor.
 	Seed     map[string]float64 `json:"seed_baseline"`
 	Benches  map[string]entry   `json:"benchmarks"`
 	Failures []string           `json:"budget_failures,omitempty"`
@@ -53,7 +55,7 @@ func (l *limits) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_pr3.json", "output JSON path (- for stdout)")
+		out  = flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
 		lims limits
 	)
 	flag.Var(&lims, "limit", "budget NAME:METRIC:MAX (repeatable); fail if exceeded or missing")
@@ -61,11 +63,12 @@ func main() {
 
 	rec := record{
 		SchemaVersion: 1,
-		PR:            3,
-		Note:          "compile→evaluate split: batched phase-2 kernel over the 81-config stock design-space sample",
+		PR:            4,
+		Note:          "search subsystem: strategy drivers (random/hill/genetic) over a ~61k-point lazy parametric space, vs the raw batched kernel",
 		Seed: map[string]float64{
-			"engine_evaluate_configs_per_s":     1085,
-			"engine_evaluate_allocs_per_config": 1009,
+			"pr3_predict_batch_configs_per_s":     171099,
+			"pr3_predict_batch_allocs_per_config": 3.148,
+			"pr3_engine_evaluate_configs_per_s":   93525,
 		},
 		Benches: make(map[string]entry),
 	}

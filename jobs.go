@@ -1,0 +1,302 @@
+package mipp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mipp/api"
+	"mipp/arch"
+	"mipp/search"
+)
+
+// searchJob is one asynchronous design-space search run by an Engine. The
+// goroutine driving search.Run is the only writer of the result fields;
+// progress counters are atomics so polling never contends with evaluation.
+type searchJob struct {
+	id       string
+	workload string
+	strategy string
+	size     int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	evals atomic.Int64
+	gens  atomic.Int64
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	report *api.SearchReport
+}
+
+// terminal reports whether the job has finished.
+func (j *searchJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state != api.JobRunning
+}
+
+// snapshot renders the job as its wire DTO.
+func (j *searchJob) snapshot() api.SearchJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.SearchJob{
+		ID:          j.id,
+		State:       j.state,
+		Workload:    j.workload,
+		Strategy:    j.strategy,
+		SpaceSize:   j.size,
+		Evaluations: int(j.evals.Load()),
+		Generations: int(j.gens.Load()),
+		Error:       j.errMsg,
+		Report:      j.report,
+	}
+}
+
+// Job-registry bounds: admission refuses work past maxInFlightSearchJobs
+// (each job owns a full-throughput worker pool, so stacking more is pure
+// contention), and finished jobs are retained — pollable — only until the
+// registry exceeds maxRetainedSearchJobs, then evicted oldest-first. Both
+// keep a long-lived daemon's memory flat.
+const (
+	maxInFlightSearchJobs = 32
+	maxRetainedSearchJobs = 128
+)
+
+// maxSearchEvaluations bounds one job's unique evaluations — the runner
+// memoizes every evaluated point (~150 bytes each), so this caps a job at
+// tens-to-hundreds of MB and minutes of work. It is the async counterpart
+// of api.MaxMaterializedSpace: requests over larger spaces must say how
+// much of them to look at.
+const maxSearchEvaluations = 1 << 20
+
+// searchJobs is the Engine's job registry.
+type searchJobs struct {
+	mu   sync.Mutex
+	jobs map[string]*searchJob
+	// order is submission order, the eviction queue for finished jobs.
+	order []*searchJob
+	seq   atomic.Uint64
+
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+}
+
+func (s *searchJobs) get(id string) (*searchJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// add registers a job and evicts the oldest finished jobs beyond the
+// retention bound (running jobs are never evicted).
+func (s *searchJobs) add(job *searchJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs == nil {
+		s.jobs = make(map[string]*searchJob)
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job)
+	if len(s.jobs) <= maxRetainedSearchJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if len(s.jobs) > maxRetainedSearchJobs && j.terminal() {
+			delete(s.jobs, j.id)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Release the evicted tail for the garbage collector.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// StrategyFor lowers a wire StrategySpec to its search.Strategy — the one
+// place the strategy vocabulary maps onto constructors, shared by the
+// engine's job admission and the CLI.
+func StrategyFor(spec api.StrategySpec) (search.Strategy, error) {
+	switch spec.Kind {
+	case "exhaustive":
+		return search.Exhaustive{}, nil
+	case "random":
+		return search.Random{Samples: spec.Samples}, nil
+	case "hill":
+		return search.HillClimb{Restarts: spec.Restarts}, nil
+	case "genetic":
+		return search.Genetic{
+			Population:   spec.Population,
+			Generations:  spec.Generations,
+			MutationRate: spec.MutationRate,
+			Elite:        spec.Elite,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown strategy %q", ErrBadRequest, spec.Kind)
+}
+
+// SubmitSearch implements Searcher: validate and admit the job, then run it
+// on its own goroutine against the engine's cached predictors. The request
+// context only covers admission — the job itself is detached and lives
+// until it finishes or is cancelled.
+func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api.SearchJobResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	space, err := req.Space.Lazy()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	strategy, err := StrategyFor(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	// Bound per-job work: the runner memoizes every evaluated point, so
+	// an uncapped run over a huge space would grow without limit.
+	if req.Budget > maxSearchEvaluations {
+		return nil, fmt.Errorf("%w: budget %d exceeds the per-job evaluation cap %d",
+			ErrBadRequest, req.Budget, maxSearchEvaluations)
+	}
+	if req.Budget == 0 && space.Size() > maxSearchEvaluations {
+		return nil, fmt.Errorf("%w: unbudgeted search over %d points (cap %d); set a budget",
+			ErrBadRequest, space.Size(), maxSearchEvaluations)
+	}
+	if _, ok := e.Profile(req.Workload); !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, req.Workload, e.WorkloadNames())
+	}
+	// Atomic admission: claim the slot first, release it if that pushed
+	// past the cap — concurrent submits cannot overshoot.
+	if n := e.search.inFlight.Add(1); n > maxInFlightSearchJobs {
+		e.search.inFlight.Add(-1)
+		return nil, fmt.Errorf("%w: %d search jobs already running (max %d)",
+			ErrBusy, n-1, maxInFlightSearchJobs)
+	}
+	if err := ctx.Err(); err != nil {
+		e.search.inFlight.Add(-1)
+		return nil, err
+	}
+
+	jctx, cancel := context.WithCancel(context.Background())
+	job := &searchJob{
+		id:       fmt.Sprintf("job-%d", e.search.seq.Add(1)),
+		workload: req.Workload,
+		strategy: strategy.Name(),
+		size:     space.Size(),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    api.JobRunning,
+	}
+	e.search.add(job)
+
+	go e.runSearchJob(jctx, job, req, space, strategy)
+
+	snap := job.snapshot()
+	return &api.SearchJobResponse{SchemaVersion: api.SchemaVersion, Job: snap}, nil
+}
+
+// runSearchJob drives one job to completion: compile (or fetch) the
+// predictor, run the strategy, land the report. It owns the job's terminal
+// state transition.
+func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.SearchRequest, space *arch.Space, strategy search.Strategy) {
+	// finish is called exactly once, on this goroutine. The registry
+	// counters move before the job's state becomes terminal, so a poller
+	// that sees "done" can never catch /healthz still counting the job as
+	// in flight.
+	finished := false
+	finish := func(state, errMsg string, rep *api.SearchReport) {
+		finished = true
+		e.search.inFlight.Add(-1)
+		e.search.completed.Add(1)
+		job.mu.Lock()
+		job.state = state
+		job.errMsg = errMsg
+		job.report = rep
+		job.mu.Unlock()
+	}
+	defer func() {
+		// A panic anywhere in the strategy or evaluator fails this job
+		// — it must never take down the daemon and every other job.
+		if p := recover(); p != nil && !finished {
+			finish(api.JobFailed, fmt.Sprintf("search panicked: %v", p), nil)
+		}
+		job.cancel()
+		close(job.done)
+	}()
+
+	pd, err := e.Predictor(req.Workload, req.Options)
+	if err != nil {
+		finish(api.JobFailed, err.Error(), nil)
+		return
+	}
+	opts := search.Options{
+		Objective: search.Objective(req.Objective),
+		Seed:      req.Strategy.Seed,
+		Budget:    req.Budget,
+		OnProgress: func(p search.Progress) {
+			job.evals.Store(int64(p.Evaluations))
+			job.gens.Store(int64(p.Generation))
+		},
+	}
+	if req.CapWatts != nil {
+		opts.Constraints.MaxWatts = *req.CapWatts
+	}
+	if req.MaxArea != nil {
+		opts.Constraints.MaxArea = *req.MaxArea
+	}
+
+	rep, err := search.Run(ctx, NewSearchEvaluator(pd, req.Workers), space, strategy, opts)
+	switch {
+	case err == nil:
+		// Success wins even when a cancel raced the final evaluation:
+		// the report is complete, so serve it.
+		rep.Workload = req.Workload
+		job.evals.Store(int64(rep.Evaluations))
+		job.gens.Store(int64(rep.Generations))
+		finish(api.JobDone, "", rep)
+	case ctx.Err() != nil:
+		finish(api.JobCancelled, "", nil)
+	default:
+		finish(api.JobFailed, err.Error(), nil)
+	}
+}
+
+// SearchJob implements Searcher: a point-in-time snapshot of the job.
+func (e *Engine) SearchJob(ctx context.Context, id string) (*api.SearchJobResponse, error) {
+	job, ok := e.search.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &api.SearchJobResponse{SchemaVersion: api.SchemaVersion, Job: job.snapshot()}, nil
+}
+
+// CancelSearch implements Searcher: signal the job and wait for its
+// goroutine to drain (cancellation is observed between configurations, so
+// this is prompt), then return the final snapshot. Cancelling a finished
+// job is a no-op returning its terminal state.
+func (e *Engine) CancelSearch(ctx context.Context, id string) (*api.SearchJobResponse, error) {
+	job, ok := e.search.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	job.cancel()
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &api.SearchJobResponse{SchemaVersion: api.SchemaVersion, Job: job.snapshot()}, nil
+}
+
+// Compile-time check: the in-process engine serves the async search surface
+// the remote client mirrors.
+var _ Searcher = (*Engine)(nil)

@@ -1,0 +1,256 @@
+package mipp_test
+
+// Async search-job tests: submit/poll/cancel lifecycle, progress counters,
+// the error taxonomy (unknown job, unknown workload, bad strategy), and
+// repeat-submission determinism through the job API.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+)
+
+// searchEngine returns an engine with one registered workload.
+func searchEngine(t *testing.T) *mipp.Engine {
+	t.Helper()
+	p, err := mipp.NewProfiler().Profile("mcf", 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mipp.NewEngine()
+	if err := e.Register("mcf", p); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func searchRequest(strategy api.StrategySpec) *api.SearchRequest {
+	cap := 18.0
+	return &api.SearchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         api.SpaceSpec{Kind: "design"},
+		Strategy:      strategy,
+		Objective:     "ed2p",
+		CapWatts:      &cap,
+		Budget:        243,
+	}
+}
+
+func TestSearchJobLifecycle(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+
+	sub, err := e.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "genetic", Seed: 11, Population: 16, Generations: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job.ID == "" || sub.Job.Workload != "mcf" || sub.Job.Strategy != "genetic" || sub.Job.SpaceSize != 243 {
+		t.Fatalf("submit snapshot = %+v", sub.Job)
+	}
+
+	final, err := mipp.WaitSearch(ctx, e, sub.Job.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Job.State != api.JobDone || final.Job.Report == nil {
+		t.Fatalf("final job = %+v", final.Job)
+	}
+	rep := final.Job.Report
+	if rep.Workload != "mcf" || rep.Strategy != "genetic" || rep.Seed != 11 || rep.Best == nil {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Evaluations == 0 || rep.Evaluations != final.Job.Evaluations {
+		t.Errorf("progress counter %d != report evaluations %d", final.Job.Evaluations, rep.Evaluations)
+	}
+	if rep.Best.Watts > 18.0 {
+		t.Errorf("best %+v violates the power cap", rep.Best)
+	}
+
+	st := e.Stats()
+	if st.SearchJobsInFlight != 0 || st.SearchJobsCompleted != 1 {
+		t.Errorf("stats after one job: in-flight %d completed %d", st.SearchJobsInFlight, st.SearchJobsCompleted)
+	}
+}
+
+// TestSearchJobDeterministicRepeat submits the same seeded request twice
+// and demands byte-identical reports — the in-process half of the
+// local-vs-remote acceptance criterion.
+func TestSearchJobDeterministicRepeat(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+	var blobs []string
+	for i := 0; i < 2; i++ {
+		sub, err := e.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "hill", Seed: 5, Restarts: 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := mipp.WaitSearch(ctx, e, sub.Job.ID, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(final.Job.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, string(data))
+	}
+	if blobs[0] != blobs[1] {
+		t.Errorf("repeated seeded jobs differ:\n%.400s\n%.400s", blobs[0], blobs[1])
+	}
+}
+
+func TestSearchJobCancel(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+
+	// A large parametric space keeps the job busy long enough to cancel.
+	req := searchRequest(api.StrategySpec{Kind: "exhaustive"})
+	req.Budget = 0
+	req.Workers = 1
+	req.Space = api.SpaceSpec{Kind: "parametric", Space: &arch.Space{
+		Widths:  []int{1, 2, 3, 4, 5, 6},
+		ROBs:    []int{32, 48, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512},
+		L2Bytes: []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		L3Bytes: []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20},
+		Clocks: []arch.DVFSPoint{
+			{FrequencyGHz: 1.6, VoltageV: 0.95}, {FrequencyGHz: 2.0, VoltageV: 1.0},
+			{FrequencyGHz: 2.66, VoltageV: 1.1}, {FrequencyGHz: 3.2, VoltageV: 1.2},
+		},
+		Prefetcher: []bool{false, true},
+	}}
+	sub, err := e.SubmitSearch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := e.CancelSearch(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Job.State != api.JobCancelled && fin.Job.State != api.JobDone {
+		t.Fatalf("cancelled job state = %q", fin.Job.State)
+	}
+	if fin.Job.State == api.JobDone {
+		t.Log("job finished before the cancel landed (fast machine); lifecycle still consistent")
+	}
+	// Cancelling again is a no-op on a terminal job.
+	again, err := e.CancelSearch(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Job.State != fin.Job.State {
+		t.Errorf("second cancel changed state %q -> %q", fin.Job.State, again.Job.State)
+	}
+	if st := e.Stats(); st.SearchJobsInFlight != 0 || st.SearchJobsCompleted != 1 {
+		t.Errorf("stats after cancel: %+v", st)
+	}
+}
+
+// TestSearchJobRetention: finished jobs stay pollable up to the retention
+// bound, then the oldest are evicted so a long-lived engine's registry
+// stays flat.
+func TestSearchJobRetention(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+	const submits = 140 // > maxRetainedSearchJobs (128)
+	var first, last string
+	for i := 0; i < submits; i++ {
+		sub, err := e.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "random", Seed: int64(i), Samples: 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sub.Job.ID
+		}
+		last = sub.Job.ID
+		if _, err := mipp.WaitSearch(ctx, e, sub.Job.ID, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.SearchJob(ctx, first); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Errorf("oldest job still pollable after %d submits: %v", submits, err)
+	}
+	if resp, err := e.SearchJob(ctx, last); err != nil || resp.Job.State != api.JobDone {
+		t.Errorf("newest job not retained: %v", err)
+	}
+	if st := e.Stats(); st.SearchJobsCompleted != submits {
+		t.Errorf("completed counter = %d, want %d", st.SearchJobsCompleted, submits)
+	}
+}
+
+func TestSearchJobErrors(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+
+	if _, err := e.SearchJob(ctx, "job-999"); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Errorf("unknown job poll = %v, want ErrUnknownJob", err)
+	}
+	if _, err := e.CancelSearch(ctx, "job-999"); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Errorf("unknown job cancel = %v, want ErrUnknownJob", err)
+	}
+
+	req := searchRequest(api.StrategySpec{Kind: "random"})
+	req.Workload = "nope"
+	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("unknown workload submit = %v, want ErrUnknownWorkload", err)
+	}
+
+	req = searchRequest(api.StrategySpec{Kind: "annealing"})
+	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) {
+		t.Errorf("bad strategy submit = %v, want ErrBadRequest", err)
+	}
+
+	req = searchRequest(api.StrategySpec{Kind: "random"})
+	req.Space = api.SpaceSpec{Kind: "parametric"}
+	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "no axes") {
+		t.Errorf("axis-less parametric submit = %v, want ErrBadRequest about axes", err)
+	}
+
+	// An unbudgeted search over a multi-million-point space must be
+	// refused at admission — the runner memoizes every evaluated point.
+	huge := &arch.Space{ // 6·63·8·8·24·2 ≈ 1.16M points, past the 2^20 cap
+		Widths:     []int{1, 2, 3, 4, 5, 6},
+		L2Bytes:    []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20},
+		L3Bytes:    []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20},
+		Prefetcher: []bool{false, true},
+	}
+	for rob := 16; rob <= 512; rob += 8 {
+		huge.ROBs = append(huge.ROBs, rob)
+	}
+	for f := 1.0; f < 3.4; f += 0.1 {
+		huge.Clocks = append(huge.Clocks, arch.DVFSPoint{FrequencyGHz: f, VoltageV: 1.0})
+	}
+	req = searchRequest(api.StrategySpec{Kind: "random"})
+	req.Budget = 0
+	req.Space = api.SpaceSpec{Kind: "parametric", Space: huge}
+	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("unbudgeted huge-space submit = %v, want ErrBadRequest about budget", err)
+	}
+	req.Budget = 2_000_000
+	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("over-cap budget submit = %v, want ErrBadRequest about the cap", err)
+	}
+
+	// A job that fails inside the run (exhaustive over budget) lands in
+	// the failed state with the error preserved.
+	req = searchRequest(api.StrategySpec{Kind: "exhaustive"})
+	req.Budget = 10
+	sub, err := e.SubmitSearch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := mipp.WaitSearch(ctx, e, sub.Job.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Job.State != api.JobFailed || !strings.Contains(final.Job.Error, "budget") {
+		t.Errorf("over-budget exhaustive job = %+v", final.Job)
+	}
+}

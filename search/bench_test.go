@@ -1,0 +1,114 @@
+package search_test
+
+// Search-driver benchmarks: throughput (evals/s) and allocation discipline
+// (allocs/eval) of the strategies driving the batched kernel through the
+// Runner. CI parses these into BENCH_pr4.json (internal/tools/benchjson)
+// and fails if the random-sampling driver exceeds 2× the batched kernel's
+// ~3.1 allocs/config floor — i.e. the search layer may at most double the
+// hot path's allocation cost (it pays one config materialization and one
+// name per lazily-generated point).
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+	"mipp/search"
+)
+
+var benchPredictor = struct {
+	sync.Once
+	pd  *mipp.Predictor
+	err error
+}{}
+
+func benchPd(b *testing.B) *mipp.Predictor {
+	b.Helper()
+	benchPredictor.Do(func() {
+		p, err := mipp.NewProfiler().Profile("mcf", 60_000)
+		if err != nil {
+			benchPredictor.err = err
+			return
+		}
+		benchPredictor.pd, benchPredictor.err = mipp.NewPredictor(p)
+	})
+	if benchPredictor.err != nil {
+		b.Fatal(benchPredictor.err)
+	}
+	return benchPredictor.pd
+}
+
+// benchSpace is a ~61k-point space, large enough that random sampling and
+// the genetic strategy behave as they do in production (sparse coverage,
+// lazy materialization).
+func benchSpace() *arch.Space {
+	return &arch.Space{
+		Name:   "bench-61k",
+		Widths: []int{1, 2, 3, 4, 5, 6},
+		ROBs:   []int{32, 48, 64, 96, 128, 160, 192, 256},
+		L2Bytes: []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20,
+			2 << 20, 4 << 20, 8 << 20, 16 << 20},
+		L3Bytes: []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20},
+		Clocks: []arch.DVFSPoint{
+			{FrequencyGHz: 1.6, VoltageV: 0.95}, {FrequencyGHz: 2.0, VoltageV: 1.0},
+			{FrequencyGHz: 2.66, VoltageV: 1.1}, {FrequencyGHz: 3.2, VoltageV: 1.2},
+		},
+		Prefetcher: []bool{false, true},
+	}
+}
+
+// benchSearch runs one strategy per iteration and reports per-evaluation
+// throughput and allocations (Mallocs across all goroutines, so the worker
+// pool's cost is included, not hidden).
+func benchSearch(b *testing.B, st search.Strategy, budget int) {
+	pd := benchPd(b)
+	space := benchSpace()
+	ev := mipp.NewSearchEvaluator(pd, 0)
+	ctx := context.Background()
+	opts := search.Options{Seed: 1, Budget: budget, Objective: search.ObjectiveED2P}
+
+	// Warm the predictor memos so the benchmark measures the driver, not
+	// first-touch compilation.
+	if _, err := search.Run(ctx, ev, space, search.Random{Samples: 64}, opts); err != nil {
+		b.Fatal(err)
+	}
+
+	evals := 0
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := search.Run(ctx, ev, space, st, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += rep.Evaluations
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if evals == 0 || b.Elapsed() <= 0 {
+		return
+	}
+	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(evals), "allocs/eval")
+}
+
+// BenchmarkSearchRandom is the budgeted driver: pure sampling overhead on
+// top of the batched kernel.
+func BenchmarkSearchRandom(b *testing.B) {
+	benchSearch(b, search.Random{Samples: 2048}, 2048)
+}
+
+// BenchmarkSearchGenetic adds the evolutionary bookkeeping (selection,
+// crossover, memoized revisits).
+func BenchmarkSearchGenetic(b *testing.B) {
+	benchSearch(b, search.Genetic{Population: 64, Generations: 24}, 2048)
+}
+
+// BenchmarkSearchHill adds the neighborhood walks.
+func BenchmarkSearchHill(b *testing.B) {
+	benchSearch(b, search.HillClimb{Restarts: 8}, 2048)
+}

@@ -1,0 +1,367 @@
+package search_test
+
+// Search subsystem tests: seeded determinism (the same seed must produce a
+// byte-identical report at 1 worker and at GOMAXPROCS), the non-domination
+// property (no strategy may report a best point the exhaustive Pareto front
+// dominates), budget discipline, cancellation, and the PR acceptance
+// criterion — on a >100k-point parametric space with a power cap, hill
+// climbing and the genetic strategy must each land within 2% of the
+// exhaustive optimum of the 243-point reference subspace while evaluating
+// no more than 5% of the large space.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+	"mipp/search"
+)
+
+const testUops = 40_000
+
+var testPredictor = struct {
+	sync.Once
+	pd  *mipp.Predictor
+	err error
+}{}
+
+// predictor returns a process-wide mcf predictor shared by every test.
+func predictor(t *testing.T) *mipp.Predictor {
+	t.Helper()
+	testPredictor.Do(func() {
+		p, err := mipp.NewProfiler().Profile("mcf", testUops)
+		if err != nil {
+			testPredictor.err = err
+			return
+		}
+		testPredictor.pd, testPredictor.err = mipp.NewPredictor(p)
+	})
+	if testPredictor.err != nil {
+		t.Fatal(testPredictor.err)
+	}
+	return testPredictor.pd
+}
+
+// bigSpace is the acceptance-criterion space: 6·16·8·8·10·2 = 122880
+// points, a strict superset of the Table 6.3 axis values so the 243-point
+// reference optimum is reachable inside it.
+func bigSpace() *arch.Space {
+	return &arch.Space{
+		Name:   "acceptance-122k",
+		Widths: []int{1, 2, 3, 4, 5, 6},
+		ROBs:   []int{16, 24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 512},
+		L2Bytes: []int64{
+			64 << 10, 128 << 10, 256 << 10, 512 << 10,
+			1 << 20, 2 << 20, 4 << 20, 8 << 20,
+		},
+		L3Bytes: []int64{
+			1 << 20, 2 << 20, 4 << 20, 8 << 20,
+			16 << 20, 32 << 20, 64 << 20, 128 << 20,
+		},
+		Clocks: []arch.DVFSPoint{
+			{FrequencyGHz: 1.2, VoltageV: 0.85},
+			{FrequencyGHz: 1.6, VoltageV: 0.95},
+			{FrequencyGHz: 2.0, VoltageV: 1.0},
+			{FrequencyGHz: 2.2, VoltageV: 1.03},
+			{FrequencyGHz: 2.4, VoltageV: 1.05},
+			{FrequencyGHz: 2.66, VoltageV: 1.1},
+			{FrequencyGHz: 2.8, VoltageV: 1.13},
+			{FrequencyGHz: 3.0, VoltageV: 1.16},
+			{FrequencyGHz: 3.2, VoltageV: 1.2},
+			{FrequencyGHz: 3.33, VoltageV: 1.25},
+		},
+		Prefetcher: []bool{false, true},
+	}
+}
+
+func strategies() map[string]search.Strategy {
+	return map[string]search.Strategy{
+		"exhaustive": search.Exhaustive{},
+		"random":     search.Random{Samples: 120},
+		"hill":       search.HillClimb{Restarts: 4},
+		"genetic":    search.Genetic{Population: 24, Generations: 8},
+	}
+}
+
+// TestSeededDeterminism is the satellite requirement: same seed, one worker
+// vs GOMAXPROCS workers, byte-identical reports — for every strategy.
+func TestSeededDeterminism(t *testing.T) {
+	pd := predictor(t)
+	space := arch.TableSpace()
+	for name, st := range strategies() {
+		t.Run(name, func(t *testing.T) {
+			var blobs []string
+			for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+				rep, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, workers), space, st, search.Options{
+					Seed:        42,
+					Budget:      250,
+					Objective:   search.ObjectiveED2P,
+					Constraints: search.Constraints{MaxWatts: 40},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blobs = append(blobs, string(data))
+			}
+			if blobs[0] != blobs[1] {
+				t.Errorf("1-worker and N-worker reports differ:\n%.400s\n%.400s", blobs[0], blobs[1])
+			}
+		})
+	}
+}
+
+// TestBestNeverDominated is the property test: on a small space, no
+// strategy may return a best point that a point of the exhaustive Pareto
+// front strictly dominates — the ED²P optimum is always on the front, and
+// a search that reports a dominated incumbent is a search that failed.
+func TestBestNeverDominated(t *testing.T) {
+	pd := predictor(t)
+	space := arch.TableSpace()
+	ev := mipp.NewSearchEvaluator(pd, 0)
+
+	exh, err := search.Run(context.Background(), ev, space, search.Exhaustive{}, search.Options{Objective: search.ObjectiveED2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exh.Evaluations != space.Size() || exh.Best == nil {
+		t.Fatalf("exhaustive: %d evaluations, best %v", exh.Evaluations, exh.Best)
+	}
+
+	for name, st := range strategies() {
+		for seed := int64(1); seed <= 3; seed++ {
+			rep, err := search.Run(context.Background(), ev, space, st, search.Options{
+				Seed:      seed,
+				Objective: search.ObjectiveED2P,
+				Budget:    243,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if rep.Best == nil {
+				t.Fatalf("%s seed %d: no best point", name, seed)
+			}
+			b := rep.Best
+			for _, f := range exh.Front {
+				dominates := f.TimeSeconds <= b.TimeSeconds && f.Watts <= b.Watts &&
+					(f.TimeSeconds < b.TimeSeconds || f.Watts < b.Watts)
+				if dominates {
+					t.Errorf("%s seed %d: best %s (t=%g W=%g) dominated by front point %s (t=%g W=%g)",
+						name, seed, b.Config, b.TimeSeconds, b.Watts, f.Config, f.TimeSeconds, f.Watts)
+				}
+			}
+		}
+	}
+}
+
+// TestAcceptanceLargeSpacePowerCap is the PR acceptance criterion.
+func TestAcceptanceLargeSpacePowerCap(t *testing.T) {
+	pd := predictor(t)
+	big := bigSpace()
+	if big.Size() < 100_000 {
+		t.Fatalf("acceptance space has %d points, want >= 100k", big.Size())
+	}
+	ev := mipp.NewSearchEvaluator(pd, 0)
+	const capWatts = 18.0
+	opts := func(seed int64, budget int) search.Options {
+		return search.Options{
+			Objective:   search.ObjectiveTime,
+			Constraints: search.Constraints{MaxWatts: capWatts},
+			Seed:        seed,
+			Budget:      budget,
+		}
+	}
+
+	// Ground truth: the exhaustive optimum of the 243-point reference
+	// subspace under the same cap.
+	ref, err := search.Run(context.Background(), ev, arch.TableSpace(), search.Exhaustive{}, opts(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Best == nil {
+		t.Fatalf("no feasible reference point under %gW", capWatts)
+	}
+	limit := ref.Best.Fitness * 1.02
+	maxEvals := big.Size() / 20 // 5%
+
+	for name, st := range map[string]search.Strategy{
+		"hill":    search.HillClimb{Restarts: 12},
+		"genetic": search.Genetic{Population: 64, Generations: 40},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, err := search.Run(context.Background(), ev, big, st, opts(7, maxEvals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Evaluations > maxEvals {
+				t.Errorf("%s evaluated %d points, budget %d (5%% of %d)", name, rep.Evaluations, maxEvals, big.Size())
+			}
+			if rep.Best == nil {
+				t.Fatalf("%s found no feasible point under %gW", name, capWatts)
+			}
+			if rep.Best.Watts > capWatts {
+				t.Errorf("%s best violates the cap: %gW > %gW", name, rep.Best.Watts, capWatts)
+			}
+			if rep.Best.Fitness > limit {
+				t.Errorf("%s best time %g not within 2%% of reference optimum %g (evaluated %d/%d)",
+					name, rep.Best.Fitness, ref.Best.Fitness, rep.Evaluations, big.Size())
+			}
+			t.Logf("%s: best %s t=%.6gs W=%.4g after %d/%d evaluations (ref %s t=%.6gs)",
+				name, rep.Best.Config, rep.Best.Fitness, rep.Best.Watts,
+				rep.Evaluations, big.Size(), ref.Best.Config, ref.Best.Fitness)
+		})
+	}
+}
+
+// TestBudgetAndTrace checks budget discipline and trace consistency.
+func TestBudgetAndTrace(t *testing.T) {
+	pd := predictor(t)
+	space := arch.TableSpace()
+	ev := mipp.NewSearchEvaluator(pd, 0)
+
+	rep, err := search.Run(context.Background(), ev, space, search.Random{Samples: 500}, search.Options{Seed: 1, Budget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluations != 50 {
+		t.Errorf("random with budget 50 evaluated %d", rep.Evaluations)
+	}
+	if len(rep.Trace) == 0 || rep.Trace[len(rep.Trace)-1].Evaluations != rep.Evaluations {
+		t.Errorf("trace tail %+v inconsistent with %d evaluations", rep.Trace, rep.Evaluations)
+	}
+	for i := 1; i < len(rep.Trace); i++ {
+		if rep.Trace[i].Evaluations < rep.Trace[i-1].Evaluations {
+			t.Errorf("trace not monotone: %+v", rep.Trace)
+		}
+	}
+
+	// Exhaustive must refuse a space larger than its budget instead of
+	// silently truncating.
+	if _, err := search.Run(context.Background(), ev, space, search.Exhaustive{}, search.Options{Budget: 10}); err == nil {
+		t.Error("exhaustive with budget < space size did not error")
+	} else if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("unexpected exhaustive budget error: %v", err)
+	}
+}
+
+// TestGeneticTinySpaceLargeElite: elitism clamps against the population
+// after it shrinks to a tiny space's cardinality (regression: this used to
+// panic with index out of range).
+func TestGeneticTinySpaceLargeElite(t *testing.T) {
+	pd := predictor(t)
+	tiny := arch.DVFSSpace() // 5 points
+	rep, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, 0),
+		tiny, search.Genetic{Elite: 20, Generations: 3}, search.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil || rep.Evaluations > tiny.Size() {
+		t.Errorf("tiny-space genetic report = %+v", rep)
+	}
+}
+
+// TestBudgetRollback: a budget-exceeding Evaluate must not leave phantom
+// never-evaluated points behind — a strategy treating the error as a soft
+// stop still reports truthful evaluation counts.
+func TestBudgetRollback(t *testing.T) {
+	pd := predictor(t)
+	// Random pre-trims to the budget, so drive the overrun through
+	// exhaustive's refusal path plus a follow-up sampling run sharing
+	// the numbers: 30 then budget error leaves exactly 30 evaluated.
+	rep, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, 0),
+		arch.TableSpace(), overBudgetStrategy{}, search.Options{Seed: 1, Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluations != 30 || len(rep.Trace) != 1 || rep.Trace[0].Evaluations != 30 {
+		t.Errorf("rollback report = %+v", rep)
+	}
+}
+
+// overBudgetStrategy evaluates exactly the budget, then deliberately asks
+// for more and swallows the budget error — the soft-stop pattern a custom
+// Strategy may use.
+type overBudgetStrategy struct{}
+
+func (overBudgetStrategy) Name() string { return "over-budget" }
+
+func (overBudgetStrategy) Search(ctx context.Context, r *search.Runner) error {
+	first := make([]int, 0, r.Remaining())
+	for i := 0; i < r.Remaining(); i++ {
+		first = append(first, i)
+	}
+	if _, err := r.Evaluate(ctx, first); err != nil {
+		return err
+	}
+	over := []int{100, 101, 102}
+	if _, err := r.Evaluate(ctx, over); err == nil {
+		return fmt.Errorf("over-budget Evaluate did not error")
+	}
+	if r.Evaluations() != len(first) {
+		return fmt.Errorf("Evaluations() = %d after rollback, want %d", r.Evaluations(), len(first))
+	}
+	if r.Seen(100) {
+		return fmt.Errorf("phantom point 100 left in the memo")
+	}
+	return nil
+}
+
+// TestCancellation: a cancelled context aborts the run with ctx.Err().
+func TestCancellation(t *testing.T) {
+	pd := predictor(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := search.Run(ctx, mipp.NewSearchEvaluator(pd, 1), arch.TableSpace(), search.Exhaustive{}, search.Options{})
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestConstraintsInfeasible: an impossible cap yields no best point but
+// still reports evaluations and an empty front.
+func TestConstraintsInfeasible(t *testing.T) {
+	pd := predictor(t)
+	rep, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, 0),
+		arch.TableSpace(), search.Random{Samples: 20}, search.Options{
+			Seed:        3,
+			Constraints: search.Constraints{MaxWatts: 0.001},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best != nil || rep.Feasible != 0 || len(rep.Front) != 0 {
+		t.Errorf("impossible cap produced best=%v feasible=%d front=%d", rep.Best, rep.Feasible, len(rep.Front))
+	}
+	if rep.Evaluations != 20 {
+		t.Errorf("evaluated %d, want 20", rep.Evaluations)
+	}
+}
+
+// TestAreaConstraint: an area cap excludes big cores from the feasible set.
+func TestAreaConstraint(t *testing.T) {
+	pd := predictor(t)
+	rep, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, 0),
+		arch.TableSpace(), search.Exhaustive{}, search.Options{
+			Constraints: search.Constraints{MaxArea: 1.0},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil {
+		t.Fatal("no feasible point under area cap 1.0")
+	}
+	if rep.Best.Area > 1.0 {
+		t.Errorf("best area %g exceeds cap", rep.Best.Area)
+	}
+	if rep.Feasible == rep.Evaluations {
+		t.Errorf("area cap 1.0 excluded nothing (%d/%d feasible)", rep.Feasible, rep.Evaluations)
+	}
+}

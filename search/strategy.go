@@ -1,0 +1,310 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mipp/arch"
+)
+
+// defaultChunk is the generation size exhaustive and random enumeration use:
+// large enough that the batched kernel's scratch reuse pays off, small
+// enough for responsive progress and cancellation.
+const defaultChunk = 1024
+
+// Exhaustive evaluates every point of the space in enumeration order — the
+// right strategy for small (reference) spaces and the ground truth the
+// samplers are scored against.
+type Exhaustive struct {
+	// Chunk is the generation size (default 1024).
+	Chunk int
+}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements Strategy.
+func (x Exhaustive) Search(ctx context.Context, r *Runner) error {
+	n := r.SpaceSize()
+	if rem := r.Remaining(); n > rem {
+		return fmt.Errorf("search: exhaustive needs %d evaluations but budget leaves %d (use a sampling strategy)", n, rem)
+	}
+	chunk := x.Chunk
+	if chunk <= 0 {
+		chunk = defaultChunk
+	}
+	indices := make([]int, 0, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		indices = indices[:0]
+		for i := lo; i < hi; i++ {
+			indices = append(indices, i)
+		}
+		if _, err := r.Evaluate(ctx, indices); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Random draws distinct points uniformly at random — the unbiased sampler,
+// and the throughput baseline the allocation budget in CI is enforced on.
+type Random struct {
+	// Samples is the number of distinct points to draw (0 = the run's
+	// budget; the whole space if that is unbounded too).
+	Samples int
+	// Chunk is the generation size (default 1024).
+	Chunk int
+}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Search implements Strategy.
+func (s Random) Search(ctx context.Context, r *Runner) error {
+	n := r.SpaceSize()
+	want := s.Samples
+	if want <= 0 || want > r.Remaining() {
+		want = r.Remaining()
+	}
+	if want > n {
+		want = n
+	}
+	if want <= 0 {
+		return fmt.Errorf("search: random sampling with no samples and no budget")
+	}
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = defaultChunk
+	}
+	// Distinct draws by rejection: against a bitset (Size()/8 bytes) for
+	// spaces where that is cheap, against a want-sized set for the huge
+	// ones — the memory must scale with the sample, never with the space.
+	const bitsetMax = 1 << 26 // 8 MiB of bitset
+	var taken func(i int) bool
+	if n <= bitsetMax {
+		drawn := make([]uint64, (n+63)/64)
+		taken = func(i int) bool {
+			if drawn[i/64]&(1<<(i%64)) != 0 {
+				return true
+			}
+			drawn[i/64] |= 1 << (i % 64)
+			return false
+		}
+	} else {
+		drawn := make(map[int]struct{}, want)
+		taken = func(i int) bool {
+			if _, ok := drawn[i]; ok {
+				return true
+			}
+			drawn[i] = struct{}{}
+			return false
+		}
+	}
+	rng := r.RNG()
+	indices := make([]int, 0, chunk)
+	for done := 0; done < want; {
+		indices = indices[:0]
+		for len(indices) < chunk && done+len(indices) < want {
+			if i := rng.Intn(n); !taken(i) {
+				indices = append(indices, i)
+			}
+		}
+		if _, err := r.Evaluate(ctx, indices); err != nil {
+			return err
+		}
+		done += len(indices)
+	}
+	return nil
+}
+
+// HillClimb is seeded multi-restart steepest-descent over the space's axis
+// neighborhood: from a random start, evaluate all one-step neighbors as one
+// generation and move to the best strict improvement, restarting when stuck.
+// On the monotone-ish response surfaces of micro-architecture spaces it
+// converges in a handful of generations per restart.
+type HillClimb struct {
+	// Restarts is the number of random starting points (default 8).
+	Restarts int
+}
+
+// Name implements Strategy.
+func (HillClimb) Name() string { return "hill" }
+
+// Search implements Strategy.
+func (h HillClimb) Search(ctx context.Context, r *Runner) error {
+	restarts := h.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	n := r.SpaceSize()
+	rng := r.RNG()
+	var neigh []int
+	for rs := 0; rs < restarts; rs++ {
+		if r.Remaining() < 1 {
+			return nil
+		}
+		// Prefer an unvisited start so restarts explore instead of
+		// re-climbing a known hill (bounded retries keep it O(1)).
+		start := rng.Intn(n)
+		for try := 0; try < 16 && r.Seen(start); try++ {
+			start = rng.Intn(n)
+		}
+		evs, err := r.Evaluate(ctx, []int{start})
+		if err != nil {
+			return err
+		}
+		cur := evs[0]
+		for {
+			neigh = r.Space().Neighbors(cur.Index, neigh[:0])
+			if len(neigh) == 0 || r.Remaining() < len(neigh) {
+				break
+			}
+			evs, err := r.Evaluate(ctx, neigh)
+			if err != nil {
+				return err
+			}
+			best := evs[0]
+			for _, e := range evs[1:] {
+				if Better(e, best) {
+					best = e
+				}
+			}
+			if !Better(best, cur) {
+				break
+			}
+			cur = best
+		}
+	}
+	return nil
+}
+
+// Genetic is a seeded generational genetic algorithm over axis-coordinate
+// genomes: tournament selection, uniform crossover, per-axis mutation and
+// elitism. Each generation's population is evaluated as one batch, which is
+// exactly the shape Predictor.PredictBatch is fastest at.
+type Genetic struct {
+	// Population is the genome count per generation (default 48).
+	Population int
+	// Generations caps the generation count (default 32).
+	Generations int
+	// MutationRate is the per-axis mutation probability (default 0.15).
+	MutationRate float64
+	// Elite is how many best genomes survive unchanged (default 2).
+	Elite int
+	// TournamentK is the selection tournament size (default 3).
+	TournamentK int
+}
+
+// Name implements Strategy.
+func (Genetic) Name() string { return "genetic" }
+
+// Search implements Strategy.
+func (g Genetic) Search(ctx context.Context, r *Runner) error {
+	space := r.Space()
+	n := space.Size()
+	pop := g.Population
+	if pop <= 0 {
+		pop = 48
+	}
+	if pop > n {
+		pop = n
+	}
+	gens := g.Generations
+	if gens <= 0 {
+		gens = 32
+	}
+	mut := g.MutationRate
+	if mut <= 0 {
+		mut = 0.15
+	}
+	// Clamp elitism against the final population size — pop may have just
+	// shrunk to a small space's cardinality.
+	elite := g.Elite
+	if elite <= 0 {
+		elite = 2
+	}
+	if elite > pop/2 {
+		elite = pop / 2
+	}
+	tourK := g.TournamentK
+	if tourK <= 0 {
+		tourK = 3
+	}
+	dims := space.Dims()
+	rng := r.RNG()
+
+	genomes := make([][]int, pop)
+	next := make([][]int, pop)
+	for i := range genomes {
+		genomes[i] = make([]int, arch.NumSpaceAxes)
+		next[i] = make([]int, arch.NumSpaceAxes)
+		for ax, d := range dims {
+			genomes[i][ax] = rng.Intn(d)
+		}
+	}
+	indices := make([]int, pop)
+	order := make([]int, pop)
+
+	for gen := 0; gen < gens; gen++ {
+		if r.Remaining() < pop {
+			return nil
+		}
+		for i, g := range genomes {
+			indices[i] = space.Index(g)
+		}
+		evs, err := r.Evaluate(ctx, indices)
+		if err != nil {
+			return err
+		}
+
+		// Rank the population; order is deterministic because Better is a
+		// total order and ties fall back to the population slot.
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return Better(evs[order[a]], evs[order[b]]) })
+
+		if gen == gens-1 {
+			return nil
+		}
+
+		// Elites carry over; the rest are bred by tournament selection,
+		// uniform crossover and per-axis mutation.
+		for i := 0; i < elite; i++ {
+			copy(next[i], genomes[order[i]])
+		}
+		for i := elite; i < pop; i++ {
+			pa := genomes[tournament(rng, evs, tourK)]
+			pb := genomes[tournament(rng, evs, tourK)]
+			child := next[i]
+			for ax, d := range dims {
+				if rng.Intn(2) == 0 {
+					child[ax] = pa[ax]
+				} else {
+					child[ax] = pb[ax]
+				}
+				if d > 1 && rng.Float64() < mut {
+					child[ax] = rng.Intn(d)
+				}
+			}
+		}
+		genomes, next = next, genomes
+	}
+	return nil
+}
+
+// tournament picks the best of k uniformly drawn population members and
+// returns its population slot.
+func tournament(rng *rand.Rand, evs []Eval, k int) int {
+	best := rng.Intn(len(evs))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(evs))
+		if Better(evs[c], evs[best]) {
+			best = c
+		}
+	}
+	return best
+}

@@ -6,13 +6,16 @@
 //
 // Routes:
 //
-//	POST /v1/profiles   register a profile (inline envelope or built-in workload)
-//	GET  /v1/workloads  list registered profiles
-//	POST /v1/predict    one (workload, config) prediction
-//	POST /v1/sweep      one workload × many configs, per-config errors
-//	POST /v1/evaluate   workloads × configs batch, per-item errors
-//	POST /v1/pareto     sweep + Pareto frontier / power cap / ED²P decisions
-//	GET  /healthz       liveness + registry and cache counters
+//	POST   /v1/profiles     register a profile (inline envelope or built-in workload)
+//	GET    /v1/workloads    list registered profiles
+//	POST   /v1/predict      one (workload, config) prediction
+//	POST   /v1/sweep        one workload × many configs, per-config errors
+//	POST   /v1/evaluate     workloads × configs batch, per-item errors
+//	POST   /v1/pareto       sweep + Pareto frontier / power cap / ED²P decisions
+//	POST   /v1/search       submit an async design-space search job
+//	GET    /v1/search/{id}  poll a search job (progress, then the report)
+//	DELETE /v1/search/{id}  cancel a search job
+//	GET    /healthz         liveness + registry, cache and search-job counters
 package server
 
 import (
@@ -73,6 +76,9 @@ func New(engine *mipp.Engine, opts ...Option) *Server {
 	mux.HandleFunc("POST /v1/sweep", handleJSON(s, s.engine.Sweep))
 	mux.HandleFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
 	mux.HandleFunc("POST /v1/pareto", handleJSON(s, s.engine.Pareto))
+	mux.HandleFunc("POST /v1/search", s.handleSearchSubmit)
+	mux.HandleFunc("GET /v1/search/{id}", s.handleSearchGet)
+	mux.HandleFunc("DELETE /v1/search/{id}", s.handleSearchCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.handlers = s.logged(mux)
@@ -108,21 +114,31 @@ func (s *Server) logged(next http.Handler) http.Handler {
 	})
 }
 
+// decodeRequest reads one JSON request DTO with unknown-field and
+// trailing-data rejection, writing the error response itself on failure.
+func decodeRequest[Req any](s *Server, w http.ResponseWriter, r *http.Request) (*Req, bool) {
+	req := new(Req)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return nil, false
+	}
+	if err := drainTrailing(dec); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return nil, false
+	}
+	return req, true
+}
+
 // handleJSON adapts one engine method to HTTP: decode the request DTO with
 // unknown-field rejection, call the engine with the request context, map
 // errors onto statuses, and encode the response DTO.
 func handleJSON[Req any, Resp any](s *Server, call func(ctx context.Context, req *Req) (*Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		req := new(Req)
-		body := http.MaxBytesReader(w, r.Body, s.maxBody)
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(req); err != nil {
-			writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
-			return
-		}
-		if err := drainTrailing(dec); err != nil {
-			writeError(w, decodeStatus(err), err)
+		req, ok := decodeRequest[Req](s, w, r)
+		if !ok {
 			return
 		}
 		resp, err := call(r.Context(), req)
@@ -132,6 +148,51 @@ func handleJSON[Req any, Resp any](s *Server, call func(ctx context.Context, req
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// logf logs through the server's logger when one is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// handleSearchSubmit admits an async search job. The assigned job ID goes
+// to the request log so operators can line later polls up with the submit.
+func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest[api.SearchRequest](s, w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.engine.SubmitSearch(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.logf("search job %s: submitted workload=%s strategy=%s space=%d budget=%d",
+		resp.Job.ID, resp.Job.Workload, resp.Job.Strategy, resp.Job.SpaceSize, req.Budget)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.engine.SearchJob(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearchCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, err := s.engine.CancelSearch(r.Context(), id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.logf("search job %s: cancel requested, state=%s after %d evaluations",
+		id, resp.Job.State, resp.Job.Evaluations)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // decodeStatus distinguishes "shrink the upload" (413) from "fix the JSON"
@@ -174,25 +235,29 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 // healthResponse is the /healthz body: liveness plus the engine counters a
 // load balancer or operator wants at a glance.
 type healthResponse struct {
-	SchemaVersion    int    `json:"schema_version"`
-	Status           string `json:"status"`
-	UptimeSeconds    int64  `json:"uptime_seconds"`
-	Workloads        int    `json:"workloads"`
-	CachedPredictors int    `json:"cached_predictors"`
-	CacheHits        uint64 `json:"cache_hits"`
-	CacheMisses      uint64 `json:"cache_misses"`
+	SchemaVersion       int    `json:"schema_version"`
+	Status              string `json:"status"`
+	UptimeSeconds       int64  `json:"uptime_seconds"`
+	Workloads           int    `json:"workloads"`
+	CachedPredictors    int    `json:"cached_predictors"`
+	CacheHits           uint64 `json:"cache_hits"`
+	CacheMisses         uint64 `json:"cache_misses"`
+	SearchJobsInFlight  int    `json:"search_jobs_in_flight"`
+	SearchJobsCompleted uint64 `json:"search_jobs_completed"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Stats()
 	writeJSON(w, http.StatusOK, healthResponse{
-		SchemaVersion:    api.SchemaVersion,
-		Status:           "ok",
-		UptimeSeconds:    int64(time.Since(s.started).Seconds()),
-		Workloads:        st.Profiles,
-		CachedPredictors: st.CachedPredictors,
-		CacheHits:        st.CacheHits,
-		CacheMisses:      st.CacheMisses,
+		SchemaVersion:       api.SchemaVersion,
+		Status:              "ok",
+		UptimeSeconds:       int64(time.Since(s.started).Seconds()),
+		Workloads:           st.Profiles,
+		CachedPredictors:    st.CachedPredictors,
+		CacheHits:           st.CacheHits,
+		CacheMisses:         st.CacheMisses,
+		SearchJobsInFlight:  st.SearchJobsInFlight,
+		SearchJobsCompleted: st.SearchJobsCompleted,
 	})
 }
 
@@ -200,10 +265,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // of the Evaluator contract.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, mipp.ErrUnknownWorkload):
+	case errors.Is(err, mipp.ErrUnknownWorkload), errors.Is(err, mipp.ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, mipp.ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, mipp.ErrBusy):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or timed out mid-evaluation.
 		return 499

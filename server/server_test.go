@@ -8,11 +8,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mipp"
 	"mipp/api"
@@ -256,4 +258,93 @@ func TestWorkloadsEndpoint(t *testing.T) {
 			t.Errorf("workload info incomplete: %+v", w)
 		}
 	}
+}
+
+// TestSearchRoutes drives the async search surface over HTTP: submit, poll
+// to completion, cancel taxonomy, healthz job counters and the job-ID
+// request log lines.
+func TestSearchRoutes(t *testing.T) {
+	var logBuf strings.Builder
+	logMu := &sync.Mutex{}
+	engine := testEngine(t)
+	srv := New(engine, WithLogger(log.New(lockedWriter{&logBuf, logMu}, "", 0)))
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := do("POST", "/v1/search",
+		`{"schema_version":1,"workload":"mcf","space":{"kind":"design"},"strategy":{"kind":"random","seed":4,"samples":25}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("submit status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var sub api.SearchJobResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job.ID == "" || sub.Job.SpaceSize != 243 {
+		t.Fatalf("submit job = %+v", sub.Job)
+	}
+
+	var fin api.SearchJobResponse
+	for i := 0; i < 1000; i++ {
+		rec = do("GET", "/v1/search/"+sub.Job.ID, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll status = %d (%s)", rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &fin); err != nil {
+			t.Fatal(err)
+		}
+		if fin.Job.Terminal() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fin.Job.State != api.JobDone || fin.Job.Report == nil || fin.Job.Report.Evaluations != 25 {
+		t.Fatalf("final job = %+v", fin.Job)
+	}
+
+	if rec = do("GET", "/v1/search/job-unknown", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job poll status = %d", rec.Code)
+	}
+	if rec = do("DELETE", "/v1/search/"+sub.Job.ID, ""); rec.Code != http.StatusOK {
+		t.Errorf("cancel of finished job status = %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	rec = do("GET", "/healthz", "")
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.SearchJobsInFlight != 0 || h.SearchJobsCompleted == 0 {
+		t.Errorf("healthz search counters = in-flight %d completed %d", h.SearchJobsInFlight, h.SearchJobsCompleted)
+	}
+
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logs, "search job "+sub.Job.ID+": submitted") {
+		t.Errorf("request log lacks submit line with job ID:\n%s", logs)
+	}
+	if !strings.Contains(logs, "/v1/search/"+sub.Job.ID) {
+		t.Errorf("request log lacks poll path with job ID:\n%s", logs)
+	}
+	if !strings.Contains(logs, "search job "+sub.Job.ID+": cancel requested") {
+		t.Errorf("request log lacks cancel line with job ID:\n%s", logs)
+	}
+}
+
+// lockedWriter serializes handler-goroutine log writes during the test.
+type lockedWriter struct {
+	w  *strings.Builder
+	mu *sync.Mutex
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
