@@ -538,6 +538,40 @@ type RegisterProfileResponse struct {
 	Uops          int64  `json:"uops"`
 }
 
+// ProfileInfo is one registered profile's metadata, served by
+// GET /v1/profiles/{name}. Digest is the content address of the profile's
+// canonical schema-v1 JSON envelope ("sha256:" + hex), identical whether
+// the profile lives in memory or in a store — so replicas sharing a store
+// (or a client re-uploading) can compare catalogs by digest alone.
+type ProfileInfo struct {
+	Name         string  `json:"name"`
+	Workload     string  `json:"workload"`
+	Digest       string  `json:"digest"`
+	SizeBytes    int64   `json:"size_bytes"`
+	Uops         int64   `json:"uops"`
+	Instructions int64   `json:"instructions"`
+	Entropy      float64 `json:"entropy"`
+	MicroTraces  int     `json:"micro_traces"`
+	// Resident reports whether the decoded profile is currently held in
+	// memory (always true without a store; false after LRU eviction —
+	// the next evaluation reloads it transparently).
+	Resident bool `json:"resident"`
+}
+
+// ProfileInfoResponse carries one profile's metadata.
+type ProfileInfoResponse struct {
+	SchemaVersion int         `json:"schema_version"`
+	Profile       ProfileInfo `json:"profile"`
+}
+
+// DeleteProfileResponse acknowledges DELETE /v1/profiles/{name}; a missing
+// name is a 404 error envelope instead.
+type DeleteProfileResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+	Deleted       bool   `json:"deleted"`
+}
+
 // ErrorResponse is the uniform error envelope of the HTTP service.
 type ErrorResponse struct {
 	SchemaVersion int    `json:"schema_version"`

@@ -143,6 +143,26 @@ func (c *Client) UploadProfile(ctx context.Context, name string, p *mipp.Profile
 	})
 }
 
+// ProfileInfo implements mipp.Evaluator: one profile's metadata (digest,
+// size, residency) via GET /v1/profiles/{name}.
+func (c *Client) ProfileInfo(ctx context.Context, name string) (*api.ProfileInfoResponse, error) {
+	resp := &api.ProfileInfoResponse{}
+	if err := c.call(ctx, http.MethodGet, "/v1/profiles/"+url.PathEscape(name), nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
+// DeleteProfile implements mipp.Evaluator: drop a registered profile via
+// DELETE /v1/profiles/{name}. A 404 unwraps to mipp.ErrUnknownWorkload.
+func (c *Client) DeleteProfile(ctx context.Context, name string) (*api.DeleteProfileResponse, error) {
+	resp := &api.DeleteProfileResponse{}
+	if err := c.call(ctx, http.MethodDelete, "/v1/profiles/"+url.PathEscape(name), nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
 // Workloads implements mipp.Evaluator.
 func (c *Client) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) {
 	resp := &api.WorkloadsResponse{}

@@ -320,3 +320,58 @@ func TestUploadProfile(t *testing.T) {
 		t.Errorf("uploaded-profile predictions differ:\n%s\n%s", a, b)
 	}
 }
+
+// TestProfileAdmin drives the profile-management surface over the wire:
+// GET metadata parity with the in-process engine, DELETE with durable
+// effect, and the 404 → ErrUnknownWorkload mapping.
+func TestProfileAdmin(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+
+	// Metadata parity: both evaluators report the identical canonical
+	// digest for the shared profile.
+	local, err := h.engine.ProfileInfo(ctx, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := h.remote.ProfileInfo(ctx, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(local)
+	b, _ := json.Marshal(remote)
+	if string(a) != string(b) {
+		t.Errorf("profile info differs:\nlocal:  %s\nremote: %s", a, b)
+	}
+	if local.Profile.Digest == "" || local.Profile.SizeBytes <= 0 {
+		t.Errorf("profile info incomplete: %+v", local.Profile)
+	}
+
+	if _, err := h.remote.ProfileInfo(ctx, "nope"); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("remote ProfileInfo(unknown) = %v, want ErrUnknownWorkload", err)
+	}
+
+	// Upload a scratch profile, delete it over the wire, and confirm the
+	// engine no longer serves it anywhere.
+	p, err := mipp.NewProfiler().Profile("bzip2", testUops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.remote.UploadProfile(ctx, "scratch-del", p); err != nil {
+		t.Fatal(err)
+	}
+	del, err := h.remote.DeleteProfile(ctx, "scratch-del")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Deleted || del.Name != "scratch-del" {
+		t.Errorf("delete response = %+v", del)
+	}
+	if _, err := h.remote.DeleteProfile(ctx, "scratch-del"); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("second remote delete = %v, want ErrUnknownWorkload", err)
+	}
+	if _, err := h.engine.Predict(ctx, &api.PredictRequest{SchemaVersion: api.SchemaVersion,
+		Workload: "scratch-del", Config: api.ConfigSpec{Name: "reference"}}); !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Errorf("engine still serves deleted profile: %v", err)
+	}
+}

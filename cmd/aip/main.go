@@ -6,6 +6,7 @@
 // Usage:
 //
 //	aip -workload mcf -n 1000000 -o mcf.profile.json
+//	aip -workload mcf -n 1000000 -store ./profile-store   # straight into a mippd store
 //	aip -list
 package main
 
@@ -16,19 +17,22 @@ import (
 	"log"
 
 	"mipp"
+	"mipp/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aip: ")
 	var (
-		name  = flag.String("workload", "", "benchmark name (see -list)")
-		n     = flag.Int("n", 1_000_000, "trace length in micro-ops")
-		seed  = flag.Int64("seed", 0, "generator seed (0 = per-benchmark default)")
-		out   = flag.String("o", "", "output JSON file (default stdout)")
-		micro = flag.Int("micro", 1000, "micro-trace length in uops")
-		win   = flag.Int("window", 0, "sampling window in uops (0 = auto)")
-		list  = flag.Bool("list", false, "list available workloads")
+		name     = flag.String("workload", "", "benchmark name (see -list)")
+		n        = flag.Int("n", 1_000_000, "trace length in micro-ops")
+		seed     = flag.Int64("seed", 0, "generator seed (0 = per-benchmark default)")
+		out      = flag.String("o", "", "output JSON file (default stdout)")
+		storeDir = flag.String("store", "", "write the profile into this content-addressed store (see mippd -store)")
+		regName  = flag.String("name", "", "store registry name (default: the workload name)")
+		micro    = flag.Int("micro", 1000, "micro-trace length in uops")
+		win      = flag.Int("window", 0, "sampling window in uops (0 = auto)")
+		list     = flag.Bool("list", false, "list available workloads")
 	)
 	flag.Parse()
 	if *list {
@@ -44,6 +48,21 @@ func main() {
 	p, err := profiler.Profile(*name, *n)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := st.Put(*regName, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stored %s in %s: %s (%d bytes), %d uops, %d micro-traces, entropy %.3f\n",
+			info.Name, *storeDir, info.Digest, info.SizeBytes, info.Uops, info.MicroTraces, info.Entropy)
+		if *out == "" {
+			return
+		}
 	}
 	if *out == "" {
 		enc, err := json.Marshal(p)

@@ -8,6 +8,9 @@
 //
 //	mippd -addr :8091 -preload mcf,gcc -n 200000
 //	mippd -profiles ./profiles            # load every cmd/aip *.json in a dir
+//	mippd -store ./profile-store          # durable content-addressed store:
+//	                                      # uploads persist, restarts serve the
+//	                                      # whole catalog without re-profiling
 //
 // Then, from any HTTP client (see mipp/client for the Go one):
 //
@@ -35,6 +38,7 @@ import (
 
 	"mipp"
 	"mipp/server"
+	"mipp/store"
 )
 
 func main() {
@@ -45,6 +49,8 @@ func main() {
 		preload  = flag.String("preload", "", "comma-separated built-in workloads to profile at boot")
 		n        = flag.Int("n", 200_000, "trace length in micro-ops for -preload profiling")
 		profiles = flag.String("profiles", "", "directory of profile JSON files (cmd/aip output) to load at boot")
+		storeDir = flag.String("store", "", "durable profile store directory (content-addressed; registrations persist across restarts)")
+		storeMax = flag.Int64("store-resident-bytes", 0, "LRU bound on decoded profile bytes the store keeps in memory (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -52,6 +58,14 @@ func main() {
 	var engineOpts []mipp.EngineOption
 	if *workers > 0 {
 		engineOpts = append(engineOpts, mipp.WithEngineWorkers(*workers))
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.WithMaxResidentBytes(*storeMax))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engineOpts = append(engineOpts, mipp.WithEngineStore(st))
+		log.Printf("profile store %s: %d stored profile(s)", *storeDir, st.Stats().Objects)
 	}
 	engine := mipp.NewEngine(engineOpts...)
 	if err := boot(engine, *preload, *n, *profiles); err != nil {
@@ -98,6 +112,12 @@ func boot(engine *mipp.Engine, preload string, n int, dir string) error {
 		for _, name := range strings.Split(preload, ",") {
 			name = strings.TrimSpace(name)
 			if name == "" {
+				continue
+			}
+			// With -store, a previous run's profile is already durable:
+			// serve it instead of re-paying the profiling step.
+			if _, ok := engine.Profile(name); ok {
+				log.Printf("preload %s: already in store, skipping re-profile", name)
 				continue
 			}
 			t0 := time.Now()

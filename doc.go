@@ -27,7 +27,12 @@
 //     wire DTOs of mipp/api. Engine implements Evaluator; mipp/client
 //     implements the same interface against a remote mippd daemon
 //     (mipp/server + cmd/mippd), so in-process and over-the-wire
-//     evaluation are interchangeable and byte-identical.
+//     evaluation are interchangeable and byte-identical. An Engine backed
+//     by a ProfileStore (WithEngineStore; implemented by the
+//     content-addressed on-disk store in mipp/store, mippd -store) writes
+//     registrations through durably and lazy-loads unknown names, so a
+//     restarted daemon serves its whole catalog — LRU-bounded residency,
+//     transparent reload — without re-profiling.
 //   - The search subsystem (mipp/search) spends that evaluation speed on
 //     purpose: lazy parametric spaces (arch.Space) that are never
 //     materialized, seeded pluggable strategies (exhaustive, random,

@@ -2,6 +2,8 @@ package mipp
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -26,6 +28,14 @@ import (
 // its profile and invalidates every predictor cached for it.
 type Engine struct {
 	workers int
+
+	// store, when set, is the durable backing registry: Register writes
+	// through, and lookups of names absent from the in-memory map
+	// lazy-load from it — so a store-backed engine serves its whole
+	// on-disk catalog after a restart without re-profiling. The store
+	// owns profile residency (LRU-bounded); the profiles map holds only
+	// storeless registrations.
+	store ProfileStore
 
 	mu         sync.RWMutex
 	profiles   map[string]*Profile
@@ -65,6 +75,15 @@ func WithEngineWorkers(n int) EngineOption {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithEngineStore backs the engine with a durable profile store (see
+// mipp/store): Register and RegisterProfile write through to it, and
+// Predict/Sweep/Evaluate/search resolve workload names the engine does not
+// hold in memory by lazy-loading from the store — a miss in both still
+// yields ErrUnknownWorkload.
+func WithEngineStore(st ProfileStore) EngineOption {
+	return func(e *Engine) { e.store = st }
+}
+
 // NewEngine returns an empty engine ready for Register.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
@@ -83,13 +102,26 @@ func NewEngine(opts ...EngineOption) *Engine {
 // drops every predictor cached for it.
 func (e *Engine) Register(name string, p *Profile) error {
 	if p == nil || p.raw == nil {
-		return fmt.Errorf("mipp: Register(%q): nil or empty profile", name)
+		return fmt.Errorf("%w: Register(%q): nil or empty profile", ErrBadRequest, name)
 	}
 	if name == "" {
 		name = p.Workload()
 	}
 	if name == "" {
-		return fmt.Errorf("mipp: Register: profile has no workload name and none was given")
+		return fmt.Errorf("%w: Register: profile has no workload name and none was given", ErrBadRequest)
+	}
+	if e.store != nil {
+		// Write-through: the store owns residency (and may evict the
+		// body later; lookups reload it transparently), so the profile
+		// is not duplicated into the in-memory map.
+		if _, err := e.store.Put(name, p); err != nil {
+			return fmt.Errorf("mipp: Register(%q): %w", name, err)
+		}
+		e.mu.Lock()
+		delete(e.profiles, name)
+		e.invalidateLocked(name)
+		e.mu.Unlock()
+		return nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -98,15 +130,78 @@ func (e *Engine) Register(name string, p *Profile) error {
 	return nil
 }
 
-// Remove drops a registered profile and its cached predictors, reporting
-// whether the name was registered.
+// Remove drops a registered profile — from memory and from the backing
+// store, when one is configured — and its cached predictors, reporting
+// whether the name was registered. A store deletion failure is reported as
+// false; callers that need the distinction (the profile may then survive
+// in the store and reappear on the next lookup) should use DeleteProfile,
+// which surfaces the error.
 func (e *Engine) Remove(name string) bool {
+	ok, err := e.remove(name)
+	return ok && err == nil
+}
+
+// remove is the shared removal path of Remove and DeleteProfile.
+func (e *Engine) remove(name string) (bool, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	_, ok := e.profiles[name]
 	delete(e.profiles, name)
 	e.invalidateLocked(name)
-	return ok
+	e.mu.Unlock()
+	if e.store != nil {
+		deleted, err := e.store.Delete(name)
+		if err != nil {
+			return ok, fmt.Errorf("mipp: remove %q: %w", name, err)
+		}
+		ok = ok || deleted
+		// Invalidate again: a Predict racing this removal may have
+		// resolved the profile from the store after the first
+		// invalidation but before the store delete, caching a fresh
+		// predictor for the now-deleted workload.
+		e.mu.Lock()
+		e.invalidateLocked(name)
+		e.mu.Unlock()
+	}
+	return ok, nil
+}
+
+// profileExists checks that name resolves without loading a store-backed
+// body (admission checks must not pay a disk read, and a corrupt stored
+// object is an existing workload whose load fails — not an unknown name).
+func (e *Engine) profileExists(name string) error {
+	e.mu.RLock()
+	_, ok := e.profiles[name]
+	e.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	if e.store != nil {
+		if _, ok := e.store.Info(name); ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, name, e.WorkloadNames())
+}
+
+// resolveProfile returns the profile registered under name, lazy-loading it
+// from the backing store when it is not held in memory.
+func (e *Engine) resolveProfile(name string) (*Profile, error) {
+	e.mu.RLock()
+	p := e.profiles[name]
+	e.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	if e.store != nil {
+		sp, ok, err := e.store.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("mipp: workload %q: %w", name, err)
+		}
+		if ok {
+			return sp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, name, e.WorkloadNames())
 }
 
 func (e *Engine) invalidateLocked(name string) {
@@ -117,21 +212,32 @@ func (e *Engine) invalidateLocked(name string) {
 	}
 }
 
-// Profile returns the profile registered under name.
+// Profile returns the profile registered under name, loading it from the
+// backing store when necessary.
 func (e *Engine) Profile(name string) (*Profile, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	p, ok := e.profiles[name]
-	return p, ok
+	p, err := e.resolveProfile(name)
+	return p, err == nil
 }
 
-// WorkloadNames returns the registered profile names, sorted.
+// WorkloadNames returns the registered profile names — in-memory and
+// store-backed — sorted.
 func (e *Engine) WorkloadNames() []string {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	names := make([]string, 0, len(e.profiles))
 	for n := range e.profiles {
 		names = append(names, n)
+	}
+	e.mu.RUnlock()
+	if e.store != nil {
+		seen := make(map[string]bool, len(names))
+		for _, n := range names {
+			seen[n] = true
+		}
+		for _, n := range e.store.Names() {
+			if !seen[n] {
+				names = append(names, n)
+			}
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -153,13 +259,15 @@ type EngineStats struct {
 	// cancelled) since the engine was created.
 	SearchJobsInFlight  int
 	SearchJobsCompleted uint64
+	// Store snapshots the backing profile store's counters; nil when the
+	// engine has no store.
+	Store *StoreStats
 }
 
 // Stats returns current registry and cache counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return EngineStats{
+	st := EngineStats{
 		Profiles:            len(e.profiles),
 		CachedPredictors:    len(e.predictors),
 		CacheHits:           e.hits.Load(),
@@ -167,6 +275,13 @@ func (e *Engine) Stats() EngineStats {
 		SearchJobsInFlight:  int(e.search.inFlight.Load()),
 		SearchJobsCompleted: e.search.completed.Load(),
 	}
+	e.mu.RUnlock()
+	if e.store != nil {
+		ss := e.store.Stats()
+		st.Store = &ss
+		st.Profiles += ss.Objects
+	}
+	return st
 }
 
 // predictorOptions lowers a wire spec to the façade's functional options.
@@ -214,7 +329,11 @@ func predictorOptions(spec api.PredictorSpec) ([]PredictorOption, error) {
 }
 
 // Predictor returns the cached predictor for (workload, spec), compiling it
-// on first use. Concurrent callers with the same key share one compile.
+// on first use. Concurrent callers with the same key share one compile. The
+// profile is resolved inside the compile — after the entry is published but
+// outside every engine lock — so a store-backed engine's disk loads never
+// stall unrelated requests, and a Register racing the compile still
+// invalidates the entry it observes.
 func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -223,45 +342,47 @@ func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor,
 
 	e.mu.RLock()
 	entry, ok := e.predictors[key]
-	profile := e.profiles[workload]
 	e.mu.RUnlock()
+	if !ok {
+		e.mu.Lock()
+		// Re-check under the write lock: another goroutine may have
+		// inserted the entry.
+		if entry, ok = e.predictors[key]; !ok {
+			entry = &predictorEntry{}
+			entry.compile = func() {
+				profile, err := e.resolveProfile(workload)
+				if err != nil {
+					entry.err = err
+					return
+				}
+				opts, err := predictorOptions(spec)
+				if err != nil {
+					entry.err = err
+					return
+				}
+				entry.pd, entry.err = NewPredictor(profile, opts...)
+			}
+			e.predictors[key] = entry
+		}
+		e.mu.Unlock()
+	}
 	if ok {
 		e.hits.Add(1)
-		entry.once.Do(entry.compile)
-		return entry.pd, entry.err
+	} else {
+		e.misses.Add(1)
 	}
-	if profile == nil {
-		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, workload, e.WorkloadNames())
-	}
-
-	e.mu.Lock()
-	// Re-check under the write lock: another goroutine may have inserted
-	// the entry, or the profile may have been replaced/removed.
-	if entry, ok = e.predictors[key]; ok {
-		e.mu.Unlock()
-		e.hits.Add(1)
-		entry.once.Do(entry.compile)
-		return entry.pd, entry.err
-	}
-	profile, ok = e.profiles[workload]
-	if !ok {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, workload, e.WorkloadNames())
-	}
-	entry = &predictorEntry{}
-	entry.compile = func() {
-		opts, err := predictorOptions(spec)
-		if err != nil {
-			entry.err = err
-			return
-		}
-		entry.pd, entry.err = NewPredictor(profile, opts...)
-	}
-	e.predictors[key] = entry
-	e.mu.Unlock()
-
-	e.misses.Add(1)
 	entry.once.Do(entry.compile)
+	if entry.err != nil {
+		// Do not cache failures: unregistered names must not grow the
+		// predictor map (and a later Register must compile fresh even if
+		// its invalidation raced this insert), and a transient store
+		// load error must not poison this (workload, spec) key forever.
+		e.mu.Lock()
+		if e.predictors[key] == entry {
+			delete(e.predictors, key)
+		}
+		e.mu.Unlock()
+	}
 	return entry.pd, entry.err
 }
 
@@ -332,8 +453,11 @@ func (e *Engine) RegisterProfile(ctx context.Context, req *api.RegisterProfileRe
 	if name == "" {
 		name = p.Workload()
 	}
+	// Register wraps its own argument errors with ErrBadRequest; a store
+	// write-through failure passes through unwrapped, so server-side I/O
+	// trouble surfaces as 500, not as the caller's fault.
 	if err := e.Register(name, p); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, err
 	}
 	return &api.RegisterProfileResponse{
 		SchemaVersion: api.SchemaVersion,
@@ -343,11 +467,15 @@ func (e *Engine) RegisterProfile(ctx context.Context, req *api.RegisterProfileRe
 	}, nil
 }
 
-// Workloads implements Evaluator.
+// Workloads implements Evaluator. Store-backed names are listed from the
+// store's index metadata, so a catalog of hundreds of evicted profiles is
+// enumerated without loading a single body.
 func (e *Engine) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) {
 	e.mu.RLock()
 	infos := make([]api.WorkloadInfo, 0, len(e.profiles))
+	seen := make(map[string]bool, len(e.profiles))
 	for name, p := range e.profiles {
+		seen[name] = true
 		infos = append(infos, api.WorkloadInfo{
 			Name:         name,
 			Workload:     p.Workload(),
@@ -358,8 +486,96 @@ func (e *Engine) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) 
 		})
 	}
 	e.mu.RUnlock()
+	if e.store != nil {
+		for _, name := range e.store.Names() {
+			if seen[name] {
+				continue
+			}
+			si, ok := e.store.Info(name)
+			if !ok {
+				continue
+			}
+			infos = append(infos, api.WorkloadInfo{
+				Name:         name,
+				Workload:     si.Workload,
+				Uops:         si.Uops,
+				Instructions: si.Instructions,
+				Entropy:      si.Entropy,
+				MicroTraces:  si.MicroTraces,
+			})
+		}
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return &api.WorkloadsResponse{SchemaVersion: api.SchemaVersion, Workloads: infos}, nil
+}
+
+// ProfileInfo implements Evaluator: the metadata of one registered profile,
+// digest and size included. Store-backed names are answered from the index
+// without loading the body; in-memory profiles compute the same canonical
+// digest on the fly, so local and store-backed engines answer identically.
+func (e *Engine) ProfileInfo(ctx context.Context, name string) (*api.ProfileInfoResponse, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: profile request has no name", ErrBadRequest)
+	}
+	e.mu.RLock()
+	p := e.profiles[name]
+	e.mu.RUnlock()
+	if p != nil {
+		data, err := json.Marshal(p)
+		if err != nil {
+			return nil, fmt.Errorf("mipp: profile %q: %w", name, err)
+		}
+		sum := sha256.Sum256(data)
+		return &api.ProfileInfoResponse{
+			SchemaVersion: api.SchemaVersion,
+			Profile: api.ProfileInfo{
+				Name:         name,
+				Workload:     p.Workload(),
+				Digest:       "sha256:" + hex.EncodeToString(sum[:]),
+				SizeBytes:    int64(len(data)),
+				Uops:         p.TotalUops(),
+				Instructions: p.TotalInstructions(),
+				Entropy:      p.Entropy(),
+				MicroTraces:  p.MicroTraces(),
+				Resident:     true,
+			},
+		}, nil
+	}
+	if e.store != nil {
+		if si, ok := e.store.Info(name); ok {
+			return &api.ProfileInfoResponse{
+				SchemaVersion: api.SchemaVersion,
+				Profile: api.ProfileInfo{
+					Name:         name,
+					Workload:     si.Workload,
+					Digest:       si.Digest,
+					SizeBytes:    si.SizeBytes,
+					Uops:         si.Uops,
+					Instructions: si.Instructions,
+					Entropy:      si.Entropy,
+					MicroTraces:  si.MicroTraces,
+					Resident:     si.Resident,
+				},
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, name, e.WorkloadNames())
+}
+
+// DeleteProfile implements Evaluator: drop a registered profile (and, when
+// store-backed, its durable object) along with its cached predictors.
+func (e *Engine) DeleteProfile(ctx context.Context, name string) (*api.DeleteProfileResponse, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: delete request has no name", ErrBadRequest)
+	}
+	ok, err := e.remove(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, name, e.WorkloadNames())
+	}
+	return &api.DeleteProfileResponse{SchemaVersion: api.SchemaVersion, Name: name, Deleted: true}, nil
 }
 
 // Predict implements Evaluator.

@@ -20,10 +20,16 @@ import (
 type Evaluator interface {
 	// RegisterProfile installs a workload profile: either an inline
 	// versioned profile envelope or a built-in workload profiled
-	// server-side.
+	// server-side. Store-backed engines persist it durably.
 	RegisterProfile(ctx context.Context, req *api.RegisterProfileRequest) (*api.RegisterProfileResponse, error)
 	// Workloads lists the registered profiles, sorted by name.
 	Workloads(ctx context.Context) (*api.WorkloadsResponse, error)
+	// ProfileInfo returns one registered profile's metadata — canonical
+	// digest, size, summary counters and residency.
+	ProfileInfo(ctx context.Context, name string) (*api.ProfileInfoResponse, error)
+	// DeleteProfile drops a registered profile (durably, when the
+	// implementation is store-backed) and its cached predictors.
+	DeleteProfile(ctx context.Context, name string) (*api.DeleteProfileResponse, error)
 	// Predict evaluates one (workload, configuration) pair.
 	Predict(ctx context.Context, req *api.PredictRequest) (*api.PredictResponse, error)
 	// Sweep evaluates one workload over many configurations with

@@ -5,7 +5,11 @@ package mipp_test
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mipp"
@@ -246,5 +250,61 @@ func TestProfileSchemaVersionErrors(t *testing.T) {
 	}
 	if _, err := mipp.NewPredictor(&empty); err == nil {
 		t.Error("NewPredictor(empty profile) did not error")
+	}
+}
+
+// TestLoadProfileMalformedFixtures: corrupted, truncated and wrong-version
+// profile files must fail with wrapped, sentinel-matchable errors that name
+// the offending path.
+func TestLoadProfileMalformedFixtures(t *testing.T) {
+	valid, err := json.Marshal(engineProfile(t, "gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty file", nil, mipp.ErrProfileCorrupt},
+		{"not json", []byte("these are not the bytes you are looking for"), mipp.ErrProfileCorrupt},
+		{"bare open brace", []byte("{"), mipp.ErrProfileCorrupt},
+		{"truncated envelope", valid[:len(valid)/2], mipp.ErrProfileCorrupt},
+		{"future schema version", []byte(`{"schema_version":99,"profile":{}}`), mipp.ErrProfileVersion},
+		{"zero schema version", []byte(`{"profile":{}}`), mipp.ErrProfileVersion},
+		{"no profile body", []byte(`{"schema_version":1}`), mipp.ErrProfileCorrupt},
+		{"wrong body type", []byte(`{"schema_version":1,"profile":42}`), mipp.ErrProfileCorrupt},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "-")+".json")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := mipp.LoadProfile(path)
+			if err == nil {
+				t.Fatal("LoadProfile accepted a malformed fixture")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want errors.Is(%v)", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the file path", err)
+			}
+		})
+	}
+
+	// A good file still loads after the hardening.
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mipp.LoadProfile(good); err != nil {
+		t.Errorf("LoadProfile(valid) = %v", err)
+	}
+	// Missing files surface the os error, not a corrupt-profile one.
+	if _, err := mipp.LoadProfile(filepath.Join(dir, "missing.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("LoadProfile(missing) = %v, want os.ErrNotExist", err)
 	}
 }

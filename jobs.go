@@ -168,8 +168,8 @@ func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api
 		return nil, fmt.Errorf("%w: unbudgeted search over %d points (cap %d); set a budget",
 			ErrBadRequest, space.Size(), maxSearchEvaluations)
 	}
-	if _, ok := e.Profile(req.Workload); !ok {
-		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownWorkload, req.Workload, e.WorkloadNames())
+	if err := e.profileExists(req.Workload); err != nil {
+		return nil, err
 	}
 	// Atomic admission: claim the slot first, release it if that pushed
 	// past the cap — concurrent submits cannot overshoot.

@@ -2,6 +2,7 @@ package mipp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -12,6 +13,17 @@ import (
 // and MarshalJSON. Loading rejects any other version so stale profiles fail
 // loudly instead of silently mispredicting.
 const ProfileSchemaVersion = 1
+
+// Profile decoding errors. LoadProfile and the profile store wrap them with
+// the offending file path, so test with errors.Is.
+var (
+	// ErrProfileCorrupt reports profile JSON that cannot be decoded:
+	// malformed or truncated bytes, or an envelope with no profile body.
+	ErrProfileCorrupt = errors.New("mipp: corrupt profile")
+	// ErrProfileVersion reports a well-formed envelope whose
+	// schema_version this build does not read.
+	ErrProfileVersion = errors.New("mipp: unsupported profile schema version")
+)
 
 // Profile is a serializable micro-architecture independent application
 // profile: everything the analytical model needs to predict performance and
@@ -89,14 +101,14 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 func (p *Profile) UnmarshalJSON(data []byte) error {
 	var env profileEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return fmt.Errorf("mipp: decode profile: %w", err)
+		return fmt.Errorf("%w: decode envelope: %v", ErrProfileCorrupt, err)
 	}
 	if env.SchemaVersion != ProfileSchemaVersion {
-		return fmt.Errorf("mipp: unsupported profile schema version %d (this build reads version %d)",
-			env.SchemaVersion, ProfileSchemaVersion)
+		return fmt.Errorf("%w %d (this build reads version %d)",
+			ErrProfileVersion, env.SchemaVersion, ProfileSchemaVersion)
 	}
 	if env.Profile == nil {
-		return fmt.Errorf("mipp: profile envelope has no profile body")
+		return fmt.Errorf("%w: envelope has no profile body", ErrProfileCorrupt)
 	}
 	p.raw = env.Profile
 	return nil
@@ -111,16 +123,32 @@ func (p *Profile) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// DecodeProfile decodes a versioned profile envelope. Every failure wraps
+// ErrProfileCorrupt or ErrProfileVersion — including syntax errors raised
+// by encoding/json before the envelope decoder runs — so callers can
+// distinguish "bad bytes" from "wrong schema generation" with errors.Is.
+func DecodeProfile(data []byte) (*Profile, error) {
+	p := &Profile{}
+	if err := json.Unmarshal(data, p); err != nil {
+		if !errors.Is(err, ErrProfileCorrupt) && !errors.Is(err, ErrProfileVersion) {
+			err = fmt.Errorf("%w: %v", ErrProfileCorrupt, err)
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
 // LoadProfile reads a versioned profile JSON file written by Save (or
-// cmd/aip).
+// cmd/aip). Decoding failures wrap ErrProfileCorrupt or ErrProfileVersion
+// and name the offending file.
 func LoadProfile(path string) (*Profile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{}
-	if err := json.Unmarshal(data, p); err != nil {
-		return nil, err
+	p, err := DecodeProfile(data)
+	if err != nil {
+		return nil, fmt.Errorf("mipp: load profile %s: %w", path, err)
 	}
 	return p, nil
 }

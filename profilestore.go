@@ -1,0 +1,74 @@
+package mipp
+
+// ProfileStore is the persistence seam of an Engine: a durable,
+// shared registry of named workload profiles. mipp/store implements it as a
+// content-addressed on-disk store; an Engine built with WithEngineStore
+// writes every registration through and resolves unknown workload names by
+// lazy-loading, so a restarted daemon serves its whole catalog without
+// re-profiling.
+//
+// Implementations must be safe for concurrent use; Get of an evicted or
+// not-yet-resident entry is expected to block only callers of that entry.
+type ProfileStore interface {
+	// Put durably stores p under name and makes it resident, returning
+	// the stored entry's metadata.
+	Put(name string, p *Profile) (ProfileStoreInfo, error)
+	// Get returns the profile stored under name, loading it from durable
+	// storage when it is not resident. The bool reports whether the name
+	// exists; the error reports load failures (unreadable or corrupt
+	// objects) for names that do exist.
+	Get(name string) (*Profile, bool, error)
+	// Delete removes name and, when unreferenced, its underlying object,
+	// reporting whether the name existed.
+	Delete(name string) (bool, error)
+	// Info returns the stored entry's metadata without loading its body.
+	Info(name string) (ProfileStoreInfo, bool)
+	// Names lists the stored profile names, sorted.
+	Names() []string
+	// Stats snapshots store counters for /healthz and operators.
+	Stats() StoreStats
+}
+
+// ProfileStoreInfo is the metadata of one stored profile, kept in the
+// store's index so listing and GET /v1/profiles/{name} never load bodies.
+type ProfileStoreInfo struct {
+	// Name is the registry name the profile is stored under.
+	Name string
+	// Digest is the content address: "sha256:" + hex of the SHA-256 of
+	// the profile's canonical schema-v1 JSON envelope.
+	Digest string
+	// SizeBytes is the canonical envelope's size.
+	SizeBytes int64
+	// Workload, Uops, Instructions, Entropy and MicroTraces mirror the
+	// profile's own summary accessors, captured at Put time.
+	Workload     string
+	Uops         int64
+	Instructions int64
+	Entropy      float64
+	MicroTraces  int
+	// Resident reports whether the decoded profile is currently held in
+	// memory (false after LRU eviction; the next Get reloads it).
+	Resident bool
+}
+
+// StoreStats snapshots a ProfileStore's counters.
+type StoreStats struct {
+	// Objects is the number of stored profiles (index entries).
+	Objects int
+	// ResidentEntries and ResidentBytes describe the decoded profiles
+	// currently held in memory; MaxResidentBytes is the configured LRU
+	// bound (0 = unbounded).
+	ResidentEntries  int
+	ResidentBytes    int64
+	MaxResidentBytes int64
+	// Hits and Misses count Get lookups answered from resident memory
+	// vs. those that had to load from durable storage.
+	Hits, Misses uint64
+	// Loads counts completed disk loads (a miss whose load another
+	// concurrent caller performed does not re-count).
+	Loads uint64
+	// Evictions and EvictedBytes count entries pushed out of resident
+	// memory by the LRU bound since the store was opened.
+	Evictions    uint64
+	EvictedBytes uint64
+}

@@ -6,16 +6,18 @@
 //
 // Routes:
 //
-//	POST   /v1/profiles     register a profile (inline envelope or built-in workload)
-//	GET    /v1/workloads    list registered profiles
-//	POST   /v1/predict      one (workload, config) prediction
-//	POST   /v1/sweep        one workload × many configs, per-config errors
-//	POST   /v1/evaluate     workloads × configs batch, per-item errors
-//	POST   /v1/pareto       sweep + Pareto frontier / power cap / ED²P decisions
-//	POST   /v1/search       submit an async design-space search job
-//	GET    /v1/search/{id}  poll a search job (progress, then the report)
-//	DELETE /v1/search/{id}  cancel a search job
-//	GET    /healthz         liveness + registry, cache and search-job counters
+//	POST   /v1/profiles         register a profile (inline envelope or built-in workload)
+//	GET    /v1/profiles/{name}  one profile's metadata (digest, size, residency)
+//	DELETE /v1/profiles/{name}  drop a profile (and its stored object)
+//	GET    /v1/workloads        list registered profiles
+//	POST   /v1/predict          one (workload, config) prediction
+//	POST   /v1/sweep            one workload × many configs, per-config errors
+//	POST   /v1/evaluate         workloads × configs batch, per-item errors
+//	POST   /v1/pareto           sweep + Pareto frontier / power cap / ED²P decisions
+//	POST   /v1/search           submit an async design-space search job
+//	GET    /v1/search/{id}      poll a search job (progress, then the report)
+//	DELETE /v1/search/{id}      cancel a search job
+//	GET    /healthz             liveness + registry, cache, search-job and store counters
 package server
 
 import (
@@ -72,6 +74,8 @@ func New(engine *mipp.Engine, opts ...Option) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/profiles", handleJSON(s, s.engine.RegisterProfile))
+	mux.HandleFunc("GET /v1/profiles/{name}", s.handleProfileGet)
+	mux.HandleFunc("DELETE /v1/profiles/{name}", s.handleProfileDelete)
 	mux.HandleFunc("POST /v1/predict", handleJSON(s, s.engine.Predict))
 	mux.HandleFunc("POST /v1/sweep", handleJSON(s, s.engine.Sweep))
 	mux.HandleFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
@@ -223,6 +227,30 @@ func drainTrailing(dec *json.Decoder) error {
 	}
 }
 
+// handleProfileGet serves one profile's metadata; unknown names map to 404
+// through ErrUnknownWorkload like every evaluation path.
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.engine.ProfileInfo(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProfileDelete drops a profile — from memory and from the daemon's
+// store, when it runs with one.
+func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	resp, err := s.engine.DeleteProfile(r.Context(), name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.logf("profile %q: deleted", name)
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.engine.Workloads(r.Context())
 	if err != nil {
@@ -244,11 +272,27 @@ type healthResponse struct {
 	CacheMisses         uint64 `json:"cache_misses"`
 	SearchJobsInFlight  int    `json:"search_jobs_in_flight"`
 	SearchJobsCompleted uint64 `json:"search_jobs_completed"`
+	// Store reports the backing profile store's counters; omitted when
+	// the engine runs without one.
+	Store *storeHealth `json:"store,omitempty"`
+}
+
+// storeHealth is the /healthz view of mipp.StoreStats.
+type storeHealth struct {
+	Objects          int    `json:"objects"`
+	ResidentEntries  int    `json:"resident_entries"`
+	ResidentBytes    int64  `json:"resident_bytes"`
+	MaxResidentBytes int64  `json:"max_resident_bytes"`
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Loads            uint64 `json:"loads"`
+	Evictions        uint64 `json:"evictions"`
+	EvictedBytes     uint64 `json:"evicted_bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Stats()
-	writeJSON(w, http.StatusOK, healthResponse{
+	h := healthResponse{
 		SchemaVersion:       api.SchemaVersion,
 		Status:              "ok",
 		UptimeSeconds:       int64(time.Since(s.started).Seconds()),
@@ -258,7 +302,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:         st.CacheMisses,
 		SearchJobsInFlight:  st.SearchJobsInFlight,
 		SearchJobsCompleted: st.SearchJobsCompleted,
-	})
+	}
+	if st.Store != nil {
+		h.Store = &storeHealth{
+			Objects:          st.Store.Objects,
+			ResidentEntries:  st.Store.ResidentEntries,
+			ResidentBytes:    st.Store.ResidentBytes,
+			MaxResidentBytes: st.Store.MaxResidentBytes,
+			Hits:             st.Store.Hits,
+			Misses:           st.Store.Misses,
+			Loads:            st.Store.Loads,
+			Evictions:        st.Store.Evictions,
+			EvictedBytes:     st.Store.EvictedBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // statusFor maps service errors onto HTTP statuses via the sentinel errors

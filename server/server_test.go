@@ -18,6 +18,7 @@ import (
 
 	"mipp"
 	"mipp/api"
+	"mipp/store"
 )
 
 const testUops = 30_000
@@ -347,4 +348,97 @@ func (l lockedWriter) Write(p []byte) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.w.Write(p)
+}
+
+// TestProfileRoutes drives GET/DELETE /v1/profiles/{name} against both a
+// plain in-memory engine and a store-backed one, including the /healthz
+// store section and the 404 taxonomy.
+func TestProfileRoutes(t *testing.T) {
+	// Storeless engine: metadata is computed from the resident profile.
+	rec := serve(t, "GET", "/v1/profiles/mcf", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET profile status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var info api.ProfileInfoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	p := info.Profile
+	if p.Name != "mcf" || !strings.HasPrefix(p.Digest, "sha256:") || p.SizeBytes <= 0 || !p.Resident {
+		t.Fatalf("profile info = %+v", p)
+	}
+	if rec := serve(t, "GET", "/v1/profiles/nope", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("GET unknown profile status = %d", rec.Code)
+	}
+
+	// Store-backed engine: same surface plus durable delete and store
+	// counters on /healthz.
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := mipp.NewEngine(mipp.WithEngineStore(st))
+	prof, _ := testEngine(t).Profile("mcf")
+	if err := engine.Register("mcf", prof); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(engine)
+	do := func(method, path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec = do("GET", "/v1/profiles/mcf")
+	var stored api.ProfileInfoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stored); err != nil {
+		t.Fatal(err)
+	}
+	// Content addressing: the store-backed daemon reports the same digest
+	// as the in-memory one for the same profile.
+	if stored.Profile.Digest != p.Digest || stored.Profile.SizeBytes != p.SizeBytes {
+		t.Errorf("store digest %s/%d != in-memory digest %s/%d",
+			stored.Profile.Digest, stored.Profile.SizeBytes, p.Digest, p.SizeBytes)
+	}
+
+	rec = do("GET", "/healthz")
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store == nil || h.Store.Objects != 1 || h.Workloads != 1 {
+		t.Fatalf("healthz store section = %+v (workloads %d)", h.Store, h.Workloads)
+	}
+
+	rec = do("DELETE", "/v1/profiles/mcf")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var del api.DeleteProfileResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &del); err != nil {
+		t.Fatal(err)
+	}
+	if !del.Deleted || del.Name != "mcf" {
+		t.Errorf("delete response = %+v", del)
+	}
+	if rec := do("DELETE", "/v1/profiles/mcf"); rec.Code != http.StatusNotFound {
+		t.Errorf("second DELETE status = %d", rec.Code)
+	}
+	if rec := do("GET", "/v1/profiles/mcf"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET after DELETE status = %d", rec.Code)
+	}
+	rec = do("GET", "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store == nil || h.Store.Objects != 0 {
+		t.Errorf("healthz store section after delete = %+v", h.Store)
+	}
+
+	// The storeless /healthz must omit the store section entirely.
+	rec = serve(t, "GET", "/healthz", "")
+	if strings.Contains(rec.Body.String(), `"store"`) {
+		t.Errorf("storeless healthz has a store section: %s", rec.Body.String())
+	}
 }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+// lockFile is a no-op off unix: single-process stores stay fully
+// serialized by Store.mu; cross-process writers fall back to
+// last-writer-wins on the atomically renamed index.
+func lockFile(path string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock (flock) on path, creating it if
+// needed, and returns the unlock func. It serializes index
+// read-modify-write cycles across Store instances and processes sharing one
+// directory; readers never take it — they rely on atomic renames and the
+// mtime staleness check.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	return func() {
+		// Close releases the flock with the open file description.
+		f.Close()
+	}, nil
+}

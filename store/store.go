@@ -1,0 +1,622 @@
+// Package store persists workload profiles on disk, content-addressed by
+// the SHA-256 of their canonical schema-v1 JSON. It implements
+// mipp.ProfileStore, turning the profile — the paper's expensive once-per-
+// workload artifact — into a durable unit of reuse: a mippd restarted over
+// the same directory serves every previously registered workload without
+// re-profiling, and several daemons can share one directory.
+//
+// Layout:
+//
+//	DIR/objects/<sha256-hex>.json   immutable profile envelopes, one per digest
+//	DIR/index.json                  name → {digest, size, summary} map
+//
+// Every write is atomic (temp file + rename in the same directory), so
+// readers never observe a torn object or index. The index file's
+// mtime+size is checked on every read operation: when another process
+// rewrites it, the store reloads the index without any file-watching
+// machinery. Object bytes are digest-verified on every load, so on-disk
+// corruption surfaces as ErrCorrupt instead of silent mispredictions.
+//
+// Decoded profiles stay resident in memory under a configurable LRU byte
+// bound (WithMaxResidentBytes); unpinned entries are evicted least-recently-
+// used first and reload transparently on their next Get. A per-entry lock
+// serializes loads of the same name while leaving other names — and every
+// resident hit — uncontended.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mipp"
+)
+
+const (
+	objectsDir = "objects"
+	indexName  = "index.json"
+	lockName   = "index.lock"
+
+	// IndexSchemaVersion versions the index file; unknown versions are
+	// rejected at Open so stale stores fail loudly.
+	IndexSchemaVersion = 1
+
+	// DigestPrefix prefixes every object digest, naming the hash so the
+	// scheme can evolve without ambiguity.
+	DigestPrefix = "sha256:"
+)
+
+// Store errors, wrapped with the offending path; test with errors.Is.
+var (
+	// ErrNotFound reports a name with no stored profile.
+	ErrNotFound = errors.New("store: profile not found")
+	// ErrCorrupt reports an object whose bytes no longer match the
+	// digest recorded in the index.
+	ErrCorrupt = errors.New("store: corrupt object")
+)
+
+// indexEntry is the persisted metadata of one stored profile.
+type indexEntry struct {
+	Digest       string  `json:"digest"`
+	SizeBytes    int64   `json:"size_bytes"`
+	Workload     string  `json:"workload"`
+	Uops         int64   `json:"uops"`
+	Instructions int64   `json:"instructions"`
+	Entropy      float64 `json:"entropy"`
+	MicroTraces  int     `json:"micro_traces"`
+}
+
+// indexBody is the versioned index file format.
+type indexBody struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Entries       map[string]indexEntry `json:"entries"`
+}
+
+// entry is the in-memory residency state of one name. loadMu serializes
+// disk loads of this entry; every other field is guarded by Store.mu.
+type entry struct {
+	loadMu sync.Mutex
+
+	name     string
+	digest   string        // digest of the resident body
+	resident *mipp.Profile // nil when evicted / never loaded
+	size     int64
+	pinned   bool
+	elem     *list.Element // position in the LRU list while resident
+}
+
+// Store is a content-addressed on-disk profile store. It is safe for
+// concurrent use, including by several Store instances (in the same or
+// different processes) over one directory.
+type Store struct {
+	dir         string
+	maxResident int64
+
+	mu            sync.Mutex
+	index         map[string]indexEntry
+	entries       map[string]*entry
+	lru           *list.List // front = most recently used; values are *entry
+	residentBytes int64
+	indexMod      time.Time
+	indexSize     int64
+
+	hits, misses, loads     uint64
+	evictions, evictedBytes uint64
+}
+
+// Option customizes a Store.
+type Option func(*Store)
+
+// WithMaxResidentBytes bounds the decoded profiles held in memory: when the
+// sum of resident canonical sizes exceeds n, unpinned entries are evicted
+// least-recently-used first and reload transparently on their next Get.
+// n <= 0 leaves residency unbounded.
+func WithMaxResidentBytes(n int64) Option {
+	return func(s *Store) { s.maxResident = n }
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		index:   make(map[string]indexEntry),
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	unlock, err := lockFile(s.lockPath())
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.indexPath()); errors.Is(err, os.ErrNotExist) {
+		if err := s.writeIndexLocked(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.readIndexLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, indexName) }
+
+func (s *Store) lockPath() string { return filepath.Join(s.dir, lockName) }
+
+func (s *Store) objectPath(digest string) string {
+	return filepath.Join(s.dir, objectsDir, strings.TrimPrefix(digest, DigestPrefix)+".json")
+}
+
+// digestOf content-addresses one canonical envelope.
+func digestOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return DigestPrefix + hex.EncodeToString(sum[:])
+}
+
+// readIndexLocked (re)loads the index file and records its stamp.
+func (s *Store) readIndexLocked() error {
+	fi, err := os.Stat(s.indexPath())
+	if err != nil {
+		return fmt.Errorf("store: stat index %s: %w", s.indexPath(), err)
+	}
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return fmt.Errorf("store: read index %s: %w", s.indexPath(), err)
+	}
+	var body indexBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		return fmt.Errorf("store: decode index %s: %w", s.indexPath(), err)
+	}
+	if body.SchemaVersion != IndexSchemaVersion {
+		return fmt.Errorf("store: index %s has schema version %d (this build reads version %d)",
+			s.indexPath(), body.SchemaVersion, IndexSchemaVersion)
+	}
+	s.index = body.Entries
+	if s.index == nil {
+		s.index = make(map[string]indexEntry)
+	}
+	s.indexMod, s.indexSize = fi.ModTime(), fi.Size()
+	s.dropStaleLocked()
+	return nil
+}
+
+// maybeReloadLocked re-reads the index when another writer has replaced it
+// since our last read — the fsnotify-free staleness check. Reload failures
+// keep the last good index (the writer may be mid-rename on a filesystem
+// without atomic stat visibility); the next operation retries.
+func (s *Store) maybeReloadLocked() {
+	fi, err := os.Stat(s.indexPath())
+	if err != nil {
+		return
+	}
+	if fi.ModTime().Equal(s.indexMod) && fi.Size() == s.indexSize {
+		return
+	}
+	_ = s.readIndexLocked()
+}
+
+// dropStaleLocked discards resident bodies whose index entry vanished or
+// changed digest (e.g. another process re-registered or deleted the name).
+func (s *Store) dropStaleLocked() {
+	for name, e := range s.entries {
+		ie, ok := s.index[name]
+		if ok && (e.resident == nil || e.digest == ie.Digest) {
+			continue
+		}
+		s.unmapLocked(e)
+		if !ok {
+			delete(s.entries, name)
+		}
+	}
+}
+
+// unmapLocked removes an entry's resident body without counting it as an
+// LRU eviction (used for deletes and staleness, not capacity pressure).
+func (s *Store) unmapLocked(e *entry) {
+	if e.resident == nil {
+		return
+	}
+	e.resident = nil
+	s.residentBytes -= e.size
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// touchLocked installs or refreshes an entry at the LRU front.
+func (s *Store) touchLocked(e *entry) {
+	if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	e.elem = s.lru.PushFront(e)
+}
+
+// evictLocked enforces the resident-byte bound, skipping pinned entries.
+func (s *Store) evictLocked() {
+	if s.maxResident <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.residentBytes > s.maxResident; {
+		e := el.Value.(*entry)
+		prev := el.Prev()
+		if !e.pinned {
+			size := e.size
+			s.unmapLocked(e)
+			s.evictions++
+			s.evictedBytes += uint64(size)
+		}
+		el = prev
+	}
+}
+
+// writeIndexLocked atomically persists the index and records its stamp.
+func (s *Store) writeIndexLocked() error {
+	data, err := json.Marshal(indexBody{SchemaVersion: IndexSchemaVersion, Entries: s.index})
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	if err := atomicWrite(s.indexPath(), data); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(s.indexPath()); err == nil {
+		s.indexMod, s.indexSize = fi.ModTime(), fi.Size()
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file + rename in the same
+// directory, so concurrent readers see either the old or the new content.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// infoLocked builds the public metadata view of one index entry.
+func (s *Store) infoLocked(name string, ie indexEntry) mipp.ProfileStoreInfo {
+	resident := false
+	if e, ok := s.entries[name]; ok {
+		resident = e.resident != nil && e.digest == ie.Digest
+	}
+	return mipp.ProfileStoreInfo{
+		Name:         name,
+		Digest:       ie.Digest,
+		SizeBytes:    ie.SizeBytes,
+		Workload:     ie.Workload,
+		Uops:         ie.Uops,
+		Instructions: ie.Instructions,
+		Entropy:      ie.Entropy,
+		MicroTraces:  ie.MicroTraces,
+		Resident:     resident,
+	}
+}
+
+// Put implements mipp.ProfileStore: marshal p to its canonical envelope,
+// write the content-addressed object (skipped when the digest already
+// exists — re-registering identical bytes is free), update the index
+// atomically, and make the profile resident.
+func (s *Store) Put(name string, p *mipp.Profile) (mipp.ProfileStoreInfo, error) {
+	if name == "" {
+		name = p.Workload()
+	}
+	if name == "" {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store: Put: profile has no workload name and none was given")
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store: Put(%q): %w", name, err)
+	}
+	digest := digestOf(data)
+	objPath := s.objectPath(digest)
+	// Write the object unless an intact copy is already on disk: the
+	// verify-before-skip means re-uploading a profile repairs an object
+	// that rotted (or was truncated) behind the store's back.
+	if existing, err := os.ReadFile(objPath); err == nil && digestOf(existing) == digest {
+		// Content-addressed and verified: nothing to write.
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store: Put(%q): %w", name, err)
+	} else if err := atomicWrite(objPath, data); err != nil {
+		return mipp.ProfileStoreInfo{}, err
+	}
+
+	// Exclusive cross-instance lock around the index read-modify-write:
+	// two daemons sharing the directory cannot lose each other's
+	// registrations to interleaved rewrites.
+	unlock, err := lockFile(s.lockPath())
+	if err != nil {
+		return mipp.ProfileStoreInfo{}, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.readIndexLocked(); err != nil {
+		return mipp.ProfileStoreInfo{}, err
+	}
+	old, hadOld := s.index[name]
+	ie := indexEntry{
+		Digest:       digest,
+		SizeBytes:    int64(len(data)),
+		Workload:     p.Workload(),
+		Uops:         p.TotalUops(),
+		Instructions: p.TotalInstructions(),
+		Entropy:      p.Entropy(),
+		MicroTraces:  p.MicroTraces(),
+	}
+	s.index[name] = ie
+	if err := s.writeIndexLocked(); err != nil {
+		if hadOld {
+			s.index[name] = old
+		} else {
+			delete(s.index, name)
+		}
+		return mipp.ProfileStoreInfo{}, err
+	}
+	if hadOld && old.Digest != digest && !s.referencedLocked(old.Digest) {
+		_ = os.Remove(s.objectPath(old.Digest))
+	}
+
+	e := s.entries[name]
+	if e == nil {
+		e = &entry{name: name}
+		s.entries[name] = e
+	}
+	s.unmapLocked(e)
+	e.resident, e.digest, e.size = p, digest, int64(len(data))
+	s.residentBytes += e.size
+	s.touchLocked(e)
+	s.evictLocked()
+	return s.infoLocked(name, ie), nil
+}
+
+// referencedLocked reports whether any index entry still names digest.
+func (s *Store) referencedLocked(digest string) bool {
+	for _, ie := range s.index {
+		if ie.Digest == digest {
+			return true
+		}
+	}
+	return false
+}
+
+// Get implements mipp.ProfileStore. Resident entries are returned without
+// touching the disk; evicted ones are loaded (digest-verified) under the
+// entry's own lock, so concurrent Gets of one cold name share a single
+// load while other names proceed.
+func (s *Store) Get(name string) (*mipp.Profile, bool, error) {
+	s.mu.Lock()
+	s.maybeReloadLocked()
+	ie, ok := s.index[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	e := s.entries[name]
+	if e == nil {
+		e = &entry{name: name}
+		s.entries[name] = e
+	}
+	if e.resident != nil && e.digest == ie.Digest {
+		s.hits++
+		s.touchLocked(e)
+		p := e.resident
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	// A concurrent caller may have completed the load while we waited.
+	s.mu.Lock()
+	if e.resident != nil && e.digest == ie.Digest {
+		s.touchLocked(e)
+		p := e.resident
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	s.mu.Unlock()
+
+	p, err := s.loadObject(ie)
+	for attempt := 0; err != nil; attempt++ {
+		// The load may have raced a re-Put that replaced the digest and
+		// GC'd the object we were reading. Re-check the index: a changed
+		// digest means our snapshot was stale, not the store corrupt —
+		// retry against the current one.
+		s.mu.Lock()
+		s.maybeReloadLocked()
+		cur, ok := s.index[name]
+		s.mu.Unlock()
+		if !ok {
+			return nil, false, nil // deleted while we were loading
+		}
+		if cur.Digest == ie.Digest || attempt >= 2 {
+			return nil, true, err
+		}
+		ie = cur
+		p, err = s.loadObject(ie)
+	}
+
+	s.mu.Lock()
+	s.loads++
+	// Install only if the index still names the digest we loaded AND our
+	// entry is still the registered one; a racing Put/Delete owns the
+	// entry's residency otherwise (a Delete+re-Put replaces the entry
+	// struct — installing into the orphan would double-count resident
+	// bytes). The loaded profile is still correct for this caller's
+	// snapshot of the index.
+	if cur, ok := s.index[name]; ok && cur.Digest == ie.Digest && s.entries[name] == e {
+		s.unmapLocked(e)
+		e.resident, e.digest, e.size = p, ie.Digest, ie.SizeBytes
+		s.residentBytes += e.size
+		s.touchLocked(e)
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+	return p, true, nil
+}
+
+// loadObject reads and verifies one object file.
+func (s *Store) loadObject(ie indexEntry) (*mipp.Profile, error) {
+	path := s.objectPath(ie.Digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	if got := digestOf(data); got != ie.Digest {
+		return nil, fmt.Errorf("%w: %s: content digest %s does not match index digest %s",
+			ErrCorrupt, path, got, ie.Digest)
+	}
+	p, err := mipp.DecodeProfile(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Delete implements mipp.ProfileStore.
+func (s *Store) Delete(name string) (bool, error) {
+	unlock, err := lockFile(s.lockPath())
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.readIndexLocked(); err != nil {
+		return false, err
+	}
+	ie, ok := s.index[name]
+	if !ok {
+		return false, nil
+	}
+	delete(s.index, name)
+	if err := s.writeIndexLocked(); err != nil {
+		s.index[name] = ie
+		return false, err
+	}
+	if e, ok := s.entries[name]; ok {
+		s.unmapLocked(e)
+		delete(s.entries, name)
+	}
+	if !s.referencedLocked(ie.Digest) {
+		_ = os.Remove(s.objectPath(ie.Digest))
+	}
+	return true, nil
+}
+
+// Pin keeps name's decoded profile exempt from LRU eviction (it still
+// must be loaded by a Get or Put to be resident), reporting whether the
+// name is stored. Unpin undoes it.
+func (s *Store) Pin(name string) bool {
+	return s.setPinned(name, true)
+}
+
+// Unpin makes name's resident profile evictable again.
+func (s *Store) Unpin(name string) bool {
+	return s.setPinned(name, false)
+}
+
+func (s *Store) setPinned(name string, pinned bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeReloadLocked()
+	if _, ok := s.index[name]; !ok {
+		return false
+	}
+	e := s.entries[name]
+	if e == nil {
+		e = &entry{name: name}
+		s.entries[name] = e
+	}
+	e.pinned = pinned
+	if !pinned {
+		s.evictLocked()
+	}
+	return true
+}
+
+// Info implements mipp.ProfileStore.
+func (s *Store) Info(name string) (mipp.ProfileStoreInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeReloadLocked()
+	ie, ok := s.index[name]
+	if !ok {
+		return mipp.ProfileStoreInfo{}, false
+	}
+	return s.infoLocked(name, ie), true
+}
+
+// Names implements mipp.ProfileStore.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeReloadLocked()
+	names := make([]string, 0, len(s.index))
+	for n := range s.index {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats implements mipp.ProfileStore.
+func (s *Store) Stats() mipp.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mipp.StoreStats{
+		Objects:          len(s.index),
+		ResidentEntries:  s.lru.Len(),
+		ResidentBytes:    s.residentBytes,
+		MaxResidentBytes: s.maxResident,
+		Hits:             s.hits,
+		Misses:           s.misses,
+		Loads:            s.loads,
+		Evictions:        s.evictions,
+		EvictedBytes:     s.evictedBytes,
+	}
+}
+
+// Compile-time check: the on-disk store is an Engine's backing store.
+var _ mipp.ProfileStore = (*Store)(nil)

@@ -1,0 +1,412 @@
+package store_test
+
+// Store tests: durable round-trips across reopen, digest validation on
+// read, LRU eviction with transparent reload and pinning, cross-instance
+// index staleness (two stores over one directory), object garbage
+// collection, and a concurrent Put/Get/Delete mix for the race detector.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mipp"
+	"mipp/store"
+)
+
+const testUops = 20_000
+
+var profileCache sync.Map
+
+// testProfile memoizes one small profile per workload across tests.
+func testProfile(t *testing.T, workload string) *mipp.Profile {
+	t.Helper()
+	if p, ok := profileCache.Load(workload); ok {
+		return p.(*mipp.Profile)
+	}
+	p, err := mipp.NewProfiler().Profile(workload, testUops)
+	if err != nil {
+		t.Fatalf("profile %s: %v", workload, err)
+	}
+	profileCache.Store(workload, p)
+	return p
+}
+
+func mustOpen(t *testing.T, dir string, opts ...store.Option) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func canonical(t *testing.T, p *mipp.Profile) string {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestStorePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testProfile(t, "mcf")
+
+	info, err := s.Put("mcf", p)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !strings.HasPrefix(info.Digest, store.DigestPrefix) || info.SizeBytes <= 0 {
+		t.Fatalf("Put info = %+v", info)
+	}
+	if info.Workload != "mcf" || info.Uops != p.TotalUops() || info.MicroTraces != p.MicroTraces() || !info.Resident {
+		t.Errorf("Put info = %+v, want profile summary + resident", info)
+	}
+
+	// Resident hit: the exact decoded object comes back.
+	got, ok, err := s.Get("mcf")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if got != p {
+		t.Error("resident Get did not return the stored profile pointer")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Objects != 1 || st.ResidentBytes != info.SizeBytes {
+		t.Errorf("Stats after resident hit = %+v", st)
+	}
+
+	// Unknown name: found=false, no error.
+	if _, ok, err := s.Get("nope"); ok || err != nil {
+		t.Errorf("Get(nope) = %v, %v, want miss without error", ok, err)
+	}
+	if _, ok := s.Info("nope"); ok {
+		t.Error("Info(nope) found")
+	}
+
+	// A fresh store over the same directory serves the same bytes.
+	s2 := mustOpen(t, dir)
+	got2, ok, err := s2.Get("mcf")
+	if err != nil || !ok {
+		t.Fatalf("reopened Get = %v, %v", ok, err)
+	}
+	if canonical(t, got2) != canonical(t, p) {
+		t.Error("reopened store returned different canonical profile JSON")
+	}
+	info2, ok := s2.Info("mcf")
+	if !ok || info2.Digest != info.Digest || info2.SizeBytes != info.SizeBytes {
+		t.Errorf("reopened Info = %+v, want digest %s", info2, info.Digest)
+	}
+	if names := s2.Names(); len(names) != 1 || names[0] != "mcf" {
+		t.Errorf("Names = %v", names)
+	}
+	if st := s2.Stats(); st.Loads != 1 || st.Misses != 1 {
+		t.Errorf("reopened Stats = %+v, want one miss + one load", st)
+	}
+}
+
+func TestStoreDigestValidation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	info, err := s.Put("mcf", testProfile(t, "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the stored object's bytes behind the store's back.
+	objects, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+	if err != nil || len(objects) != 1 {
+		t.Fatalf("objects = %v (%v)", objects, err)
+	}
+	if err := os.WriteFile(objects[0], []byte(`{"schema_version":1,"profile":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance (no resident copy) must refuse the corrupt object,
+	// matching ErrCorrupt and naming the file.
+	s2 := mustOpen(t, dir)
+	_, ok, err := s2.Get("mcf")
+	if !ok {
+		t.Fatal("corrupted entry vanished from index")
+	}
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("Get corrupt = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), objects[0]) {
+		t.Errorf("error %q does not name the object path", err)
+	}
+	if !strings.Contains(err.Error(), info.Digest) {
+		t.Errorf("error %q does not name the expected digest", err)
+	}
+}
+
+func TestStoreEvictionAndPin(t *testing.T) {
+	dir := t.TempDir()
+	mcf, gcc := testProfile(t, "mcf"), testProfile(t, "gcc")
+	size := int64(len(canonical(t, mcf)))
+	// Bound fits roughly one profile, so the second Put evicts the first.
+	s := mustOpen(t, dir, store.WithMaxResidentBytes(size+16))
+
+	if _, err := s.Put("mcf", mcf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("gcc", gcc); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || st.EvictedBytes == 0 {
+		t.Fatalf("Stats after over-bound Put = %+v, want evictions", st)
+	}
+	if st.ResidentBytes > st.MaxResidentBytes {
+		t.Errorf("ResidentBytes %d exceeds bound %d", st.ResidentBytes, st.MaxResidentBytes)
+	}
+	if info, _ := s.Info("mcf"); info.Resident {
+		t.Error("mcf still resident after eviction")
+	}
+
+	// Evicted entries reload transparently — same canonical bytes, new
+	// decode.
+	got, ok, err := s.Get("mcf")
+	if err != nil || !ok {
+		t.Fatalf("Get evicted = %v, %v", ok, err)
+	}
+	if got == mcf {
+		t.Error("evicted Get returned the original pointer, want a reload")
+	}
+	if canonical(t, got) != canonical(t, mcf) {
+		t.Error("reloaded profile differs from stored profile")
+	}
+	if st := s.Stats(); st.Loads != 1 {
+		t.Errorf("Stats after reload = %+v, want one load", st)
+	}
+
+	// Pinned entries survive capacity pressure.
+	if !s.Pin("mcf") {
+		t.Fatal("Pin(mcf) = false")
+	}
+	if _, _, err := s.Get("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := s.Info("mcf"); !info.Resident {
+		t.Error("pinned mcf was evicted")
+	}
+	s.Unpin("mcf")
+	if st := s.Stats(); st.ResidentBytes > st.MaxResidentBytes {
+		t.Errorf("after Unpin, ResidentBytes %d exceeds bound %d", st.ResidentBytes, st.MaxResidentBytes)
+	}
+	if s.Pin("nope") {
+		t.Error("Pin(nope) = true")
+	}
+}
+
+// Two Store instances over one directory: writes through one become
+// visible to the other via the index mtime check, with no notification
+// machinery.
+func TestStoreCrossInstanceStaleness(t *testing.T) {
+	dir := t.TempDir()
+	writer := mustOpen(t, dir)
+	reader := mustOpen(t, dir)
+
+	if names := reader.Names(); len(names) != 0 {
+		t.Fatalf("fresh store Names = %v", names)
+	}
+	time.Sleep(10 * time.Millisecond) // ensure a distinguishable index mtime
+	if _, err := writer.Put("mcf", testProfile(t, "mcf")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := reader.Get("mcf"); !ok || err != nil {
+		t.Fatalf("reader.Get after writer.Put = %v, %v, want visible", ok, err)
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	if ok, err := writer.Delete("mcf"); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok, _ := reader.Get("mcf"); ok {
+		t.Error("reader still serves a profile deleted through the writer")
+	}
+}
+
+func TestStoreDeleteAndObjectGC(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testProfile(t, "mcf")
+
+	// Two names sharing one object (same canonical bytes → same digest).
+	if _, err := s.Put("a", p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", p); err != nil {
+		t.Fatal(err)
+	}
+	objects := func() int {
+		m, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(m)
+	}
+	if n := objects(); n != 1 {
+		t.Fatalf("content-addressed Put wrote %d objects, want 1", n)
+	}
+
+	// Deleting one referencing name keeps the shared object.
+	if ok, err := s.Delete("a"); !ok || err != nil {
+		t.Fatalf("Delete(a) = %v, %v", ok, err)
+	}
+	if n := objects(); n != 1 {
+		t.Errorf("object GC'd while still referenced by %q", "b")
+	}
+	// Deleting the last reference removes it.
+	if ok, err := s.Delete("b"); !ok || err != nil {
+		t.Fatalf("Delete(b) = %v, %v", ok, err)
+	}
+	if n := objects(); n != 0 {
+		t.Errorf("%d orphan object(s) after last delete", n)
+	}
+	if ok, err := s.Delete("b"); ok || err != nil {
+		t.Errorf("second Delete = %v, %v, want false, nil", ok, err)
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines — puts, gets
+// (with reload under a tiny resident bound), deletes, listings — for the
+// race detector.
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	mcf, gcc := testProfile(t, "mcf"), testProfile(t, "gcc")
+	s := mustOpen(t, dir, store.WithMaxResidentBytes(int64(len(canonical(t, mcf)))))
+	if _, err := s.Put("mcf", mcf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("gcc", gcc); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 4 {
+				case 0:
+					if _, ok, err := s.Get("mcf"); !ok || err != nil {
+						t.Errorf("Get(mcf) = %v, %v", ok, err)
+						return
+					}
+				case 1:
+					if _, _, err := s.Get("gcc"); err != nil {
+						t.Errorf("Get(gcc): %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Put("scratch", gcc); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+					if _, err := s.Delete("scratch"); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				default:
+					s.Names()
+					s.Info("mcf")
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.ResidentBytes > st.MaxResidentBytes {
+		t.Errorf("ResidentBytes %d exceeds bound %d", st.ResidentBytes, st.MaxResidentBytes)
+	}
+	for _, name := range []string{"mcf", "gcc"} {
+		got, ok, err := s.Get(name)
+		if !ok || err != nil {
+			t.Fatalf("final Get(%s) = %v, %v", name, ok, err)
+		}
+		want := mcf
+		if name == "gcc" {
+			want = gcc
+		}
+		if canonical(t, got) != canonical(t, want) {
+			t.Errorf("%s corrupted by concurrent traffic", name)
+		}
+	}
+}
+
+// Two Store instances (standing in for two daemons) registering different
+// names concurrently must not lose each other's writes: the index
+// read-modify-write runs under the cross-instance file lock.
+func TestStoreCrossInstanceConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	a, b := mustOpen(t, dir), mustOpen(t, dir)
+	mcf, gcc := testProfile(t, "mcf"), testProfile(t, "gcc")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := a.Put("mcf", mcf); err != nil {
+				t.Errorf("a.Put: %v", err)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Put("gcc", gcc); err != nil {
+				t.Errorf("b.Put: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	fresh := mustOpen(t, dir)
+	if names := fresh.Names(); len(names) != 2 || names[0] != "gcc" || names[1] != "mcf" {
+		t.Fatalf("Names after interleaved cross-instance Puts = %v, want [gcc mcf]", names)
+	}
+}
+
+// Re-uploading a profile repairs an object that was corrupted on disk:
+// Put verifies existing object bytes instead of blindly skipping the
+// write for an already-present digest.
+func TestStorePutRepairsCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testProfile(t, "mcf")
+	if _, err := s.Put("mcf", p); err != nil {
+		t.Fatal(err)
+	}
+	objects, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+	if err != nil || len(objects) != 1 {
+		t.Fatalf("objects = %v (%v)", objects, err)
+	}
+	if err := os.WriteFile(objects[0], []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Put("mcf", p); err != nil {
+		t.Fatalf("repairing Put: %v", err)
+	}
+	s2 := mustOpen(t, dir)
+	got, ok, err := s2.Get("mcf")
+	if err != nil || !ok {
+		t.Fatalf("Get after repair = %v, %v", ok, err)
+	}
+	if canonical(t, got) != canonical(t, p) {
+		t.Error("repaired object decodes differently")
+	}
+}
