@@ -63,6 +63,7 @@ func TestPredictorSpecValidate(t *testing.T) {
 	}
 	if err := (PredictorSpec{MLPMode: "warp"}).Validate(); err == nil {
 		t.Error("unknown mlp_mode accepted")
+		//mipp:allow wraperr this error has no sentinel; its message is the documented contract
 	} else if !strings.Contains(err.Error(), "cold-miss") {
 		t.Errorf("error %q does not list accepted modes", err)
 	}
@@ -220,6 +221,7 @@ func TestSpaceSpecParametric(t *testing.T) {
 		Prefetcher: []bool{false, true},
 	}
 	if _, err := (SpaceSpec{Kind: "parametric", Space: big}).Expand(); err == nil ||
+		//mipp:allow wraperr this error has no sentinel; its message is the documented contract
 		!strings.Contains(err.Error(), "/v1/search") {
 		t.Errorf("oversized parametric expand err = %v, want /v1/search hint", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,7 +131,7 @@ func TestPredictBatchCancelledMidBatch(t *testing.T) {
 	const after = 7
 	ctx := &pollCountCtx{Context: context.Background(), after: after}
 	results, _, err := pd.PredictBatch(ctx, configs)
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	for i, r := range results {

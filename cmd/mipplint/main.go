@@ -1,0 +1,261 @@
+// Command mipplint runs the repository's invariant analyzers — determinism,
+// hotpath, lockorder, wraperr — over Go packages.
+//
+// Two entry points share one analysis core:
+//
+// Standalone (module-wide sweep, what CI runs):
+//
+//	go run ./cmd/mipplint ./...
+//
+// As a vet tool (covers _test.go files too, via the package variants the
+// go command assembles):
+//
+//	go build -o /tmp/mipplint ./cmd/mipplint
+//	go vet -vettool=/tmp/mipplint ./...
+//
+// The vet-tool mode speaks the go command's unitchecker protocol: it
+// answers -V=full with a content-hashed version line, -flags with the
+// (empty) set of tool flags, and otherwise expects a single *.cfg argument
+// describing one package — files, import map, export data — prepared by
+// the go command. Diagnostics go to stderr as file:line:col: message and
+// any finding exits 2, which go vet reports as failure.
+//
+// Exit codes, both modes: 0 clean, 1 usage or load failure, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mipp/internal/lint"
+)
+
+// analyzers is the full suite, each with its repository-default scope.
+var analyzers = []*lint.Analyzer{
+	lint.Determinism,
+	lint.Hotpath,
+	lint.LockOrder,
+	lint.Wraperr,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Unitchecker protocol, probed by the go command before any real work.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0])
+		}
+	}
+	if len(args) > 0 && args[0] == "help" {
+		printHelp(args[1:])
+		return 0
+	}
+	return runStandalone(args)
+}
+
+// printVersion emits the -V=full line the go command uses to fingerprint
+// the tool for vet result caching: name, version, and a hash of the
+// executable so a rebuilt mipplint invalidates stale caches.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(self); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+func printHelp(args []string) {
+	if len(args) == 0 {
+		fmt.Println("mipplint enforces mipp's cross-cutting invariants. Analyzers:")
+		fmt.Println()
+		for _, a := range analyzers {
+			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println()
+		fmt.Println("Suppress a diagnostic on its line (or the line above) with a reasoned")
+		fmt.Println("escape hatch: //mipp:allow <analyzer> <why>")
+		return
+	}
+	for _, a := range analyzers {
+		if a.Name == args[0] {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+			return
+		}
+	}
+	fmt.Printf("unknown analyzer %q\n", args[0])
+}
+
+// runStandalone loads packages through the go command and prints findings.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		// A package that does not type-check cannot be trusted to lint
+		// clean; surface the errors instead of a silent pass.
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.Path, e)
+			}
+			return 1
+		}
+		findings, err := lint.RunAnalyzers(pkg, analyzers...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "mipplint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// unitConfig mirrors the fields of the go command's vet config file
+// (x/tools unitchecker.Config) that mipplint consumes.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single package described by a vet .cfg file.
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mipplint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though mipplint
+	// exports no facts; write it first so every exit path below is valid.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("mipplint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files}
+	var typeErrs []error
+	tconf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg.Info = info
+	pkg.Types, _ = tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range typeErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+
+	findings, err := lint.RunAnalyzers(pkg, analyzers...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s/%s)\n", f.Position, f.Message, f.Analyzer, f.Category)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -289,6 +289,7 @@ func TestLoadProfileMalformedFixtures(t *testing.T) {
 			if !errors.Is(err, tc.want) {
 				t.Errorf("error = %v, want errors.Is(%v)", err, tc.want)
 			}
+			//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 			if !strings.Contains(err.Error(), path) {
 				t.Errorf("error %q does not name the file path", err)
 			}

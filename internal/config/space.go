@@ -104,6 +104,8 @@ func (s *Space) Size() int {
 // has the capacity (pass the previous result back in to avoid allocation).
 // The axis order is Widths, ROBs, L2Bytes, L3Bytes, Clocks, Prefetcher,
 // innermost last.
+//
+//mipp:hotpath
 func (s *Space) Coords(i int, dst []int) []int {
 	d := s.dims()
 	if cap(dst) < NumSpaceAxes {
@@ -119,6 +121,8 @@ func (s *Space) Coords(i int, dst []int) []int {
 
 // Index is the inverse of Coords: the lexicographic index of a coordinate
 // vector. Coordinates out of range are clamped into their axis.
+//
+//mipp:hotpath
 func (s *Space) Index(coords []int) int {
 	d := s.dims()
 	i := 0
@@ -141,6 +145,8 @@ func (s *Space) Index(coords []int) int {
 // Neighbors appends the indices one axis step (±1) away from i to dst —
 // the move set of hill-climbing and mutation. Pinned axes contribute no
 // neighbors; every point has at most 2·NumSpaceAxes of them.
+//
+//mipp:hotpath
 func (s *Space) Neighbors(i int, dst []int) []int {
 	d := s.dims()
 	var coords [NumSpaceAxes]int
@@ -167,8 +173,11 @@ func (s *Space) Neighbors(i int, dst []int) []int {
 // the read-only port map with every other generated config but is otherwise
 // an independent copy, safe to hand to the model. Panics if i is out of
 // [0, Size()).
+//
+//mipp:hotpath
 func (s *Space) At(i int) *Config {
 	if i < 0 || i >= s.Size() {
+		//mipp:allow hotpath cold out-of-range panic, unreachable per well-formed evaluation
 		panic(fmt.Sprintf("config: Space.At(%d) out of range [0,%d)", i, s.Size()))
 	}
 	d := s.dims()
@@ -183,6 +192,8 @@ func (s *Space) At(i int) *Config {
 
 // at builds the configuration at a coordinate vector (coordinates already
 // in range).
+//
+//mipp:hotpath
 func (s *Space) at(coords [NumSpaceAxes]int) *Config {
 	c := new(Config)
 	*c = *spaceBase()

@@ -180,6 +180,8 @@ func (c *Compiled) Stats() CompiledStats {
 
 // geometry returns the memoized StatStack prediction for the
 // configuration's cache geometry, computing it on first use.
+//
+//mipp:hotpath
 func (c *Compiled) geometry(cfg *config.Config) *geomEntry {
 	c.geomLookups.Add(1)
 	key := geomKey{cfg.L1D, cfg.L2, cfg.L3, cfg.L1I}
@@ -206,6 +208,8 @@ func (c *Compiled) geometry(cfg *config.Config) *geomEntry {
 
 // missRatio returns the memoized load miss ratio of one micro-trace at a
 // cache size.
+//
+//mipp:hotpath
 func (c *Compiled) missRatio(mi int, lines float64) float64 {
 	c.mrLookups.Add(1)
 	key := microLinesKey{mi, lines}
@@ -229,6 +233,8 @@ func (c *Compiled) missRatio(mi int, lines float64) float64 {
 // CP) of one micro-trace at one window size. It is on the hot path twice:
 // once per (micro, config) for the dependence limit, and once per iteration
 // of the branch-resolution fixpoint.
+//
+//mipp:hotpath
 func (c *Compiled) chainAt(mi, rob int) (ap, abp, cp float64) {
 	key := microROBKey{mi, rob}
 	c.mu.RLock()
@@ -281,6 +287,8 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // Evaluate predicts performance for one configuration. It is phase 2 of
 // the split and nearly free: every config-invariant quantity comes from the
 // compile phase or a memo table. Safe for concurrent use.
+//
+//mipp:hotpath
 func (c *Compiled) Evaluate(cfg *config.Config) *Result {
 	scr := scratchPool.Get().(*scratch)
 	res := c.evaluate(cfg, scr)
@@ -299,6 +307,8 @@ type Batch struct {
 func (c *Compiled) NewBatch() *Batch { return &Batch{c: c} }
 
 // Evaluate predicts one configuration on the kernel's scratch.
+//
+//mipp:hotpath
 func (b *Batch) Evaluate(cfg *config.Config) *Result { return b.c.evaluate(cfg, &b.scr) }
 
 // EvaluateBatch evaluates every configuration in input order on one kernel,
@@ -306,6 +316,8 @@ func (b *Batch) Evaluate(cfg *config.Config) *Result { return b.c.evaluate(cfg, 
 // is observed promptly. Results land at their input index; on cancellation
 // the slice is returned with the configurations evaluated so far alongside
 // ctx.Err(). A nil ctx disables the cancellation checks.
+//
+//mipp:hotpath
 func (c *Compiled) EvaluateBatch(ctx context.Context, cfgs []*config.Config) ([]*Result, error) {
 	out := make([]*Result, len(cfgs))
 	b := c.NewBatch()
@@ -322,6 +334,8 @@ func (c *Compiled) EvaluateBatch(ctx context.Context, cfgs []*config.Config) ([]
 
 // evaluate applies Equation 3.1 across the micro-traces for one
 // configuration and combines the predictions.
+//
+//mipp:hotpath
 func (c *Compiled) evaluate(cfg *config.Config, scr *scratch) *Result {
 	p := c.model.Profile
 	ge := c.geometry(cfg)
@@ -387,6 +401,8 @@ func (c *Compiled) evaluate(cfg *config.Config, scr *scratch) *Result {
 }
 
 // evaluateMicro applies Equation 3.1 to one micro-trace.
+//
+//mipp:hotpath
 func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm mlp.Params, scr *scratch) microEval {
 	micro := c.micros[mi]
 	var ev microEval
@@ -512,6 +528,8 @@ func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm 
 // and prices the resolution as lat × ABP at that occupancy. It also returns
 // the ROB occupancy, which bounds how much of the recovery the backlog can
 // hide.
+//
+//mipp:hotpath
 func (c *Compiled) branchResolution(mi int, cfg *config.Config, lat, abp, mispred, n float64) (float64, float64) {
 	if mispred <= 0 {
 		return lat * abp, 0
@@ -564,6 +582,8 @@ func (c *Compiled) branchResolution(mi int, cfg *config.Config, lat, abp, mispre
 }
 
 // llcChainPenalty implements Equations 4.7-4.12.
+//
+//mipp:hotpath
 func (c *Compiled) llcChainPenalty(mi int, cfg *config.Config, deff, mrL2, mrLLC float64) float64 {
 	micro := c.micros[mi]
 	n := float64(micro.Len)

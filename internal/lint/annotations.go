@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar. Both forms are line comments:
+//
+//	//mipp:hotpath
+//	    in (or immediately above) a function's doc comment: the function
+//	    promises not to allocate per call, and the hotpath analyzer
+//	    enforces the allocation-prone construct list inside it.
+//
+//	//mipp:allow <analyzer> <reason...>
+//	    on the flagged line or the line directly above it: suppresses that
+//	    analyzer's diagnostics there. The reason is mandatory — an allow
+//	    without one is itself a finding.
+const (
+	hotpathDirective = "//mipp:hotpath"
+	allowDirective   = "//mipp:allow"
+)
+
+// allowSet maps file → line → analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+// suppressed reports whether analyzer's diagnostic at pos is covered by an
+// allow on the same line or the line above.
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line][allowAll]
+}
+
+// allowAll is the wildcard analyzer name in //mipp:allow comments.
+const allowAll = "all"
+
+// collectAllows scans every comment for //mipp:allow directives, recording
+// the lines they cover (their own line and the next line, so both trailing
+// and preceding placement work). Malformed directives become findings.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Finding) {
+	set := make(allowSet)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "mipplint",
+						Position: pos,
+						Category: "bad-allow",
+						Message:  "//mipp:allow needs an analyzer name and a reason: //mipp:allow <analyzer> <why>",
+					})
+					continue
+				}
+				name := fields[0]
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					lines[line][name] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// hotpathFuncs returns the function declarations carrying //mipp:hotpath in
+// their doc comment group.
+func hotpathFuncs(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(c.Text)
+			if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+				out = append(out, fd)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mipp/internal/lint"
+	"mipp/internal/lint/linttest"
+)
+
+// TestDeterminism runs the determinism analyzer over its golden fixture
+// with an open scope (the fixture package is not one of the repo's
+// deterministic packages).
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/determinism", lint.NewDeterminism(nil))
+}
+
+// TestDeterminismScope checks that the default-scoped analyzer ignores
+// packages outside the deterministic set entirely.
+func TestDeterminismScope(t *testing.T) {
+	files := []string{"testdata/determinism/fixture.go"}
+	pkg, err := lint.LoadFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Path = "mipp/cmd/mippd" // not a deterministic package
+	findings, err := lint.RunAnalyzers(pkg, lint.Determinism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "determinism" {
+			t.Errorf("determinism fired outside its scope: %s", f)
+		}
+	}
+}

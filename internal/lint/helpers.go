@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// pkgFuncCall resolves a call to a package-level function, returning the
+// defining package path and function name ("", "" when the call is a method
+// call, a conversion, or unresolvable).
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+				return pn.Imported().Path(), fun.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := pass.ObjectOf(fun).(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path(), obj.Name()
+		}
+	}
+	return "", ""
+}
+
+// methodCallRecv returns the receiver expression and method name of a
+// method call, or nil.
+func methodCallRecv(call *ast.CallExpr) (ast.Expr, string) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X, sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// render prints an expression compactly — the cheap structural identity the
+// analyzers use to match "the same lock" or "the same slice".
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// isErrorType reports whether t's static type is exactly error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.ObjectOf(id).(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// inScope reports whether path is covered by the analyzer's package scope:
+// an empty scope means everywhere (used by the golden tests), otherwise the
+// package path must match one of the entries exactly. Paths arriving from
+// `go vet` test variants ("mipp [mipp.test]") are normalized first.
+func inScope(scope []string, path string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	if i := indexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	for _, s := range scope {
+		if s == path {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// funcDecls yields every function declaration in the pass's files.
+func funcDecls(pass *Pass, fn func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// inspectSkippingFuncLits walks n, calling fn for every node but not
+// descending into function literals — the bodies of closures run at some
+// other time, under some other locks.
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != n {
+			return false
+		}
+		return fn(node)
+	})
+}

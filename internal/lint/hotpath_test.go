@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mipp/internal/lint"
+	"mipp/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/hotpath", lint.Hotpath)
+}

@@ -1,0 +1,147 @@
+// Package lint is mipplint: a suite of static analyzers that mechanically
+// enforce the repository's cross-cutting invariants — deterministic
+// (byte-identical) output, allocation-free hot paths, Engine-level lock
+// ordering, and errors.Is-compatible sentinel errors — at the AST level,
+// before any golden test runs.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) so the analyzers could be lifted onto the
+// upstream framework unchanged; it is self-contained on the standard
+// library because this module carries no third-party dependencies. Loading
+// (go list -export + the gc export-data importer) lives in load.go, the
+// //mipp:hotpath and //mipp:allow annotation grammar in annotations.go, and
+// each analyzer in its own file.
+//
+// Every diagnostic can be suppressed at the line it fires on (or the line
+// above) with an escape hatch that must name the analyzer and a reason:
+//
+//	//mipp:allow <analyzer> <reason...>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, API-compatible with the x/tools analysis
+// vocabulary: Run inspects a Pass and reports diagnostics through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //mipp:allow
+	// comments.
+	Name string
+	// Doc is the one-paragraph description printed by `mipplint help`.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package: the syntax, the type
+// information, and the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path ("" when analyzing loose files in
+	// tests); scoped analyzers consult it.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the diagnostic kind within the analyzer (e.g.
+	// "map-range", "fmt-call"), stable enough to grep CI logs by.
+	Category string
+	Message  string
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// Finding is a diagnostic located in a file, the unit main and the tests
+// print and compare.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Category string
+	Message  string
+}
+
+// String renders the canonical single-line form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s/%s] %s", f.Position, f.Analyzer, f.Category, f.Message)
+}
+
+// RunAnalyzers applies analyzers to one loaded package, returning the
+// findings that survive //mipp:allow suppression, sorted by position. A
+// malformed allow comment (missing analyzer name or reason) is itself
+// reported, so the escape hatch cannot silently rot.
+func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Finding, error) {
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows.suppressed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Position: pos,
+				Category: d.Category,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	findings = append(findings, bad...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

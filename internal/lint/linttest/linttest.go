@@ -1,0 +1,125 @@
+// Package linttest runs analyzers over golden fixture packages and checks
+// their diagnostics against expectations written in the fixtures
+// themselves, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `map-range`
+//
+// A `// want "regex"` (or backquoted) comment expects exactly one
+// diagnostic on its line whose rendered form — "[analyzer/category]
+// message" — matches the regexp. Several expectations may sit in one
+// comment for lines that trip several analyzers. Lines without a want
+// comment must stay silent, so every fixture is simultaneously a positive
+// and a negative test.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"mipp/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run analyzes the fixture package in dir (every .go file) with the given
+// analyzers and diffs findings against the // want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures in %s (%v)", dir, err)
+	}
+	sort.Strings(files)
+	pkg, err := lint.LoadFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := collectWants(t, pkg)
+	findings, err := lint.RunAnalyzers(pkg, analyzers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		got := fmt.Sprintf("[%s/%s] %s", f.Analyzer, f.Category, f.Message)
+		key := lineKey{filepath.Base(f.Position.Filename), f.Position.Line}
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(got) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, got)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts // want expectations from every comment in pkg.
+func collectWants(t *testing.T, pkg *lint.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Accept both trailing line comments ("// want ...") and
+				// block comments ("/* want ... */", for lines whose line
+				// comment is itself under test, e.g. a malformed
+				// //mipp:allow).
+				content := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(c.Text, "/*") {
+					content = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				}
+				content = strings.TrimSpace(content)
+				if !strings.HasPrefix(content, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(content[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

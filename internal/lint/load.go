@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking failures; analyzers still run
+	// (with partial type information), but main treats them as fatal so a
+	// mis-loaded tree cannot silently produce a clean report.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Name       string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go command and type-checks every matched
+// (non-dependency) package from source, importing dependencies — standard
+// library included — from compiler export data. That keeps the loader
+// offline, fast, and incapable of version skew: the same toolchain that
+// builds the module produces the export data mipplint reads.
+//
+// Test files are not loaded here; `go vet -vettool` mode covers them with
+// the package variants the go command assembles.
+func Load(patterns []string) ([]*Package, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Name,Incomplete,Error",
+		"-deps", "--",
+	}, patterns...)...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.Name != "" && len(lp.GoFiles) > 0 {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := check(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks loose Go files (golden-test fixtures in
+// testdata, which no go build ever sees) as a single package, resolving
+// whatever they import — standard library or this module's packages alike —
+// from compiler export data via the go command.
+func LoadFiles(filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Fset: fset}
+	imports := make(map[string]bool)
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		cmd := exec.Command("go", append([]string{
+			"list", "-e", "-export", "-json=ImportPath,Export", "-deps", "--",
+		}, paths...)...)
+		cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: go list %v: %w\n%s", paths, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			lp := new(listedPackage)
+			if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("lint: decode go list output: %w", err)
+			}
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: exportImporter(fset, exports),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check("fixture", fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// exportImporter wraps the standard library's gc export-data importer with
+// a lookup over the files `go list -export` reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// check parses and type-checks one package from its source files.
+func check(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{Path: path, Fset: fset}
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Errors are collected softly; Check's returned package is usable even
+	// when incomplete.
+	pkg.Types, _ = conf.Check(path, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// newInfo allocates the types.Info maps every analyzer reads.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

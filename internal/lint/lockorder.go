@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EngineLockScope is the default scope of the lockorder analyzer: the root
+// package, where Engine's mu guards the in-memory profile and predictor
+// maps. The invariant (established when the persistent store landed) is
+// that profile resolution — store reads, file I/O, anything that can block
+// on the disk or network — never runs while an Engine lock is held; the
+// lock covers map bookkeeping only. The store package itself is *not* in
+// scope: it intentionally serializes index file I/O under its own mutex.
+var EngineLockScope = []string{"mipp"}
+
+// storePackages are the packages whose calls count as "profile resolution"
+// for the store-under-lock diagnostic.
+var storePackages = []string{"mipp/store"}
+
+// ioPackages are the packages whose calls count as blocking I/O for the
+// io-under-lock diagnostic.
+var ioPackages = []string{"os", "io", "io/ioutil", "net", "net/http", "os/exec", "syscall"}
+
+// LockOrder is the analyzer with the repository's default scope.
+var LockOrder = NewLockOrder(EngineLockScope)
+
+// NewLockOrder builds the lockorder analyzer over a package scope (nil
+// scope = every package, used by the golden tests).
+//
+// Diagnostic kinds:
+//
+//   - store-under-lock: a mipp/store call while a sync.Mutex/RWMutex is
+//     held. Store methods take the store's own lock and hit the
+//     filesystem; calling them under Engine's mu both inverts the intended
+//     lock order and stalls every reader behind disk latency.
+//   - io-under-lock: an os/io/net/os-exec/syscall call while a mutex is
+//     held — same stall, without even a second lock to invert.
+//
+// The analysis is per-function and syntactic: it tracks Lock/RLock and
+// Unlock/RUnlock calls in statement order (a deferred Unlock keeps the
+// lock held through the rest of the function, which is what defer means),
+// and does not descend into function literals — a closure built under a
+// lock runs at some other time, under whatever locks its caller holds
+// (the lazy-compile pattern in Engine.Predictor depends on exactly that).
+func NewLockOrder(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc: "flags store access and blocking I/O performed while a mutex is held " +
+			"in packages where locks must cover only map bookkeeping",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inScope(scope, pass.Path) {
+			return nil
+		}
+		funcDecls(pass, func(fd *ast.FuncDecl) {
+			held := make(map[string]bool)
+			checkLockOrder(pass, fd.Body.List, held)
+		})
+		return nil
+	}
+	return a
+}
+
+// checkLockOrder walks statements in order, maintaining the set of held
+// locks (keyed by the rendered receiver expression). Nested blocks share
+// the set: an unlock on any path releases, which errs toward missing a
+// violation on the other path rather than inventing one — the right bias
+// for a gate that fails CI.
+func checkLockOrder(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, op := mutexOp(pass, call); op != "" {
+					key := render(pass.Fset, recv)
+					if op == "lock" {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			checkStmtUnderLocks(pass, s, held)
+		case *ast.DeferStmt:
+			if _, op := mutexOp(pass, s.Call); op == "unlock" {
+				// Deferred unlock: held until function exit, by design.
+				continue
+			}
+			checkStmtUnderLocks(pass, s, held)
+		case *ast.BlockStmt:
+			checkLockOrder(pass, s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkStmtUnderLocks(pass, s.Init, held)
+			}
+			checkStmtUnderLocks(pass, &ast.ExprStmt{X: s.Cond}, held)
+			checkLockOrder(pass, s.Body.List, held)
+			if s.Else != nil {
+				checkLockOrder(pass, []ast.Stmt{s.Else}, held)
+			}
+		case *ast.ForStmt:
+			checkLockOrder(pass, s.Body.List, held)
+		case *ast.RangeStmt:
+			checkLockOrder(pass, s.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockOrder(pass, cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockOrder(pass, cc.Body, held)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkLockOrder(pass, cc.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			checkLockOrder(pass, []ast.Stmt{s.Stmt}, held)
+		default:
+			checkStmtUnderLocks(pass, stmt, held)
+		}
+	}
+}
+
+// checkStmtUnderLocks reports forbidden calls inside stmt when any lock is
+// held, without descending into function literals.
+func checkStmtUnderLocks(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	locks := heldList(held)
+	inspectSkippingFuncLits(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg := calleePackage(pass, call)
+		switch {
+		case inScope(storePackages, pkg):
+			pass.Reportf(call.Pos(), "store-under-lock",
+				"store call while holding %s: profile resolution must run outside Engine locks (release, resolve, re-lock to publish)",
+				locks)
+		case inScope(ioPackages, pkg):
+			pass.Reportf(call.Pos(), "io-under-lock",
+				"%s call while holding %s: blocking I/O under a lock stalls every other holder; move it outside the critical section",
+				pkg, locks)
+		}
+		return true
+	})
+}
+
+func heldList(held map[string]bool) string {
+	if len(held) == 1 {
+		for k := range held {
+			return k
+		}
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	// Tiny set; insertion sort keeps the message stable without importing
+	// sort in a diagnostic helper.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return strings.Join(keys, ", ")
+}
+
+// mutexOp classifies call as a lock ("lock"), release ("unlock"), or
+// neither ("") on a sync.Mutex / sync.RWMutex receiver, returning the
+// receiver expression.
+func mutexOp(pass *Pass, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	var op string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return nil, ""
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return nil, ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return nil, ""
+	}
+	return sel.X, op
+}
+
+// calleePackage resolves the defining package path of a call's target —
+// package-level function or method alike ("" when unresolvable).
+func calleePackage(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path()
+		}
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path()
+		}
+	}
+	return ""
+}

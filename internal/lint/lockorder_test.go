@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mipp/internal/lint"
+	"mipp/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/lockorder", lint.NewLockOrder(nil))
+}

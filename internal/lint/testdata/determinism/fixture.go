@@ -1,0 +1,79 @@
+// Fixture for the determinism analyzer. Every line that should fire
+// carries a want expectation; every line without one doubles as a
+// negative test.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func emitMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `\[determinism/map-range\] fmt\.Printf`
+	}
+}
+
+func collectUnsorted(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `\[determinism/map-range\] append to out`
+	}
+	return out
+}
+
+// collectSorted is the blessed idiom: accumulate in map order, then sort.
+func collectSorted(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fanOut(m map[string]func()) {
+	for _, fn := range m {
+		go fn() // want `\[determinism/map-range\] goroutine`
+	}
+}
+
+func sendAll(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `\[determinism/map-range\] channel send`
+	}
+}
+
+func stamp() time.Time {
+	return time.Now() // want `\[determinism/time-now\] time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[determinism/time-now\] time\.Since`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `\[determinism/global-rand\] math/rand\.Intn`
+}
+
+// seeded is the blessed idiom: an explicit source threaded from a seed.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// allowedStamp demonstrates the escape hatch: the directive names the
+// analyzer and gives a reason, and the diagnostic on the next line is
+// suppressed.
+func allowedStamp() int64 {
+	//mipp:allow determinism fixture demonstrates the escape hatch
+	return time.Now().UnixNano()
+}
+
+// badAllow is missing its reason, which is itself a finding.
+func badAllow() int {
+	/* want `\[mipplint/bad-allow\]` */ //mipp:allow determinism
+	return len("x")
+}

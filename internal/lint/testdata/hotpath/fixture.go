@@ -1,0 +1,101 @@
+// Fixture for the hotpath analyzer. Only functions annotated
+// //mipp:hotpath are checked; coldFormat at the bottom proves it.
+package fixture
+
+import "fmt"
+
+//mipp:hotpath
+func hotFormat(x float64) string {
+	return fmt.Sprintf("%g", x) // want `\[hotpath/fmt-call\] fmt\.Sprintf`
+}
+
+//mipp:hotpath
+func hotConcat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want `\[hotpath/string-concat\]`
+	}
+	return s
+}
+
+//mipp:hotpath
+func hotAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `\[hotpath/append-no-cap\] append to out`
+	}
+	return out
+}
+
+// hotAppendSized preallocates: the same append is silent.
+//
+//mipp:hotpath
+func hotAppendSized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// hotAppendParam appends into a caller-owned buffer (the Neighbors(dst)
+// resize-once idiom): silent.
+//
+//mipp:hotpath
+func hotAppendParam(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+//mipp:hotpath
+func hotClosure(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		f := func() float64 { return x * x } // want `\[hotpath/closure-in-loop\]`
+		total += f()
+	}
+	return total
+}
+
+// hoistedClosure builds the closure once, outside the loop: silent.
+//
+//mipp:hotpath
+func hoistedClosure(xs []float64) float64 {
+	total := 0.0
+	square := func(v float64) float64 { return v * v }
+	for _, x := range xs {
+		total += square(x)
+	}
+	return total
+}
+
+//mipp:hotpath
+func hotDefer(fns []func()) {
+	for _, fn := range fns {
+		defer fn() // want `\[hotpath/defer-in-loop\]`
+	}
+}
+
+func sink(v interface{}) { _ = v }
+
+//mipp:hotpath
+func hotBox(x float64) {
+	sink(x) // want `\[hotpath/interface-box\] float64`
+}
+
+// hotPanic demonstrates the escape hatch on a cold panic path.
+//
+//mipp:hotpath
+func hotPanic(i, n int) {
+	if i >= n {
+		//mipp:allow hotpath cold out-of-range panic path, never taken per evaluation
+		panic(fmt.Sprintf("index %d out of range [0,%d)", i, n))
+	}
+}
+
+// coldFormat carries no annotation, so nothing here is checked.
+func coldFormat(x float64) string {
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,66 @@
+// Fixture for the lockorder analyzer: store access and blocking I/O must
+// not happen while a mutex is held. Imports the real mipp/store so the
+// store-under-lock kind is exercised against the actual API.
+package fixture
+
+import (
+	"os"
+	"sync"
+
+	"mipp/store"
+)
+
+type cache struct {
+	mu sync.RWMutex
+	st *store.Store
+	m  map[string][]byte
+}
+
+// badStore resolves a profile while holding the lock.
+func (c *cache) badStore(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok, _ := c.st.Get(name) // want `\[lockorder/store-under-lock\]`
+	return ok
+}
+
+// badIO reads a file between Lock and Unlock.
+func (c *cache) badIO(path string) ([]byte, error) {
+	c.mu.Lock()
+	b, err := os.ReadFile(path) // want `\[lockorder/io-under-lock\] os call`
+	c.mu.Unlock()
+	return b, err
+}
+
+// goodReleaseFirst is the blessed shape: check the map under RLock,
+// release, then hit the store.
+func (c *cache) goodReleaseFirst(name string) ([]byte, error) {
+	c.mu.RLock()
+	b, ok := c.m[name]
+	c.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	if _, ok, err := c.st.Get(name); err == nil && ok {
+		return nil, nil
+	}
+	return os.ReadFile(name)
+}
+
+// goodLazy builds a closure under the lock but the body runs later, under
+// whatever locks the eventual caller holds — the Engine.Predictor
+// lazy-compile pattern. Silent by design.
+func (c *cache) goodLazy(name string) func() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn := func() ([]byte, error) { return os.ReadFile(name) }
+	return fn
+}
+
+// allowedIO demonstrates the escape hatch.
+func (c *cache) allowedIO(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//mipp:allow lockorder fixture demonstrates the escape hatch
+	return os.ReadFile(path)
+}

@@ -1,0 +1,57 @@
+// Fixture for the wraperr analyzer: sentinel errors travel by %w and
+// errors.Is, never by identity or text.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errNotFound = errors.New("fixture: not found")
+
+func compareEq(err error) bool {
+	return err == errNotFound // want `\[wraperr/sentinel-compare\] errNotFound`
+}
+
+func compareNeq(err error) bool {
+	return err != errNotFound // want `\[wraperr/sentinel-compare\] errNotFound`
+}
+
+// compareIs is the blessed form: silent.
+func compareIs(err error) bool {
+	return errors.Is(err, errNotFound)
+}
+
+// nilChecks are identity against nil, which is fine: silent.
+func nilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("lookup failed: %v", err) // want `\[wraperr/no-wrap\]`
+}
+
+// wrap keeps the chain intact: silent.
+func wrap(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}
+
+// plainErrorf carries no error argument at all: silent.
+func plainErrorf(name string) error {
+	return fmt.Errorf("unknown workload %q", name)
+}
+
+func textContains(err error) bool {
+	return strings.Contains(err.Error(), "not found") // want `\[wraperr/string-match\] strings\.Contains`
+}
+
+func textCompare(err error) bool {
+	return err.Error() == "fixture: not found" // want `\[wraperr/string-match\] comparing err\.Error`
+}
+
+// legacyCompare demonstrates the escape hatch.
+func legacyCompare(err error) bool {
+	//mipp:allow wraperr fixture demonstrates the escape hatch
+	return err == errNotFound
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Wraperr enforces the module's error-contract invariant: sentinel errors
+// (ErrUnknownWorkload, ErrBadRequest, ErrProfileCorrupt, ErrProfileVersion,
+// ErrUnknownJob, store.ErrNotFound, ...) travel across layers — engine →
+// server → HTTP status → client → caller — by wrapping with %w and testing
+// with errors.Is. Anything else (==, string matching) breaks the moment a
+// layer adds context to the error, which is exactly what the layers are
+// for.
+//
+// Diagnostic kinds:
+//
+//   - sentinel-compare: err == Sentinel / err != Sentinel where a side is
+//     a package-level error variable. Identity comparison fails on wrapped
+//     errors; use errors.Is.
+//   - no-wrap: fmt.Errorf given an error argument with no %w verb in the
+//     format string — the sentinel is flattened to text and errors.Is
+//     stops working downstream.
+//   - string-match: branching on err.Error() text (== / != or
+//     strings.Contains and friends) — the least stable contract of all.
+var Wraperr = &Analyzer{
+	Name: "wraperr",
+	Doc: "enforces %w wrapping and errors.Is for sentinel errors; flags ==/!= " +
+		"against error sentinels, fmt.Errorf that swallows an error without %w, " +
+		"and err.Error() string matching",
+	Run: runWraperr,
+}
+
+// stringMatchFuncs are the strings functions that, fed err.Error(), mean
+// someone is branching on error text.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+func runWraperr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+				checkStringsMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrCompare flags ==/!= where one operand is a package-level error
+// variable (a sentinel) — wrapped errors never compare identical.
+func checkErrCompare(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	// err.Error() == "..." — string-typed, so test before the error-type
+	// guard below.
+	if directErrorCall(pass, bin.X) != nil || directErrorCall(pass, bin.Y) != nil {
+		pass.Reportf(bin.Pos(), "string-match",
+			"comparing err.Error() text: error messages are not a contract; use errors.Is against the sentinel")
+		return
+	}
+	if isNilExpr(pass, bin.X) || isNilExpr(pass, bin.Y) {
+		return
+	}
+	if !isErrorType(pass.TypeOf(bin.X)) || !isErrorType(pass.TypeOf(bin.Y)) {
+		return
+	}
+	sentinel := sentinelVar(pass, bin.X)
+	if sentinel == nil {
+		sentinel = sentinelVar(pass, bin.Y)
+	}
+	if sentinel == nil {
+		return
+	}
+	hint := "errors.Is(err, " + sentinel.Name() + ")"
+	if bin.Op == token.NEQ {
+		hint = "!" + hint
+	}
+	pass.Reportf(bin.Pos(), "sentinel-compare",
+		"%s compared with %s: identity comparison fails once a layer wraps the error; use %s",
+		sentinel.Name(), bin.Op, hint)
+}
+
+// sentinelVar resolves e to a package-level variable of type error, or nil.
+func sentinelVar(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value but whose
+// (literal) format string carries no %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if pkg, name := pkgFuncCall(pass, call); pkg != "fmt" || name != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	if strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil || !types.Implements(t, errorInterface()) {
+			continue
+		}
+		// err.Error() in the args is string-typed and handled elsewhere;
+		// here the error value itself is being flattened.
+		pass.Reportf(call.Pos(), "no-wrap",
+			"fmt.Errorf formats an error without %%w: the sentinel chain is cut and errors.Is stops working downstream; use %%w (or errors.Join)")
+		return
+	}
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// checkStringsMatch flags strings.Contains/HasPrefix/... where an argument
+// is built from err.Error().
+func checkStringsMatch(pass *Pass, call *ast.CallExpr) {
+	pkg, name := pkgFuncCall(pass, call)
+	if pkg != "strings" || !stringMatchFuncs[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if bad := errDotError(pass, arg); bad != nil {
+			pass.Reportf(bad.Pos(), "string-match",
+				"strings.%s over err.Error(): error messages are not a contract; use errors.Is (or errors.As) against the sentinel",
+				name)
+			return
+		}
+	}
+}
+
+// directErrorCall reports whether e itself (modulo parens) is a call to
+// .Error() on an error-typed receiver.
+func directErrorCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return nil
+	}
+	if !isErrorType(pass.TypeOf(sel.X)) {
+		return nil
+	}
+	return call
+}
+
+// errDotError finds a call to .Error() on an error-typed receiver anywhere
+// inside e, returning it (nil when absent).
+func errDotError(pass *Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if isErrorType(pass.TypeOf(sel.X)) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

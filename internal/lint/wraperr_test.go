@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mipp/internal/lint"
+	"mipp/internal/lint/linttest"
+)
+
+func TestWraperr(t *testing.T) {
+	linttest.Run(t, "testdata/wraperr", lint.Wraperr)
+}

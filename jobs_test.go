@@ -209,6 +209,7 @@ func TestSearchJobErrors(t *testing.T) {
 
 	req = searchRequest(api.StrategySpec{Kind: "random"})
 	req.Space = api.SpaceSpec{Kind: "parametric"}
+	//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "no axes") {
 		t.Errorf("axis-less parametric submit = %v, want ErrBadRequest about axes", err)
 	}
@@ -230,10 +231,12 @@ func TestSearchJobErrors(t *testing.T) {
 	req = searchRequest(api.StrategySpec{Kind: "random"})
 	req.Budget = 0
 	req.Space = api.SpaceSpec{Kind: "parametric", Space: huge}
+	//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "budget") {
 		t.Errorf("unbudgeted huge-space submit = %v, want ErrBadRequest about budget", err)
 	}
 	req.Budget = 2_000_000
+	//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 	if _, err := e.SubmitSearch(ctx, req); !errors.Is(err, mipp.ErrBadRequest) || !strings.Contains(err.Error(), "cap") {
 		t.Errorf("over-cap budget submit = %v, want ErrBadRequest about the cap", err)
 	}

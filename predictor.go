@@ -286,6 +286,8 @@ func (pd *Predictor) PredictBatch(ctx context.Context, configs []*Config) (Resul
 // predictBatchInto is PredictBatch writing into caller-owned slices, so the
 // pool fan-out in Sweep and Engine lands chunk results directly at their
 // input index without per-chunk allocation.
+//
+//mipp:hotpath
 func (pd *Predictor) predictBatchInto(ctx context.Context, configs []*Config, results Results, errs []error) error {
 	if ctx == nil {
 		ctx = context.Background()

@@ -295,6 +295,8 @@ func (r *Runner) Best() (Eval, bool) {
 // if the new unique points would exceed the remaining budget; strategies
 // trim their generations first. A generation is recorded in the trace even
 // when fully memoized, so the trace mirrors the strategy's control flow.
+//
+//mipp:hotpath
 func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 	fresh := r.idxScratch[:0]
 	for _, idx := range indices {
@@ -316,6 +318,7 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 			delete(r.seen, idx)
 		}
 		r.evals = r.evals[:len(r.evals)-len(fresh)]
+		//mipp:allow hotpath cold terminal error path, at most once per search
 		return nil, fmt.Errorf("search: budget exhausted (%d evaluations done, %d more requested, budget %d)",
 			len(r.evals), len(fresh), r.opts.Budget)
 	}
@@ -331,6 +334,7 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 			return nil, err
 		}
 		if len(metrics) != len(cfgs) {
+			//mipp:allow hotpath cold evaluator-contract violation path
 			return nil, fmt.Errorf("search: evaluator returned %d metrics for %d configs", len(metrics), len(cfgs))
 		}
 		for i, idx := range fresh {
@@ -369,6 +373,8 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 }
 
 // score derives the Eval for one evaluated configuration.
+//
+//mipp:hotpath
 func (r *Runner) score(idx int, c *arch.Config, m Metrics) Eval {
 	e := Eval{
 		Index:        idx,

@@ -12,6 +12,7 @@ package search_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -247,6 +248,7 @@ func TestBudgetAndTrace(t *testing.T) {
 	// silently truncating.
 	if _, err := search.Run(context.Background(), ev, space, search.Exhaustive{}, search.Options{Budget: 10}); err == nil {
 		t.Error("exhaustive with budget < space size did not error")
+		//mipp:allow wraperr this error has no sentinel; its message is the documented contract
 	} else if !strings.Contains(err.Error(), "budget") {
 		t.Errorf("unexpected exhaustive budget error: %v", err)
 	}
@@ -320,7 +322,7 @@ func TestCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := search.Run(ctx, mipp.NewSearchEvaluator(pd, 1), arch.TableSpace(), search.Exhaustive{}, search.Options{})
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
 	}
 }

@@ -26,9 +26,12 @@ type Exhaustive struct {
 func (Exhaustive) Name() string { return "exhaustive" }
 
 // Search implements Strategy.
+//
+//mipp:hotpath
 func (x Exhaustive) Search(ctx context.Context, r *Runner) error {
 	n := r.SpaceSize()
 	if rem := r.Remaining(); n > rem {
+		//mipp:allow hotpath cold admission error, before any evaluation runs
 		return fmt.Errorf("search: exhaustive needs %d evaluations but budget leaves %d (use a sampling strategy)", n, rem)
 	}
 	chunk := x.Chunk
@@ -63,6 +66,8 @@ type Random struct {
 func (Random) Name() string { return "random" }
 
 // Search implements Strategy.
+//
+//mipp:hotpath
 func (s Random) Search(ctx context.Context, r *Runner) error {
 	n := r.SpaceSize()
 	want := s.Samples
@@ -73,6 +78,7 @@ func (s Random) Search(ctx context.Context, r *Runner) error {
 		want = n
 	}
 	if want <= 0 {
+		//mipp:allow hotpath cold admission error, before any evaluation runs
 		return fmt.Errorf("search: random sampling with no samples and no budget")
 	}
 	chunk := s.Chunk
@@ -134,6 +140,8 @@ type HillClimb struct {
 func (HillClimb) Name() string { return "hill" }
 
 // Search implements Strategy.
+//
+//mipp:hotpath
 func (h HillClimb) Search(ctx context.Context, r *Runner) error {
 	restarts := h.Restarts
 	if restarts <= 0 {
@@ -202,6 +210,8 @@ type Genetic struct {
 func (Genetic) Name() string { return "genetic" }
 
 // Search implements Strategy.
+//
+//mipp:hotpath
 func (g Genetic) Search(ctx context.Context, r *Runner) error {
 	space := r.Space()
 	n := space.Size()
@@ -247,6 +257,11 @@ func (g Genetic) Search(ctx context.Context, r *Runner) error {
 	}
 	indices := make([]int, pop)
 	order := make([]int, pop)
+	// One ranking closure for the whole run: it reads evs through the
+	// captured variable, which each generation reassigns, so sorting
+	// allocates nothing per generation.
+	var evs []Eval
+	rank := func(a, b int) bool { return Better(evs[order[a]], evs[order[b]]) }
 
 	for gen := 0; gen < gens; gen++ {
 		if r.Remaining() < pop {
@@ -255,7 +270,8 @@ func (g Genetic) Search(ctx context.Context, r *Runner) error {
 		for i, g := range genomes {
 			indices[i] = space.Index(g)
 		}
-		evs, err := r.Evaluate(ctx, indices)
+		var err error
+		evs, err = r.Evaluate(ctx, indices)
 		if err != nil {
 			return err
 		}
@@ -265,7 +281,7 @@ func (g Genetic) Search(ctx context.Context, r *Runner) error {
 		for i := range order {
 			order[i] = i
 		}
-		sort.SliceStable(order, func(a, b int) bool { return Better(evs[order[a]], evs[order[b]]) })
+		sort.SliceStable(order, rank)
 
 		if gen == gens-1 {
 			return nil
@@ -298,6 +314,8 @@ func (g Genetic) Search(ctx context.Context, r *Runner) error {
 
 // tournament picks the best of k uniformly drawn population members and
 // returns its population slot.
+//
+//mipp:hotpath
 func tournament(rng *rand.Rand, evs []Eval, k int) int {
 	best := rng.Intn(len(evs))
 	for i := 1; i < k; i++ {

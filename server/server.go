@@ -214,7 +214,7 @@ func decodeStatus(err error) int {
 func drainTrailing(dec *json.Decoder) error {
 	_, err := dec.Token()
 	switch {
-	case err == io.EOF:
+	case errors.Is(err, io.EOF):
 		return nil
 	case err == nil:
 		return fmt.Errorf("trailing data after request body")

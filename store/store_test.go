@@ -139,9 +139,11 @@ func TestStoreDigestValidation(t *testing.T) {
 	if !errors.Is(err, store.ErrCorrupt) {
 		t.Fatalf("Get corrupt = %v, want ErrCorrupt", err)
 	}
+	//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 	if !strings.Contains(err.Error(), objects[0]) {
 		t.Errorf("error %q does not name the object path", err)
 	}
+	//mipp:allow wraperr the diagnostic text itself is under test here, alongside the errors.Is contract
 	if !strings.Contains(err.Error(), info.Digest) {
 		t.Errorf("error %q does not name the expected digest", err)
 	}

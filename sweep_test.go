@@ -7,6 +7,7 @@ package mipp_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -73,7 +74,7 @@ func TestSweepCancellation(t *testing.T) {
 	cancel() // cancel before the sweep starts
 	t0 := time.Now()
 	results, err := mipp.Sweep(ctx, pred, configs, mipp.WithWorkers(2))
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Sweep on cancelled ctx: err = %v, want context.Canceled", err)
 	}
 	if results != nil {
@@ -94,7 +95,7 @@ func TestSweepCancellation(t *testing.T) {
 	cancel2()
 	select {
 	case err := <-done:
-		if err != context.Canceled {
+		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("mid-flight cancel: err = %v, want context.Canceled", err)
 		}
 	case <-time.After(30 * time.Second):
@@ -113,7 +114,7 @@ func TestSweepCancellationBatchGranularity(t *testing.T) {
 	configs := arch.DesignSpace() // 243 configs; 1 worker → ~61-config chunks
 	ctx := &pollCountCtx{Context: context.Background(), after: 5}
 	results, err := mipp.Sweep(ctx, pred, configs, mipp.WithWorkers(1))
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-batch cancel: err = %v, want context.Canceled", err)
 	}
 	if results != nil {
