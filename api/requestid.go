@@ -1,0 +1,40 @@
+package api
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader is the request-correlation header of the HTTP surface:
+// the server assigns an ID when the caller sent none, always echoes it on
+// the response, and stamps it on every request log line. mipp/client and
+// mipp-router forward it, so one prediction can be traced caller → router →
+// replica by a single token.
+const RequestIDHeader = "X-Request-Id"
+
+// NewRequestID returns a fresh 16-hex-character request ID. It draws from
+// crypto/rand so IDs are unique across processes without coordination; on
+// the (never-observed) failure of the system entropy source it degrades to
+// a fixed ID rather than failing the request it is meant to trace.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ridKey keys the request ID in a context.
+type ridKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx ("" if none).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

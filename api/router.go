@@ -1,0 +1,29 @@
+package api
+
+// The router vocabulary: cmd/mipp-router fronts N mippd replicas behind the
+// same /v1 surface, consistent-hashing workload names so each replica's
+// predictor cache stays hot. Its /healthz answers with a RouterHealth-
+// Response instead of the replica health body — the members list is what an
+// operator (or a test) reads to see the ring.
+
+// RouterMember is one replica as the router sees it.
+type RouterMember struct {
+	URL string `json:"url"`
+	// Healthy reflects the last health check (or a connect failure that
+	// marked the member down between checks).
+	Healthy bool `json:"healthy"`
+	// Inflight is the number of requests the router currently has open
+	// against this member — the load the bounded-load ring balances.
+	Inflight int64 `json:"inflight"`
+}
+
+// RouterHealthResponse is the mipp-router /healthz body.
+type RouterHealthResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"` // "ok" while ≥1 member is healthy, else "degraded"
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	// Members lists every configured replica, sorted by URL.
+	Members []RouterMember `json:"members"`
+	// JobsRouted counts search-job → replica routes currently remembered.
+	JobsRouted int `json:"jobs_routed"`
+}

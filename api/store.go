@@ -1,0 +1,49 @@
+package api
+
+import "fmt"
+
+// The store-replication vocabulary: a mippd backed by an object-capable
+// profile store (mipp/store) exposes its catalog for peers under
+// /v1/store — an index listing plus content-addressed object GET/PUT/
+// DELETE by digest. mipp/store/remote is the consumer: it implements
+// mipp.ProfileStore against these endpoints, so a second daemon can run
+// diskless against the first one's catalog.
+//
+// Change notification is by generation: every index rewrite bumps a
+// monotonic counter, the index response carries it (and an ETag derived
+// from it), and a conditional GET with If-None-Match answers 304 while
+// nothing changed — the remote analogue of the local store's
+// stat-and-reload staleness check.
+
+// StoreIndexResponse is the catalog listing served by GET /v1/store/index.
+type StoreIndexResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	// Generation is the index's monotonic change token; it bumps on every
+	// registration and deletion.
+	Generation uint64 `json:"generation"`
+	// Profiles lists every stored profile's metadata, sorted by name.
+	Profiles []ProfileInfo `json:"profiles"`
+}
+
+// StorePutObjectResponse acknowledges PUT /v1/store/objects/{digest}: the
+// authoritative stored metadata (the server re-derives the canonical
+// envelope, so its digest wins) and the index generation after the write.
+type StorePutObjectResponse struct {
+	SchemaVersion int         `json:"schema_version"`
+	Generation    uint64      `json:"generation"`
+	Profile       ProfileInfo `json:"profile"`
+}
+
+// StoreDeleteObjectResponse acknowledges DELETE /v1/store/objects/{digest},
+// listing every name that referenced the object.
+type StoreDeleteObjectResponse struct {
+	SchemaVersion int      `json:"schema_version"`
+	Generation    uint64   `json:"generation"`
+	Deleted       []string `json:"deleted"`
+}
+
+// StoreETag renders an index generation as the strong ETag the store
+// endpoints use for conditional requests.
+func StoreETag(generation uint64) string {
+	return fmt.Sprintf("\"g%d\"", generation)
+}

@@ -95,6 +95,7 @@ func (c *Client) call(ctx context.Context, method, path string, req, resp any) e
 	if req != nil {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
+	setRequestID(hreq)
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)

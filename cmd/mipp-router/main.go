@@ -1,0 +1,97 @@
+// Command mipp-router fronts N mippd replicas with one /v1 surface:
+// workload names are consistent-hashed over a bounded-load ring so each
+// replica's predictor caches stay hot, search jobs stick to the replica
+// running them, catalog reads merge every replica's answer, and streamed
+// responses (SSE search events, NDJSON sweeps) relay frame-by-frame.
+//
+// Replicas should share one profile catalog — mippd -store on a shared
+// directory, or mippd -remote-store pointed at a common daemon — so any
+// replica answers any workload byte-identically and losing a replica only
+// rehashes its workloads onto the survivors.
+//
+// Usage:
+//
+//	mipp-router -replicas http://host1:8091,http://host2:8091
+//
+//	curl localhost:8090/healthz           # ring membership + health
+//	curl -d @predict.json localhost:8090/v1/predict
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mipp/router"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("mipp-router: ")
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		replicas   = flag.String("replicas", "", "comma-separated mippd base URLs (required)")
+		vnodes     = flag.Int("vnodes", router.DefaultVnodes, "virtual nodes per replica on the hash ring")
+		loadFactor = flag.Float64("load-factor", router.DefaultLoadFactor, "bounded-load factor c (>1)")
+		healthIv   = flag.Duration("health-interval", 2*time.Second, "replica health-check interval")
+		failThresh = flag.Int("fail-threshold", 2, "consecutive failed health checks before a replica leaves rotation")
+	)
+	flag.Parse()
+	if *replicas == "" {
+		log.Fatal("missing -replicas (comma-separated mippd base URLs)")
+	}
+
+	rt, err := router.New(router.Options{
+		Replicas:      strings.Split(*replicas, ","),
+		Vnodes:        *vnodes,
+		LoadFactor:    *loadFactor,
+		FailThreshold: *failThresh,
+		Logger:        log.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rt.CheckHealth(ctx) // converge on reality before taking traffic
+	go rt.HealthLoop(ctx, *healthIv)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d replica(s) on %s", len(strings.Split(*replicas, ",")), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("bye")
+}

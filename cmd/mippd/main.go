@@ -11,6 +11,9 @@
 //	mippd -store ./profile-store          # durable content-addressed store:
 //	                                      # uploads persist, restarts serve the
 //	                                      # whole catalog without re-profiling
+//	mippd -remote-store http://peer:8091  # diskless replica: serve the peer's
+//	                                      # catalog over its /v1/store endpoints
+//	                                      # (generation-validated, LRU-cached)
 //
 // Then, from any HTTP client (see mipp/client for the Go one):
 //
@@ -39,19 +42,21 @@ import (
 	"mipp"
 	"mipp/server"
 	"mipp/store"
+	"mipp/store/remote"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("mippd: ")
 	var (
-		addr     = flag.String("addr", ":8091", "listen address")
-		preload  = flag.String("preload", "", "comma-separated built-in workloads to profile at boot")
-		n        = flag.Int("n", 200_000, "trace length in micro-ops for -preload profiling")
-		profiles = flag.String("profiles", "", "directory of profile JSON files (cmd/aip output) to load at boot")
-		storeDir = flag.String("store", "", "durable profile store directory (content-addressed; registrations persist across restarts)")
-		storeMax = flag.Int64("store-resident-bytes", 0, "LRU bound on decoded profile bytes the store keeps in memory (0 = unbounded)")
-		workers  = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8091", "listen address")
+		preload   = flag.String("preload", "", "comma-separated built-in workloads to profile at boot")
+		n         = flag.Int("n", 200_000, "trace length in micro-ops for -preload profiling")
+		profiles  = flag.String("profiles", "", "directory of profile JSON files (cmd/aip output) to load at boot")
+		storeDir  = flag.String("store", "", "durable profile store directory (content-addressed; registrations persist across restarts)")
+		remoteURL = flag.String("remote-store", "", "base URL of a peer mippd to use as the profile store (diskless replica; mutually exclusive with -store)")
+		storeMax  = flag.Int64("store-resident-bytes", 0, "LRU bound on decoded profile bytes the store keeps in memory (0 = unbounded)")
+		workers   = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -59,13 +64,20 @@ func main() {
 	if *workers > 0 {
 		engineOpts = append(engineOpts, mipp.WithEngineWorkers(*workers))
 	}
-	if *storeDir != "" {
+	switch {
+	case *storeDir != "" && *remoteURL != "":
+		log.Fatal("-store and -remote-store are mutually exclusive")
+	case *storeDir != "":
 		st, err := store.Open(*storeDir, store.WithMaxResidentBytes(*storeMax))
 		if err != nil {
 			log.Fatal(err)
 		}
 		engineOpts = append(engineOpts, mipp.WithEngineStore(st))
 		log.Printf("profile store %s: %d stored profile(s)", *storeDir, st.Stats().Objects)
+	case *remoteURL != "":
+		st := remote.New(*remoteURL, remote.WithMaxCachedBytes(*storeMax))
+		engineOpts = append(engineOpts, mipp.WithEngineStore(st))
+		log.Printf("remote profile store %s (diskless replica)", *remoteURL)
 	}
 	engine := mipp.NewEngine(engineOpts...)
 	if err := boot(engine, *preload, *n, *profiles); err != nil {

@@ -97,6 +97,12 @@ func NewEngine(opts ...EngineOption) *Engine {
 	return e
 }
 
+// ProfileStore returns the engine's backing store (nil when the engine
+// runs without one). It is the seam the server's /v1/store endpoints
+// publish: when the store also implements ObjectStore, peers can replicate
+// this engine's catalog.
+func (e *Engine) ProfileStore() ProfileStore { return e.store }
+
 // Register installs profile p under name (empty name defaults to the
 // profile's workload name). Re-registering a name replaces the profile and
 // drops every predictor cached for it.

@@ -1,0 +1,126 @@
+package mipp
+
+import (
+	"fmt"
+	"sync"
+
+	"mipp/api"
+)
+
+// Event-stream bounds: a job retains up to maxRetainedSearchEvents for
+// late or resuming subscribers (a long genetic run emits two events per
+// generation — trace step and front change — so this covers thousands of
+// generations), and each subscriber channel buffers searchEventBuffer
+// events so the publishing search goroutine never blocks on a slow reader.
+const (
+	maxRetainedSearchEvents = 4096
+	searchEventBuffer       = 256
+)
+
+// searchEventLog is one job's event history plus its live subscribers. The
+// search goroutine is the only publisher; any number of SSE handlers
+// subscribe. Publishing never blocks: a subscriber that cannot keep up has
+// events dropped from its channel feed (it can detect the gap by Seq and
+// re-subscribe from its last seen event, served from the retained log).
+type searchEventLog struct {
+	mu     sync.Mutex
+	seq    int
+	events []api.SearchEvent
+	subs   map[int]chan api.SearchEvent
+	nextID int
+	closed bool
+}
+
+// publish appends one event (stamping its Seq) and fans it out.
+func (l *searchEventLog) publish(ev api.SearchEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.seq++
+	ev.Seq = l.seq
+	l.events = append(l.events, ev)
+	if len(l.events) > maxRetainedSearchEvents {
+		// Drop the oldest half in one copy instead of sliding per event.
+		keep := maxRetainedSearchEvents / 2
+		copy(l.events, l.events[len(l.events)-keep:])
+		l.events = l.events[:keep]
+	}
+	// Fan-out order across independent subscriber channels is
+	// unobservable: every subscriber receives the same events in the same
+	// Seq order regardless of which channel is fed first.
+	for _, ch := range l.subs {
+		select {
+		//mipp:allow determinism per-subscriber fan-out order does not affect any subscriber's observed event order
+		case ch <- ev:
+		default: // slow subscriber: drop, it resumes by Seq
+		}
+	}
+}
+
+// close ends the stream after the terminal event: every subscriber channel
+// is closed, and future subscribers get a replay that terminates
+// immediately.
+func (l *searchEventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	for _, ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+}
+
+// subscribe returns a channel replaying every retained event with
+// Seq > after, then delivering live events until the log closes. The
+// returned cancel must be called when the consumer stops reading.
+func (l *searchEventLog) subscribe(after int) (<-chan api.SearchEvent, func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var replay []api.SearchEvent
+	for _, ev := range l.events {
+		if ev.Seq > after {
+			replay = append(replay, ev)
+		}
+	}
+	ch := make(chan api.SearchEvent, len(replay)+searchEventBuffer)
+	for _, ev := range replay {
+		ch <- ev
+	}
+	if l.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	if l.subs == nil {
+		l.subs = make(map[int]chan api.SearchEvent)
+	}
+	id := l.nextID
+	l.nextID++
+	l.subs[id] = ch
+	cancel := func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		// close() may have raced us and closed the channel already; then
+		// subs is nil and there is nothing to remove.
+		if _, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+		}
+	}
+	return ch, cancel
+}
+
+// SearchEvents subscribes to a job's event stream, replaying retained
+// events with Seq > after (0 = from the beginning) and then delivering
+// live events until the job reaches a terminal state, at which point the
+// channel is closed. Subscribing to a finished job replays and closes
+// immediately. The returned cancel must be called when the consumer stops
+// reading before the channel closes.
+func (e *Engine) SearchEvents(id string, after int) (<-chan api.SearchEvent, func(), error) {
+	job, ok := e.search.get(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	ch, cancel := job.events.subscribe(after)
+	return ch, cancel, nil
+}

@@ -1,0 +1,163 @@
+package mipp_test
+
+// Search event-stream tests at the engine layer: a job's retained events
+// replay to late subscribers, sequence numbers resume without loss or
+// duplication, the terminal event carries the same report the job API
+// serves, and unknown jobs fail with the sentinel.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"mipp"
+	"mipp/api"
+)
+
+// drainEvents collects a subscription until the engine closes it.
+func drainEvents(t *testing.T, ch <-chan api.SearchEvent) []api.SearchEvent {
+	t.Helper()
+	var events []api.SearchEvent
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return events
+			}
+			events = append(events, ev)
+		case <-timeout:
+			t.Fatalf("event stream did not close; %d events so far", len(events))
+		}
+	}
+}
+
+func TestSearchEventsLifecycle(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+	sub, err := e.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "genetic", Seed: 11, Population: 16, Generations: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.Job.ID
+
+	// Subscribe immediately: replay-from-zero plus live events.
+	ch, cancel, err := e.SearchEvents(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	events := drainEvents(t, ch)
+
+	if len(events) < 3 {
+		t.Fatalf("only %d events for a multi-generation run", len(events))
+	}
+	progress, fronts := 0, 0
+	for i, ev := range events {
+		if ev.JobID != id || ev.SchemaVersion != api.SchemaVersion {
+			t.Fatalf("event %d = %+v: wrong job or version", i, ev)
+		}
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d, want %d (gapless from 1)", i, ev.Seq, i+1)
+		}
+		switch ev.Type {
+		case api.SearchEventProgress:
+			progress++
+		case api.SearchEventFront:
+			fronts++
+		}
+		if ev.Terminal() != (i == len(events)-1) {
+			t.Fatalf("event %d (%s) terminal at the wrong position", i, ev.Type)
+		}
+	}
+	if progress < 2 {
+		t.Errorf("%d progress events, want >= 2 (one per generation)", progress)
+	}
+	if fronts < 1 {
+		t.Errorf("%d front events, want >= 1", fronts)
+	}
+
+	terminal := events[len(events)-1]
+	if terminal.Type != api.JobDone || terminal.Report == nil {
+		t.Fatalf("terminal event = %+v, want done with a report", terminal)
+	}
+	// The terminal report is the job API's report, byte for byte.
+	final, err := e.SearchJob(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(terminal.Report)
+	want, _ := json.Marshal(final.Job.Report)
+	if string(got) != string(want) {
+		t.Errorf("terminal report differs from the polled report:\n%.300s\n%.300s", got, want)
+	}
+
+	// A subscriber arriving after completion replays everything and the
+	// stream closes immediately.
+	ch2, cancel2, err := e.SearchEvents(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	replay := drainEvents(t, ch2)
+	a, _ := json.Marshal(events)
+	b, _ := json.Marshal(replay)
+	if string(a) != string(b) {
+		t.Error("late subscriber's replay differs from the live stream")
+	}
+
+	// Resuming after a seq delivers exactly the rest.
+	after := events[1].Seq
+	ch3, cancel3, err := e.SearchEvents(id, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel3()
+	rest := drainEvents(t, ch3)
+	if len(rest) != len(events)-2 {
+		t.Fatalf("resume after seq %d delivered %d events, want %d", after, len(rest), len(events)-2)
+	}
+	if len(rest) > 0 && rest[0].Seq != after+1 {
+		t.Errorf("resume starts at seq %d, want %d", rest[0].Seq, after+1)
+	}
+}
+
+func TestSearchEventsUnknownJob(t *testing.T) {
+	e := searchEngine(t)
+	if _, _, err := e.SearchEvents("job-nope-1", 0); !errors.Is(err, mipp.ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestSearchJobIDsUnique(t *testing.T) {
+	e := searchEngine(t)
+	ctx := context.Background()
+	seen := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		sub, err := e.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "random", Seed: int64(i + 1), Samples: 10}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sub.Job.ID] {
+			t.Fatalf("duplicate job id %s", sub.Job.ID)
+		}
+		seen[sub.Job.ID] = true
+		if _, err := mipp.WaitSearch(ctx, e, sub.Job.ID, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two engines must not collide either: ids embed a per-engine token.
+	other := searchEngine(t)
+	sub, err := other.SubmitSearch(ctx, searchRequest(api.StrategySpec{Kind: "random", Seed: 9, Samples: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[sub.Job.ID] {
+		t.Errorf("job id %s collides across engines", sub.Job.ID)
+	}
+	if _, err := mipp.WaitSearch(ctx, other, sub.Job.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,8 @@ package mipp
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,40 @@ type searchJob struct {
 	state  string
 	errMsg string
 	report *api.SearchReport
+
+	// events is the job's streaming surface: per-generation progress and
+	// front events published by the search goroutine, consumed by any
+	// number of GET /v1/search/{id}/events subscribers.
+	events searchEventLog
+}
+
+// publishUpdate turns one runner update into its stream events: a progress
+// event per generation, plus a front event whenever the Pareto front
+// changed. It runs on the search goroutine between generations; publish
+// never blocks, so it cannot stall evaluation.
+func (j *searchJob) publishUpdate(u search.Update) {
+	ev := api.SearchEvent{
+		SchemaVersion: api.SchemaVersion,
+		JobID:         j.id,
+		Type:          api.SearchEventProgress,
+		Generation:    u.Step.Generation,
+		Evaluations:   u.Step.Evaluations,
+	}
+	if u.Best.Index >= 0 {
+		best := u.Best
+		ev.Best = &best
+	}
+	j.events.publish(ev)
+	if u.Front != nil {
+		j.events.publish(api.SearchEvent{
+			SchemaVersion: api.SchemaVersion,
+			JobID:         j.id,
+			Type:          api.SearchEventFront,
+			Generation:    u.Step.Generation,
+			Evaluations:   u.Step.Evaluations,
+			Front:         u.Front,
+		})
+	}
 }
 
 // terminal reports whether the job has finished.
@@ -83,6 +119,25 @@ type searchJobs struct {
 
 	inFlight  atomic.Int64
 	completed atomic.Uint64
+
+	// token makes job IDs unique per engine instance, so a router fronting
+	// N replicas never sees two replicas mint the same ID ("job-1" each).
+	tokenOnce sync.Once
+	token     string
+}
+
+// nextID mints a cluster-unique job ID: a per-engine random token plus the
+// engine-local sequence number.
+func (s *searchJobs) nextID() string {
+	s.tokenOnce.Do(func() {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			s.token = "00000000"
+		} else {
+			s.token = hex.EncodeToString(b[:])
+		}
+	})
+	return fmt.Sprintf("job-%s-%d", s.token, s.seq.Add(1))
 }
 
 func (s *searchJobs) get(id string) (*searchJob, bool) {
@@ -185,7 +240,7 @@ func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api
 
 	jctx, cancel := context.WithCancel(context.Background())
 	job := &searchJob{
-		id:       fmt.Sprintf("job-%d", e.search.seq.Add(1)),
+		id:       e.search.nextID(),
 		workload: req.Workload,
 		strategy: strategy.Name(),
 		size:     space.Size(),
@@ -219,6 +274,17 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		job.errMsg = errMsg
 		job.report = rep
 		job.mu.Unlock()
+		// Terminal event last, then close: a subscriber that read the
+		// whole stream has seen the report, and one that polls after the
+		// stream closed finds the job already terminal.
+		job.events.publish(api.SearchEvent{
+			SchemaVersion: api.SchemaVersion,
+			JobID:         job.id,
+			Type:          state,
+			Error:         errMsg,
+			Report:        rep,
+		})
+		job.events.close()
 	}
 	defer func() {
 		// A panic anywhere in the strategy or evaluator fails this job
@@ -239,9 +305,10 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		Objective: search.Objective(req.Objective),
 		Seed:      req.Strategy.Seed,
 		Budget:    req.Budget,
-		OnProgress: func(p search.Progress) {
-			job.evals.Store(int64(p.Evaluations))
-			job.gens.Store(int64(p.Generation))
+		OnUpdate: func(u search.Update) {
+			job.evals.Store(int64(u.Step.Evaluations))
+			job.gens.Store(int64(u.Step.Generation))
+			job.publishUpdate(u)
 		},
 	}
 	if req.CapWatts != nil {

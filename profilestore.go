@@ -29,6 +29,24 @@ type ProfileStore interface {
 	Stats() StoreStats
 }
 
+// ObjectStore is the optional replication extension of a ProfileStore:
+// content-addressed access to the raw canonical envelopes plus a monotonic
+// change token. A daemon whose store implements it serves the /v1/store
+// endpoints peers replicate from (mipp/store/remote is the consumer);
+// mipp/store implements it.
+type ObjectStore interface {
+	ProfileStore
+	// Generation is the catalog's monotonic change token: it increases on
+	// every registration or deletion, across every process sharing the
+	// store. Equal generations mean an unchanged catalog.
+	Generation() uint64
+	// GetObject returns the canonical schema-v1 JSON envelope stored
+	// under digest ("sha256:" + hex). The bool reports whether the digest
+	// is referenced by any stored name; the error reports read failures
+	// or corruption for referenced objects.
+	GetObject(digest string) ([]byte, bool, error)
+}
+
 // ProfileStoreInfo is the metadata of one stored profile, kept in the
 // store's index so listing and GET /v1/profiles/{name} never load bodies.
 type ProfileStoreInfo struct {

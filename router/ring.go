@@ -1,0 +1,154 @@
+package router
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// The consistent-hash ring. Workload names hash onto a circle of virtual
+// nodes so each workload's requests land on one replica — keeping that
+// replica's predictor cache hot — while adding or losing a replica only
+// rehashes the 1/N of workloads that touched it. Placement is bounded-load
+// (Mirrokni et al.): a pick walks clockwise past replicas already carrying
+// more than loadFactor× their fair share of in-flight requests, so one
+// slow sweep cannot serialize every workload that hashes near it.
+
+// DefaultVnodes is the virtual nodes per member: enough that three
+// members split workloads within a few percent of evenly.
+const DefaultVnodes = 128
+
+// DefaultLoadFactor is the bounded-load c: a member may carry at most
+// ceil(c × (inflight+1) / healthy) open requests before picks spill past it.
+const DefaultLoadFactor = 1.25
+
+// member is one replica as tracked by the ring. All fields are updated
+// lock-free: picks happen on every proxied request.
+type member struct {
+	url      string
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	fails    atomic.Int32 // consecutive failed health checks
+}
+
+// markDown records a connect failure observed by live traffic, taking the
+// member out of rotation immediately instead of waiting for the next
+// health-check tick.
+func (m *member) markDown() { m.healthy.Store(false) }
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash uint64
+	m    *member
+}
+
+// ring is the immutable placement structure; membership is fixed at
+// construction, health and load are the members' atomics.
+type ring struct {
+	points  []ringPoint
+	members []*member // sorted by URL
+	load    float64
+}
+
+// newRing builds the ring for the given replica base URLs.
+func newRing(urls []string, vnodes int, load float64) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	if load <= 1 {
+		load = DefaultLoadFactor
+	}
+	sorted := append([]string(nil), urls...)
+	sort.Strings(sorted)
+	r := &ring{load: load}
+	for _, u := range sorted {
+		m := &member{url: u}
+		m.healthy.Store(true)
+		r.members = append(r.members, m)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(u + "#" + strconv.Itoa(i)), m: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// hash64 is FNV-1a over s with a murmur-style finalizer, inlined (no
+// hash.Hash allocation) because it runs on every routed request. Bare
+// FNV-1a leaves keys differing only in trailing bytes correlated in the
+// high bits — which is exactly what ring placement sorts on — so the
+// finalizer's avalanche is what makes similar workload names land on
+// different replicas.
+//
+//mipp:hotpath
+func hash64(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// pick places key on the ring: the first healthy member at or clockwise of
+// the key's hash whose in-flight count is under the bounded-load cap. When
+// every healthy member is at the cap (transiently possible between the cap
+// read and the walk) the first healthy successor wins, so a pick never
+// fails while any member is healthy. An idle ring is deterministic: same
+// key, same member.
+//
+//mipp:hotpath
+func (r *ring) pick(key string) *member {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	var total int64
+	healthy := 0
+	for _, m := range r.members {
+		if m.healthy.Load() {
+			healthy++
+			total += m.inflight.Load()
+		}
+	}
+	if healthy == 0 {
+		return nil
+	}
+	limit := int64(math.Ceil(r.load * float64(total+1) / float64(healthy)))
+	var fallback *member
+	for k := 0; k < len(r.points); k++ {
+		m := r.points[(start+k)%len(r.points)].m
+		if !m.healthy.Load() {
+			continue
+		}
+		if fallback == nil {
+			fallback = m
+		}
+		if m.inflight.Load() < limit {
+			return m
+		}
+	}
+	return fallback
+}
+
+// healthyMembers returns the members currently in rotation, sorted by URL.
+func (r *ring) healthyMembers() []*member {
+	out := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.healthy.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package router
+
+// Ring unit tests: deterministic placement, reasonable spread, the
+// consistent-hashing stability property (losing a member only moves that
+// member's keys), and bounded-load spill.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("workload-%d", i)
+	}
+	return keys
+}
+
+func testRing() *ring {
+	return newRing([]string{"http://a:8091", "http://b:8091", "http://c:8091"}, 0, 0)
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	r1, r2 := testRing(), testRing()
+	for _, key := range testKeys(64) {
+		m1, m2 := r1.pick(key), r2.pick(key)
+		if m1 == nil || m2 == nil || m1.url != m2.url {
+			t.Fatalf("key %q placed differently: %v vs %v", key, m1, m2)
+		}
+		if again := r1.pick(key); again.url != m1.url {
+			t.Fatalf("key %q moved between idle picks: %s -> %s", key, m1.url, again.url)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := testRing()
+	counts := make(map[string]int)
+	for _, key := range testKeys(300) {
+		counts[r.pick(key).url] = counts[r.pick(key).url] + 1
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members received keys: %v", len(counts), counts)
+	}
+	for url, n := range counts {
+		if n < 30 {
+			t.Errorf("member %s got %d/300 keys: spread too skewed (%v)", url, n, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnLoss is the consistent-hashing property: when one
+// member goes down, its keys rehash onto survivors and every other key
+// stays where it was.
+func TestRingStabilityOnLoss(t *testing.T) {
+	r := testRing()
+	keys := testKeys(200)
+	before := make(map[string]string, len(keys))
+	for _, key := range keys {
+		before[key] = r.pick(key).url
+	}
+	down := r.members[1]
+	down.markDown()
+	moved := 0
+	for _, key := range keys {
+		m := r.pick(key)
+		if m.url == down.url {
+			t.Fatalf("key %q placed on the down member", key)
+		}
+		if before[key] != down.url {
+			if m.url != before[key] {
+				t.Errorf("key %q moved from healthy %s to %s on an unrelated failure", key, before[key], m.url)
+			}
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("the down member owned no keys; test is vacuous")
+	}
+
+	// Recovery restores the original placement exactly.
+	down.healthy.Store(true)
+	for _, key := range keys {
+		if m := r.pick(key); m.url != before[key] {
+			t.Errorf("key %q did not return to %s after recovery (got %s)", key, before[key], m.url)
+		}
+	}
+}
+
+func TestRingBoundedLoadSpill(t *testing.T) {
+	r := testRing()
+	key := "workload-hot"
+	home := r.pick(key)
+	// Pile inflight onto the home member far past any fair share: the next
+	// pick must spill to another healthy member instead of queueing behind
+	// it.
+	home.inflight.Add(100)
+	spilled := r.pick(key)
+	if spilled == nil || spilled.url == home.url {
+		t.Fatalf("pick stayed on the overloaded member %s", home.url)
+	}
+	home.inflight.Add(-100)
+	if back := r.pick(key); back.url != home.url {
+		t.Errorf("pick did not return home after the load drained: %s", back.url)
+	}
+}
+
+func TestRingAllDown(t *testing.T) {
+	r := testRing()
+	for _, m := range r.members {
+		m.markDown()
+	}
+	if m := r.pick("anything"); m != nil {
+		t.Fatalf("pick on a dead ring returned %s", m.url)
+	}
+}

@@ -1,0 +1,687 @@
+// Package router implements the mipp distributed tier's front door: an
+// HTTP reverse proxy exposing the same /v1 surface as one mippd, fanned
+// over N replica daemons. Workload names are consistent-hashed onto a
+// bounded-load ring (ring.go), so repeated requests for a workload hit the
+// replica whose predictor cache already holds it; search jobs are pinned
+// to the replica that accepted them; catalog reads merge every replica's
+// answer. Responses are relayed frame-by-frame with a flush per chunk, so
+// SSE search events and NDJSON sweep streams pass through live.
+//
+// The router holds no model state: replicas sharing one profile store
+// (mippd -store on a shared path, or -remote-store at a common peer)
+// answer byte-identically for any placement, which is what makes replica
+// loss a rehash instead of an outage.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mipp/api"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Replicas are the base URLs of the mippd replicas (required).
+	Replicas []string
+	// Vnodes is the virtual nodes per replica (default DefaultVnodes).
+	Vnodes int
+	// LoadFactor is the bounded-load c (default DefaultLoadFactor).
+	LoadFactor float64
+	// FailThreshold is the consecutive failed health checks that take a
+	// replica out of rotation (default 2). Connect errors on live traffic
+	// mark it down immediately regardless.
+	FailThreshold int
+	// Client performs proxied requests. It must not set a global timeout:
+	// sweeps and event streams run as long as the work does. Defaults to a
+	// pooled transport.
+	Client *http.Client
+	// HealthClient performs health probes (default: 2s timeout).
+	HealthClient *http.Client
+	// Logger receives request and membership lines; nil disables logging.
+	Logger *log.Logger
+}
+
+// Router fronts the replica set. It implements http.Handler.
+type Router struct {
+	ring      *ring
+	hc        *http.Client
+	healthHC  *http.Client
+	logger    *log.Logger
+	failLimit int32
+	start     time.Time
+
+	// jobs remembers which replica owns each search job the router has
+	// seen, so polls, cancels and event streams follow the submit. A
+	// forgotten job (router restart) is re-found by probing replicas.
+	jobs sync.Map // job ID → *member
+
+	handler http.Handler
+}
+
+// New builds a router over the given replicas. Replicas start in rotation;
+// run CheckHealth (or HealthLoop) to converge on reality.
+func New(opts Options) (*Router, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	seen := make(map[string]bool)
+	urls := make([]string, 0, len(opts.Replicas))
+	for _, raw := range opts.Replicas {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		parsed, err := url.Parse(u)
+		if err != nil || parsed.Scheme == "" || parsed.Host == "" {
+			return nil, fmt.Errorf("router: replica %q is not an absolute URL", raw)
+		}
+		if !seen[u] {
+			seen[u] = true
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	rt := &Router{
+		ring:      newRing(urls, opts.Vnodes, opts.LoadFactor),
+		hc:        opts.Client,
+		healthHC:  opts.HealthClient,
+		logger:    opts.Logger,
+		failLimit: int32(opts.FailThreshold),
+		start:     time.Now(),
+	}
+	if rt.hc == nil {
+		rt.hc = &http.Client{}
+	}
+	if rt.healthHC == nil {
+		rt.healthHC = &http.Client{Timeout: 2 * time.Second}
+	}
+	if rt.failLimit <= 0 {
+		rt.failLimit = 2
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", rt.byWorkload)
+	mux.HandleFunc("POST /v1/sweep", rt.byWorkload)
+	mux.HandleFunc("POST /v1/pareto", rt.byWorkload)
+	mux.HandleFunc("POST /v1/evaluate", rt.handleEvaluate)
+	mux.HandleFunc("POST /v1/search", rt.handleSearchSubmit)
+	mux.HandleFunc("GET /v1/search/{id}", rt.byJob)
+	mux.HandleFunc("GET /v1/search/{id}/events", rt.byJob)
+	mux.HandleFunc("DELETE /v1/search/{id}", rt.byJob)
+	mux.HandleFunc("POST /v1/profiles", rt.handleRegister)
+	mux.HandleFunc("GET /v1/profiles/{name}", rt.byName)
+	mux.HandleFunc("DELETE /v1/profiles/{name}", rt.byName)
+	mux.HandleFunc("GET /v1/workloads", rt.handleWorkloads)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.handler = rt.instrumented(mux)
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.handler.ServeHTTP(w, r)
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.logger != nil {
+		rt.logger.Printf(format, args...)
+	}
+}
+
+// statusWriter mirrors the server's: records the status for the log line
+// and forwards Flush so streamed responses pass through unbuffered.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented assigns or adopts the X-Request-Id, echoes it, and logs one
+// line per request. The same id is forwarded to the replica, so a request
+// can be traced router → replica by grepping both logs for rid=.
+func (rt *Router) instrumented(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(api.RequestIDHeader)
+		if rid == "" {
+			rid = api.NewRequestID()
+			r.Header.Set(api.RequestIDHeader, rid)
+		}
+		w.Header().Set(api.RequestIDHeader, rid)
+		r = r.WithContext(api.ContextWithRequestID(r.Context(), rid))
+		if rt.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		rt.logf("%s %s %d %s rid=%s", r.Method, r.URL.Path, sw.status, time.Since(begin).Round(time.Microsecond), rid)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, api.ErrorResponse{SchemaVersion: api.SchemaVersion, Error: err.Error()})
+}
+
+// errNoReplicas is the 502 every route answers when the whole set is down.
+var errNoReplicas = errors.New("router: no healthy replicas")
+
+// readBody buffers the request body so it can be replayed across retries.
+func readBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+// proxyHeaders are the request headers worth carrying to the replica.
+var proxyHeaders = []string{"Content-Type", "Accept", api.RequestIDHeader, "Last-Event-ID", "If-None-Match"}
+
+// send issues the proxied request to m. The caller holds m's inflight
+// count; a returned error is a transport failure (the replica never
+// answered) and is safe grounds to mark m down and retry elsewhere.
+func (rt *Router) send(r *http.Request, m *member, body []byte) (*http.Response, error) {
+	target := m.url + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range proxyHeaders {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	return rt.hc.Do(req)
+}
+
+// relayHeaders are the response headers worth carrying back. X-Request-Id
+// is deliberately absent: the middleware already set it (to the same value
+// the replica echoes, since send forwards it).
+var relayHeaders = []string{"Content-Type", "Cache-Control", "ETag"}
+
+// relay streams the replica's response to the client, flushing after every
+// chunk so SSE events and NDJSON frames are delivered as they are produced,
+// not when the response ends.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range relayHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forward routes one buffered-body request by key: pick, proxy, and on a
+// transport failure mark the replica down and rehash onto the survivors.
+// Retrying is safe for this API — reads are pure and writes are
+// content-addressed (re-registering a profile is idempotent).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	rid := api.RequestIDFromContext(r.Context())
+	for attempt := 0; attempt < len(rt.ring.members); attempt++ {
+		m := rt.ring.pick(key)
+		if m == nil {
+			break
+		}
+		m.inflight.Add(1)
+		resp, err := rt.send(r, m, body)
+		if err != nil {
+			m.inflight.Add(-1)
+			m.markDown()
+			rt.logf("replica %s: marked down (%v) rid=%s", m.url, err, rid)
+			continue
+		}
+		rt.logf("route %s %s key=%q -> %s rid=%s", r.Method, r.URL.Path, key, m.url, rid)
+		rt.relay(w, resp)
+		m.inflight.Add(-1)
+		return
+	}
+	writeError(w, http.StatusBadGateway, errNoReplicas)
+}
+
+// sendBuffered is forward for handlers that need the replica's response
+// body in hand (to record a job route, or to merge). It returns the
+// response with its body fully read and replaced, or nil after exhausting
+// the set (the 502 is already written when w is non-nil).
+func (rt *Router) sendBuffered(w http.ResponseWriter, r *http.Request, key string, body []byte) (*http.Response, []byte, *member) {
+	rid := api.RequestIDFromContext(r.Context())
+	for attempt := 0; attempt < len(rt.ring.members); attempt++ {
+		m := rt.ring.pick(key)
+		if m == nil {
+			break
+		}
+		m.inflight.Add(1)
+		resp, err := rt.send(r, m, body)
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			m.inflight.Add(-1)
+			if rerr != nil {
+				m.markDown()
+				rt.logf("replica %s: marked down (%v) rid=%s", m.url, rerr, rid)
+				continue
+			}
+			return resp, data, m
+		}
+		m.inflight.Add(-1)
+		m.markDown()
+		rt.logf("replica %s: marked down (%v) rid=%s", m.url, err, rid)
+		continue
+	}
+	if w != nil {
+		writeError(w, http.StatusBadGateway, errNoReplicas)
+	}
+	return nil, nil, nil
+}
+
+// writeBuffered relays a buffered response verbatim.
+func writeBuffered(w http.ResponseWriter, resp *http.Response, data []byte) {
+	for _, h := range relayHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(data)
+}
+
+// byWorkload routes predict, sweep and pareto: the request body's workload
+// field is the placement key, so every request about one workload lands on
+// the replica whose caches hold it.
+func (rt *Router) byWorkload(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+		return
+	}
+	var peek struct {
+		Workload string `json:"workload"`
+	}
+	// A malformed body still forwards (key ""), so the replica's decoder
+	// owns the error message.
+	_ = json.Unmarshal(body, &peek)
+	rt.forward(w, r, peek.Workload, body)
+}
+
+// byName routes the per-profile endpoints by path name.
+func (rt *Router) byName(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, r.PathValue("name"), nil)
+}
+
+// handleRegister routes POST /v1/profiles by the name the profile will be
+// served under: the explicit name, else the inline envelope's workload,
+// else the built-in workload being profiled.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+		return
+	}
+	var peek struct {
+		Name     string `json:"name"`
+		Workload string `json:"workload"`
+		Profile  struct {
+			Profile struct {
+				Workload string `json:"workload"`
+			} `json:"profile"`
+		} `json:"profile"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	key := peek.Name
+	if key == "" {
+		key = peek.Profile.Profile.Workload
+	}
+	if key == "" {
+		key = peek.Workload
+	}
+	rt.forward(w, r, key, body)
+}
+
+// handleSearchSubmit forwards the submit and records which replica
+// accepted the job, so every later poll, cancel and event subscription
+// for its id goes to the daemon actually running it.
+func (rt *Router) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+		return
+	}
+	var peek struct {
+		Workload string `json:"workload"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	resp, data, m := rt.sendBuffered(w, r, peek.Workload, body)
+	if resp == nil {
+		return
+	}
+	if resp.StatusCode/100 == 2 {
+		var out api.SearchJobResponse
+		if err := json.Unmarshal(data, &out); err == nil && out.Job.ID != "" {
+			rt.jobs.Store(out.Job.ID, m)
+			rt.logf("search job %s: routed to %s rid=%s", out.Job.ID, m.url, api.RequestIDFromContext(r.Context()))
+		}
+	}
+	writeBuffered(w, resp, data)
+}
+
+// findJob resolves a job id to its owning replica: the remembered route
+// if that replica is still up, else a probe of every healthy replica (a
+// router restart forgets its routes; the jobs themselves survive on the
+// replicas).
+func (rt *Router) findJob(ctx context.Context, id string) *member {
+	if v, ok := rt.jobs.Load(id); ok {
+		m := v.(*member)
+		if m.healthy.Load() {
+			return m
+		}
+		rt.jobs.Delete(id)
+	}
+	for _, m := range rt.ring.healthyMembers() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/search/"+url.PathEscape(id), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.healthHC.Do(req)
+		if err != nil {
+			m.markDown()
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			rt.jobs.Store(id, m)
+			return m
+		}
+	}
+	return nil
+}
+
+// byJob routes the per-job endpoints (poll, cancel, event stream) to the
+// replica that owns the job.
+func (rt *Router) byJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m := rt.findJob(r.Context(), id)
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown search job %q", id))
+		return
+	}
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	resp, err := rt.send(r, m, nil)
+	if err != nil {
+		m.markDown()
+		writeError(w, http.StatusBadGateway, fmt.Errorf("replica %s: %w", m.url, err))
+		return
+	}
+	if r.Method == http.MethodDelete {
+		rt.jobs.Delete(id)
+	}
+	rt.relay(w, resp)
+}
+
+// handleEvaluate scatter-gathers a cross-workload batch: one sub-request
+// per workload, placed like any single-workload request, merged back in
+// the request's workload order — exactly the row-major item order one
+// replica would produce, so the merged response is byte-identical to a
+// single-node answer.
+func (rt *Router) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+		return
+	}
+	var req api.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Workloads) <= 1 {
+		// Malformed or single-workload: one replica can answer it whole
+		// (and owns the error message when it is malformed).
+		var peek struct {
+			Workload string
+		}
+		if len(req.Workloads) == 1 {
+			peek.Workload = req.Workloads[0]
+		}
+		rt.forward(w, r, peek.Workload, body)
+		return
+	}
+
+	type part struct {
+		resp *http.Response
+		data []byte
+	}
+	parts := make([]part, len(req.Workloads))
+	var wg sync.WaitGroup
+	for i, workload := range req.Workloads {
+		sub := req
+		sub.Workloads = []string{workload}
+		subBody, err := json.Marshal(&sub)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		wg.Add(1)
+		go func(i int, key string, subBody []byte) {
+			defer wg.Done()
+			resp, data, _ := rt.sendBuffered(nil, r, key, subBody)
+			parts[i] = part{resp: resp, data: data}
+		}(i, workload, subBody)
+	}
+	wg.Wait()
+
+	merged := api.BatchResponse{SchemaVersion: api.SchemaVersion}
+	for i, p := range parts {
+		if p.resp == nil {
+			writeError(w, http.StatusBadGateway, errNoReplicas)
+			return
+		}
+		if p.resp.StatusCode/100 != 2 {
+			// Relay the first failing workload's verdict verbatim (first by
+			// request order, so the merged failure is deterministic).
+			writeBuffered(w, p.resp, p.data)
+			return
+		}
+		var sub api.BatchResponse
+		if err := json.Unmarshal(p.data, &sub); err != nil {
+			writeError(w, http.StatusBadGateway,
+				fmt.Errorf("replica answer for workload %q: %w", req.Workloads[i], err))
+			return
+		}
+		merged.Items = append(merged.Items, sub.Items...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleWorkloads merges every healthy replica's catalog: replicas share a
+// store, so entries agree; first replica (by URL) wins on a name, and the
+// merged list is re-sorted by name like a single daemon's answer.
+func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	members := rt.ring.healthyMembers()
+	type part struct {
+		resp *http.Response
+		data []byte
+		m    *member
+	}
+	parts := make([]part, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			m.inflight.Add(1)
+			defer m.inflight.Add(-1)
+			resp, err := rt.send(r, m, nil)
+			if err != nil {
+				m.markDown()
+				rt.logf("replica %s: marked down (%v) rid=%s", m.url, err, api.RequestIDFromContext(r.Context()))
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return
+			}
+			parts[i] = part{resp: resp, data: data, m: m}
+		}(i, m)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	var workloads []api.WorkloadInfo
+	answered := false
+	for _, p := range parts {
+		if p.resp == nil || p.resp.StatusCode/100 != 2 {
+			continue
+		}
+		var sub api.WorkloadsResponse
+		if err := json.Unmarshal(p.data, &sub); err != nil {
+			continue
+		}
+		answered = true
+		for _, wl := range sub.Workloads {
+			if !seen[wl.Name] {
+				seen[wl.Name] = true
+				workloads = append(workloads, wl)
+			}
+		}
+	}
+	if !answered {
+		writeError(w, http.StatusBadGateway, errNoReplicas)
+		return
+	}
+	sort.Slice(workloads, func(i, j int) bool { return workloads[i].Name < workloads[j].Name })
+	writeJSON(w, http.StatusOK, api.WorkloadsResponse{SchemaVersion: api.SchemaVersion, Workloads: workloads})
+}
+
+// handleHealthz reports the router's view of the ring.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := api.RouterHealthResponse{
+		SchemaVersion: api.SchemaVersion,
+		Status:        "degraded",
+		UptimeSeconds: int64(time.Since(rt.start).Seconds()),
+	}
+	for _, m := range rt.ring.members {
+		out.Members = append(out.Members, api.RouterMember{
+			URL:      m.url,
+			Healthy:  m.healthy.Load(),
+			Inflight: m.inflight.Load(),
+		})
+		if m.healthy.Load() {
+			out.Status = "ok"
+		}
+	}
+	rt.jobs.Range(func(any, any) bool { out.JobsRouted++; return true })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// CheckHealth probes every replica's /healthz once, concurrently. A
+// replica re-enters rotation on the first success; it leaves after
+// FailThreshold consecutive failures (or instantly, when live traffic
+// hits a connect error).
+func (rt *Router) CheckHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range rt.ring.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.healthHC.Do(req)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode/100 == 2 {
+				m.fails.Store(0)
+				if !m.healthy.Swap(true) {
+					rt.logf("replica %s: healthy", m.url)
+				}
+				return
+			}
+			if fails := m.fails.Add(1); fails >= rt.failLimit && m.healthy.Swap(false) {
+				rt.logf("replica %s: marked down after %d failed health checks", m.url, fails)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+// HealthLoop runs CheckHealth every interval until ctx is done.
+func (rt *Router) HealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckHealth(ctx)
+		}
+	}
+}

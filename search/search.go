@@ -120,6 +120,14 @@ type Options struct {
 	// OnProgress, when set, is called after every generation with
 	// cumulative progress. It must not block.
 	OnProgress func(Progress)
+	// OnUpdate, when set, is called after every generation with the trace
+	// step just recorded, the incumbent, and — only on generations where
+	// it changed — the Pareto front over everything evaluated so far. It
+	// is the streaming sink behind SSE search events; like OnProgress it
+	// must not block. Leaving it nil costs nothing: the incremental front
+	// is only computed while a sink is attached, and the final Report is
+	// assembled the same way either way.
+	OnUpdate func(Update)
 }
 
 // Progress is a per-generation progress snapshot.
@@ -129,6 +137,19 @@ type Progress struct {
 	// Best is the incumbent (zero Eval with Index -1 until a feasible
 	// point exists).
 	Best Eval
+}
+
+// Update is one generation's streaming snapshot, delivered to
+// Options.OnUpdate.
+type Update struct {
+	// Step is the convergence-trace entry this generation appended.
+	Step TraceStep
+	// Best is the incumbent (Index -1 until a feasible point exists).
+	Best Eval
+	// Front is the Pareto front over every feasible point evaluated so
+	// far, set only on generations where it changed (nil otherwise). The
+	// slice is freshly built per emission; consumers may retain it.
+	Front []Eval
 }
 
 // Eval is one evaluated design point.
@@ -234,6 +255,12 @@ type Runner struct {
 
 	cfgScratch []*arch.Config
 	idxScratch []int
+
+	// lastFront is the most recently emitted incremental front, used to
+	// suppress no-change emissions; only maintained while Options.OnUpdate
+	// is set. feasScratch is its per-generation collection buffer.
+	lastFront   []Eval
+	feasScratch []Eval
 }
 
 func newRunner(space *arch.Space, ev Evaluator, opts Options) *Runner {
@@ -364,6 +391,25 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 		}
 		r.opts.OnProgress(p)
 	}
+	if r.opts.OnUpdate != nil {
+		u := Update{Step: step, Best: Eval{Index: -1}}
+		if r.best >= 0 {
+			u.Best = r.evals[r.best]
+		}
+		feasible := r.feasScratch[:0]
+		for _, e := range r.evals {
+			if e.Feasible {
+				feasible = append(feasible, e)
+			}
+		}
+		r.feasScratch = feasible
+		front := paretoFront(feasible)
+		if !equalFronts(front, r.lastFront) {
+			r.lastFront = front
+			u.Front = front
+		}
+		r.opts.OnUpdate(u)
+	}
 
 	out := make([]Eval, len(indices))
 	for i, idx := range indices {
@@ -456,6 +502,20 @@ func paretoFront(evals []Eval) []Eval {
 		}
 	}
 	return front
+}
+
+// equalFronts reports whether two fronts hold the same points (Eval is
+// comparable, and paretoFront output is canonically ordered).
+func equalFronts(a, b []Eval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes one search: validate, build the runner, let the strategy

@@ -1,0 +1,115 @@
+package search_test
+
+// OnUpdate sink tests: the streaming hook must fire once per generation
+// with the step's counters, carry the incumbent only once one exists,
+// emit the incremental Pareto front only when it changed, and end with a
+// front identical to the final report's — all without perturbing the
+// report itself (the sink is observation, not participation).
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mipp"
+	"mipp/arch"
+	"mipp/search"
+)
+
+func TestOnUpdatePerGeneration(t *testing.T) {
+	pd := predictor(t)
+	space := arch.TableSpace()
+	ev := mipp.NewSearchEvaluator(pd, 0)
+	opts := search.Options{
+		Seed:        7,
+		Budget:      243,
+		Objective:   search.ObjectiveED2P,
+		Constraints: search.Constraints{MaxWatts: 40},
+	}
+
+	var updates []search.Update
+	withSink := opts
+	withSink.OnUpdate = func(u search.Update) { updates = append(updates, u) }
+	rep, err := search.Run(context.Background(), ev, space, search.Genetic{Population: 16, Generations: 6}, withSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != len(rep.Trace) {
+		t.Fatalf("%d updates for %d trace steps", len(updates), len(rep.Trace))
+	}
+	fronts := 0
+	for i, u := range updates {
+		if u.Step != rep.Trace[i] {
+			t.Errorf("update %d step = %+v, want trace step %+v", i, u.Step, rep.Trace[i])
+		}
+		if u.Front != nil {
+			fronts++
+		}
+	}
+	if fronts == 0 {
+		t.Error("no update carried a front")
+	}
+	if fronts == len(updates) && len(updates) > 1 {
+		t.Error("every update carried a front: unchanged fronts should be elided")
+	}
+
+	// The last front seen incrementally is the report's front.
+	var lastFront []search.Eval
+	for _, u := range updates {
+		if u.Front != nil {
+			lastFront = u.Front
+		}
+	}
+	got, _ := json.Marshal(lastFront)
+	want, _ := json.Marshal(rep.Front)
+	if string(got) != string(want) {
+		t.Errorf("final incremental front differs from the report's:\n%s\n%s", got, want)
+	}
+
+	// The incumbent in the last update is the report's best.
+	last := updates[len(updates)-1]
+	if rep.Best != nil {
+		if last.Best.Index != rep.Best.Index {
+			t.Errorf("last update best %+v != report best %+v", last.Best, rep.Best)
+		}
+	} else if last.Best.Index != -1 {
+		t.Errorf("no feasible point, but last update best = %+v", last.Best)
+	}
+
+	// The sink must not change the outcome: a silent run with the same
+	// seed produces a byte-identical report.
+	silent, err := search.Run(context.Background(), ev, space, search.Genetic{Population: 16, Generations: 6}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(silent)
+	if string(a) != string(b) {
+		t.Error("attaching OnUpdate changed the report")
+	}
+}
+
+func TestOnUpdateInfeasibleHasNoBest(t *testing.T) {
+	pd := predictor(t)
+	var updates []search.Update
+	_, err := search.Run(context.Background(), mipp.NewSearchEvaluator(pd, 0),
+		arch.TableSpace(), search.Random{Samples: 20}, search.Options{
+			Seed:        3,
+			Constraints: search.Constraints{MaxWatts: 0.001}, // nothing feasible
+			OnUpdate:    func(u search.Update) { updates = append(updates, u) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("no updates")
+	}
+	for i, u := range updates {
+		if u.Best.Index != -1 {
+			t.Errorf("update %d carries best %+v with nothing feasible", i, u.Best)
+		}
+		if u.Front != nil {
+			t.Errorf("update %d carries a front with nothing feasible", i)
+		}
+	}
+}

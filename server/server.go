@@ -12,12 +12,25 @@
 //	GET    /v1/workloads        list registered profiles
 //	POST   /v1/predict          one (workload, config) prediction
 //	POST   /v1/sweep            one workload × many configs, per-config errors
+//	                            (?stream=1: NDJSON header/item/trailer frames)
 //	POST   /v1/evaluate         workloads × configs batch, per-item errors
 //	POST   /v1/pareto           sweep + Pareto frontier / power cap / ED²P decisions
 //	POST   /v1/search           submit an async design-space search job
 //	GET    /v1/search/{id}      poll a search job (progress, then the report)
+//	GET    /v1/search/{id}/events  SSE stream of progress/front/terminal events
 //	DELETE /v1/search/{id}      cancel a search job
+//	GET    /v1/store/index             replication: catalog + generation (ETag/304)
+//	GET    /v1/store/objects/{digest}  replication: one canonical envelope by digest
+//	PUT    /v1/store/objects/{digest}  replication: upload an envelope (?name=)
+//	DELETE /v1/store/objects/{digest}  replication: drop every name referencing digest
 //	GET    /healthz             liveness + registry, cache, search-job and store counters
+//
+// Every response echoes an X-Request-Id header (the caller's, or a fresh
+// one), and every request log line carries it as rid=, so a prediction can
+// be traced through mipp-router to the replica that answered it. The
+// /v1/store endpoints exist only when the engine's backing store supports
+// content-addressed replication (mipp.ObjectStore); without one they
+// answer 404.
 package server
 
 import (
@@ -46,6 +59,10 @@ type Server struct {
 	maxBody  int64
 	started  time.Time
 	handlers http.Handler
+	// objects is the engine's backing store when it supports
+	// content-addressed replication; nil otherwise (the /v1/store
+	// endpoints then answer 404).
+	objects mipp.ObjectStore
 }
 
 // Option customizes a Server.
@@ -72,20 +89,26 @@ func New(engine *mipp.Engine, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.objects, _ = engine.ProfileStore().(mipp.ObjectStore)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/profiles", handleJSON(s, s.engine.RegisterProfile))
 	mux.HandleFunc("GET /v1/profiles/{name}", s.handleProfileGet)
 	mux.HandleFunc("DELETE /v1/profiles/{name}", s.handleProfileDelete)
 	mux.HandleFunc("POST /v1/predict", handleJSON(s, s.engine.Predict))
-	mux.HandleFunc("POST /v1/sweep", handleJSON(s, s.engine.Sweep))
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
 	mux.HandleFunc("POST /v1/pareto", handleJSON(s, s.engine.Pareto))
 	mux.HandleFunc("POST /v1/search", s.handleSearchSubmit)
 	mux.HandleFunc("GET /v1/search/{id}", s.handleSearchGet)
+	mux.HandleFunc("GET /v1/search/{id}/events", s.handleSearchEvents)
 	mux.HandleFunc("DELETE /v1/search/{id}", s.handleSearchCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/store/index", s.handleStoreIndex)
+	mux.HandleFunc("GET /v1/store/objects/{digest}", s.handleStoreObjectGet)
+	mux.HandleFunc("PUT /v1/store/objects/{digest}", s.handleStoreObjectPut)
+	mux.HandleFunc("DELETE /v1/store/objects/{digest}", s.handleStoreObjectDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.handlers = s.logged(mux)
+	s.handlers = s.instrumented(mux)
 	return s
 }
 
@@ -105,8 +128,25 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) logged(next http.Handler) http.Handler {
+// Flush forwards to the underlying writer so the streaming handlers (SSE,
+// NDJSON sweep) can flush through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented is the outermost middleware: it assigns (or adopts) the
+// request ID, echoes it on the response, threads it through the request
+// context for the handlers' own log lines, and writes the request log.
+func (s *Server) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(api.RequestIDHeader)
+		if rid == "" {
+			rid = api.NewRequestID()
+		}
+		w.Header().Set(api.RequestIDHeader, rid)
+		r = r.WithContext(api.ContextWithRequestID(r.Context(), rid))
 		if s.logger == nil {
 			next.ServeHTTP(w, r)
 			return
@@ -114,7 +154,7 @@ func (s *Server) logged(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
-		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+		s.logger.Printf("%s %s %d %s rid=%s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond), rid)
 	})
 }
 
@@ -173,8 +213,9 @@ func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.logf("search job %s: submitted workload=%s strategy=%s space=%d budget=%d",
-		resp.Job.ID, resp.Job.Workload, resp.Job.Strategy, resp.Job.SpaceSize, req.Budget)
+	s.logf("search job %s: submitted workload=%s strategy=%s space=%d budget=%d rid=%s",
+		resp.Job.ID, resp.Job.Workload, resp.Job.Strategy, resp.Job.SpaceSize, req.Budget,
+		api.RequestIDFromContext(r.Context()))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -194,8 +235,8 @@ func (s *Server) handleSearchCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.logf("search job %s: cancel requested, state=%s after %d evaluations",
-		id, resp.Job.State, resp.Job.Evaluations)
+	s.logf("search job %s: cancel requested, state=%s after %d evaluations rid=%s",
+		id, resp.Job.State, resp.Job.Evaluations, api.RequestIDFromContext(r.Context()))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -247,7 +288,7 @@ func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.logf("profile %q: deleted", name)
+	s.logf("profile %q: deleted rid=%s", name, api.RequestIDFromContext(r.Context()))
 	writeJSON(w, http.StatusOK, resp)
 }
 

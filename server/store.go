@@ -1,0 +1,180 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mipp"
+	"mipp/api"
+)
+
+// The replication endpoints: a peer daemon (or mipp/store/remote) reads
+// this daemon's catalog through GET /v1/store/index, revalidates it with
+// conditional requests against the generation-derived ETag, and moves the
+// immutable canonical envelopes by digest. They exist only when the
+// engine's backing store implements mipp.ObjectStore (mippd -store does);
+// a storeless daemon answers 404 so a misconfigured peer fails loudly.
+
+// errNoObjectStore is the 404 body of every /v1/store request against a
+// daemon without a replicable store.
+var errNoObjectStore = errors.New("this daemon has no replicable profile store (run mippd with -store)")
+
+// storeProfileInfo lowers store metadata to the wire DTO.
+func storeProfileInfo(si mipp.ProfileStoreInfo) api.ProfileInfo {
+	return api.ProfileInfo{
+		Name:         si.Name,
+		Workload:     si.Workload,
+		Digest:       si.Digest,
+		SizeBytes:    si.SizeBytes,
+		Uops:         si.Uops,
+		Instructions: si.Instructions,
+		Entropy:      si.Entropy,
+		MicroTraces:  si.MicroTraces,
+		Resident:     si.Resident,
+	}
+}
+
+// handleStoreIndex serves the catalog with its generation. The generation
+// is read before the listing: a registration racing the listing may then
+// appear under an older token, which only makes the next conditional GET
+// refresh once more — reading it after could stamp a too-new token on a
+// too-old listing and hide the change forever.
+func (s *Server) handleStoreIndex(w http.ResponseWriter, r *http.Request) {
+	if s.objects == nil {
+		writeError(w, http.StatusNotFound, errNoObjectStore)
+		return
+	}
+	gen := s.objects.Generation()
+	etag := api.StoreETag(gen)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	names := s.objects.Names()
+	profiles := make([]api.ProfileInfo, 0, len(names))
+	for _, name := range names {
+		if si, ok := s.objects.Info(name); ok {
+			profiles = append(profiles, storeProfileInfo(si))
+		}
+	}
+	writeJSON(w, http.StatusOK, api.StoreIndexResponse{
+		SchemaVersion: api.SchemaVersion,
+		Generation:    gen,
+		Profiles:      profiles,
+	})
+}
+
+// handleStoreObjectGet serves one canonical envelope by digest. Objects are
+// immutable — the digest is the content — so the ETag is the digest itself
+// and peers cache fetched objects forever.
+func (s *Server) handleStoreObjectGet(w http.ResponseWriter, r *http.Request) {
+	if s.objects == nil {
+		writeError(w, http.StatusNotFound, errNoObjectStore)
+		return
+	}
+	digest := r.PathValue("digest")
+	data, ok, err := s.objects.GetObject(digest)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", "\""+digest+"\"")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleStoreObjectPut registers an uploaded canonical envelope under
+// ?name=. The body's SHA-256 must match the path digest (transport
+// corruption fails loudly); the store then re-derives the canonical form,
+// so the response's Profile carries the authoritative digest.
+func (s *Server) handleStoreObjectPut(w http.ResponseWriter, r *http.Request) {
+	if s.objects == nil {
+		writeError(w, http.StatusNotFound, errNoObjectStore)
+		return
+	}
+	digest := r.PathValue("digest")
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("object PUT needs a ?name= to register under"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("read object body: %w", err))
+		return
+	}
+	sum := sha256.Sum256(data)
+	if got := "sha256:" + hex.EncodeToString(sum[:]); got != digest {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("object body digest %s does not match requested %s", got, digest))
+		return
+	}
+	p, err := mipp.DecodeProfile(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.engine.Register(name, p); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	si, ok := s.objects.Info(name)
+	if !ok {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("profile %q vanished after registration", name))
+		return
+	}
+	s.logf("store object %s: put as %q rid=%s", digest, name, api.RequestIDFromContext(r.Context()))
+	writeJSON(w, http.StatusOK, api.StorePutObjectResponse{
+		SchemaVersion: api.SchemaVersion,
+		Generation:    s.objects.Generation(),
+		Profile:       storeProfileInfo(si),
+	})
+}
+
+// handleStoreObjectDelete drops every name referencing the digest, through
+// the engine so cached predictors are invalidated too.
+func (s *Server) handleStoreObjectDelete(w http.ResponseWriter, r *http.Request) {
+	if s.objects == nil {
+		writeError(w, http.StatusNotFound, errNoObjectStore)
+		return
+	}
+	digest := r.PathValue("digest")
+	var deleted []string
+	for _, name := range s.objects.Names() {
+		si, ok := s.objects.Info(name)
+		if !ok || si.Digest != digest {
+			continue
+		}
+		if _, err := s.engine.DeleteProfile(r.Context(), name); err != nil {
+			// A racing delete already removed the name; anything else is
+			// a real store failure.
+			if errors.Is(err, mipp.ErrUnknownWorkload) {
+				continue
+			}
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		deleted = append(deleted, name)
+	}
+	if len(deleted) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
+		return
+	}
+	s.logf("store object %s: deleted (%v) rid=%s", digest, deleted, api.RequestIDFromContext(r.Context()))
+	writeJSON(w, http.StatusOK, api.StoreDeleteObjectResponse{
+		SchemaVersion: api.SchemaVersion,
+		Generation:    s.objects.Generation(),
+		Deleted:       deleted,
+	})
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"mipp"
+	"mipp/api"
+)
+
+// The streaming handlers. Both run under the instrumented middleware, whose
+// statusWriter forwards Flush, so every frame reaches the client as it is
+// written.
+
+// handleSweep dispatches POST /v1/sweep: the classic one-envelope response
+// by default, NDJSON frames with ?stream=1.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	switch v := r.URL.Query().Get("stream"); v {
+	case "":
+		handleJSON(s, s.engine.Sweep)(w, r)
+		return
+	case "1", "true":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream value %q (want 1)", v))
+		return
+	}
+	req, ok := decodeRequest[api.SweepRequest](s, w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	started := false
+	results, errCount := 0, 0
+	sink := mipp.SweepSink{
+		// The header is written by the engine's Start callback — after
+		// admission succeeded — so a bad request or unknown workload
+		// still gets the ordinary JSON error envelope below.
+		Start: func(workload string, count int) error {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			if err := enc.Encode(api.SweepStreamHeader{
+				SchemaVersion: api.SchemaVersion,
+				Workload:      workload,
+				Count:         count,
+			}); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		},
+		Item: func(item api.SweepItem) error {
+			if item.Error != "" {
+				errCount++
+			} else {
+				results++
+			}
+			if err := enc.Encode(item); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		},
+	}
+	err := s.engine.SweepStream(r.Context(), req, sink)
+	switch {
+	case err != nil && !started:
+		writeError(w, statusFor(err), err)
+		return
+	case err != nil:
+		// The stream is already open: report the run-level failure in the
+		// trailer, the only channel left.
+		_ = enc.Encode(api.SweepStreamTrailer{Done: true, Results: results, Errors: errCount, Error: err.Error()})
+	default:
+		_ = enc.Encode(api.SweepStreamTrailer{Done: true, Results: results, Errors: errCount})
+	}
+	flush()
+}
+
+// handleSearchEvents serves GET /v1/search/{id}/events as Server-Sent
+// Events: each message's id is the event Seq, its event field the type,
+// its data one api.SearchEvent. The stream replays retained events (from
+// Last-Event-ID or ?after=), follows the job live, and ends after the
+// terminal event — a finished job replays and closes immediately.
+func (s *Server) handleSearchEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad after value %q", v))
+			return
+		}
+		after = n
+	}
+	ch, cancel, err := s.engine.SearchEvents(id, after)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer cancel()
+	s.logf("search job %s: event stream subscribed after=%d rid=%s",
+		id, after, api.RequestIDFromContext(r.Context()))
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal event delivered, stream complete
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

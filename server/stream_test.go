@@ -1,0 +1,82 @@
+package server
+
+// Streaming and replication handler edge cases not covered by the
+// engine-level and router-level integration tests: bad ?stream values,
+// bad resume tokens, and the storeless daemon's /v1/store 404s.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSweepStreamParamValidation(t *testing.T) {
+	body := `{"schema_version":1,"workload":"mcf","configs":[{"name":"reference"}]}`
+	rec := serve(t, "POST", "/v1/sweep?stream=yes", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("stream=yes: %d %s", rec.Code, rec.Body)
+	}
+	rec = serve(t, "POST", "/v1/sweep?stream=1", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream=1: %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 { // header, one item, trailer
+		t.Errorf("stream framed %d lines, want 3:\n%s", len(lines), rec.Body)
+	}
+	// A pre-admission failure must answer with the JSON envelope, not a
+	// truncated stream.
+	rec = serve(t, "POST", "/v1/sweep?stream=1",
+		`{"schema_version":1,"workload":"nope","configs":[{"name":"reference"}]}`)
+	if rec.Code != http.StatusNotFound || !strings.Contains(rec.Body.String(), `"error"`) {
+		t.Errorf("unknown workload stream: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestSearchEventsParamValidation(t *testing.T) {
+	rec := serve(t, "GET", "/v1/search/job-x-1/events?after=banana", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad after: %d %s", rec.Code, rec.Body)
+	}
+	rec = serve(t, "GET", "/v1/search/job-x-1/events", "")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job events: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	// The shared test engine is storeless: every /v1/store route must 404
+	// with the configuration hint, so a misdirected peer fails loudly.
+	for _, req := range []struct{ method, path string }{
+		{"GET", "/v1/store/index"},
+		{"GET", "/v1/store/objects/sha256:00"},
+		{"PUT", "/v1/store/objects/sha256:00?name=x"},
+		{"DELETE", "/v1/store/objects/sha256:00"},
+	} {
+		rec := serve(t, req.method, req.path, "")
+		if rec.Code != http.StatusNotFound || !strings.Contains(rec.Body.String(), "-store") {
+			t.Errorf("%s %s without a store: %d %s", req.method, req.path, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	srv := New(testEngine(t))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rid := rec.Header().Get("X-Request-Id"); rid == "" {
+		t.Error("no X-Request-Id assigned")
+	}
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-Id", "caller-chosen-id")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rid := rec.Header().Get("X-Request-Id"); rid != "caller-chosen-id" {
+		t.Errorf("echoed rid %q, want the caller's", rid)
+	}
+}

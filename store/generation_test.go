@@ -1,0 +1,124 @@
+package store_test
+
+// Generation tests: the index's monotonic change token must make a second
+// store instance over the same directory see every mutation — including
+// the case that defeated mtime+size staleness checks (a rewrite of the
+// same byte length inside the filesystem's timestamp granularity) — and
+// must expose the replication surface (Generation/GetObject) correctly.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreGenerationAdvancesPerMutation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	g0 := s.Generation()
+	if g0 == 0 {
+		t.Fatal("opened store has no generation (legacy index should be stamped on first write)")
+	}
+	p := testProfile(t, "mcf")
+	if _, err := s.Put("a", p); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation()
+	if g1 <= g0 {
+		t.Fatalf("generation %d after Put, want > %d", g1, g0)
+	}
+	if _, err := s.Put("b", p); err != nil {
+		t.Fatal(err)
+	}
+	g2 := s.Generation()
+	if g2 <= g1 {
+		t.Fatalf("generation %d after second Put, want > %d", g2, g1)
+	}
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g3 := s.Generation(); g3 <= g2 {
+		t.Fatalf("generation %d after Delete, want > %d", g3, g2)
+	}
+}
+
+// TestStoreGenerationBeatsMtimeSize reconstructs the staleness case a
+// mtime+size check cannot see: between two reads of a second instance, the
+// index is rewritten to the same byte length ("aa" deleted, "ab" added —
+// same name length, same digest) and its mtime is forced back to the
+// original. Only the embedded generation distinguishes the two files.
+func TestStoreGenerationBeatsMtimeSize(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir)
+	p := testProfile(t, "mcf")
+	if _, err := s1.Put("aa", p); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if _, ok := s2.Info("aa"); !ok {
+		t.Fatal("second instance does not see aa")
+	}
+	indexPath := filepath.Join(dir, "index.json")
+	st, err := os.Stat(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtime := st.ModTime()
+
+	// Mutate through s1: the new index differs from the old only in the
+	// profile name (same length) and the generation.
+	if _, err := s1.Delete("aa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put("ab", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(indexPath, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s2.Info("aa"); ok {
+		t.Error("second instance still serves deleted aa (stale index)")
+	}
+	if _, ok := s2.Info("ab"); !ok {
+		t.Error("second instance does not see ab after rename")
+	}
+	if g1, g2 := s1.Generation(), s2.Generation(); g1 != g2 {
+		t.Errorf("instances disagree on generation: %d vs %d", g1, g2)
+	}
+}
+
+func TestStoreGetObject(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testProfile(t, "mcf")
+	info, err := s.Put("mcf", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.GetObject(info.Digest)
+	if err != nil || !ok {
+		t.Fatalf("GetObject(%s) = ok=%v err=%v", info.Digest, ok, err)
+	}
+	if string(data) != canonical(t, p) {
+		t.Error("GetObject bytes differ from the canonical envelope")
+	}
+	sum := sha256.Sum256(data)
+	if got := "sha256:" + hex.EncodeToString(sum[:]); got != info.Digest {
+		t.Errorf("object bytes hash to %s, want %s", got, info.Digest)
+	}
+	if _, ok, err := s.GetObject("sha256:" + string(make([]byte, 0)) + "deadbeef"); ok || err != nil {
+		t.Errorf("unknown digest: ok=%v err=%v, want false,nil", ok, err)
+	}
+	// After deleting the only reference the object is unreachable even if
+	// the file lingers until garbage collection.
+	if _, err := s.Delete("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetObject(info.Digest); ok {
+		t.Error("GetObject serves an unreferenced object")
+	}
+}

@@ -1,0 +1,510 @@
+// Package remote implements mipp.ProfileStore over HTTP against a peer
+// mippd's /v1/store endpoints: the distributed tier's storage leg. A
+// daemon built with WithEngineStore(remote.New(peerURL)) runs diskless,
+// serving the peer's whole catalog — profiles are immutable sha256-
+// addressed blobs, so replication is fetch-by-digest plus an index.
+//
+// Change notification is by generation, not polling mtimes: the peer's
+// index carries a monotonic counter (and an ETag derived from it), and the
+// cached catalog is revalidated with a conditional GET at most once per
+// revalidation window — an unchanged catalog costs one 304 with no body.
+// Fetched objects are digest-verified, decoded once, and held in a local
+// LRU keyed by digest (immutable content never revalidates), so hot
+// profiles cross the network exactly once.
+package remote
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mipp"
+	"mipp/api"
+)
+
+// DefaultRevalidateEvery is how long a synced index is trusted before the
+// next operation revalidates it with a conditional GET.
+const DefaultRevalidateEvery = time.Second
+
+// cacheEntry is one decoded profile resident in the local LRU.
+type cacheEntry struct {
+	digest string
+	p      *mipp.Profile
+	size   int64
+	elem   *list.Element
+}
+
+// Store is a remote profile store speaking to one peer daemon. It is safe
+// for concurrent use.
+type Store struct {
+	base       string
+	hc         *http.Client
+	revalidate time.Duration
+	maxCache   int64
+
+	// syncMu serializes index revalidation round-trips, so a thundering
+	// herd of cold operations costs one network call, not one each.
+	syncMu sync.Mutex
+
+	mu       sync.Mutex
+	synced   bool      // an index has been fetched at least once
+	dirty    bool      // local writes since the last full fetch: next sync is unconditional
+	lastSync time.Time // of the last (re)validation
+	etag     string
+	gen      uint64
+	index    map[string]mipp.ProfileStoreInfo
+	cache    map[string]*cacheEntry // digest → decoded profile
+	lru      *list.List             // front = most recently used; values are *cacheEntry
+	cached   int64
+	inflight map[string]chan struct{} // digest → in-progress fetch
+
+	hits, misses, loads     uint64
+	evictions, evictedBytes uint64
+}
+
+// Option customizes a Store.
+type Option func(*Store)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(s *Store) { s.hc = hc }
+}
+
+// WithMaxCachedBytes bounds the decoded profiles held in the local cache
+// (by canonical envelope size, matching the on-disk store's accounting);
+// least-recently-used entries are evicted past the bound and re-fetched
+// transparently. n <= 0 leaves the cache unbounded.
+func WithMaxCachedBytes(n int64) Option {
+	return func(s *Store) { s.maxCache = n }
+}
+
+// WithRevalidateEvery sets how long a synced index is trusted before the
+// next operation revalidates it against the peer (default
+// DefaultRevalidateEvery). d <= 0 revalidates on every operation — each
+// costs a conditional GET (one 304 round-trip while unchanged), which is
+// what tests use to make change propagation synchronous.
+func WithRevalidateEvery(d time.Duration) Option {
+	return func(s *Store) { s.revalidate = d }
+}
+
+// New returns a store reading from (and writing through to) the daemon at
+// baseURL (e.g. "http://stored-host:8091"). No I/O happens until the first
+// operation; a peer that is down surfaces as that operation's error.
+func New(baseURL string, opts ...Option) *Store {
+	s := &Store{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         http.DefaultClient,
+		revalidate: DefaultRevalidateEvery,
+		index:      make(map[string]mipp.ProfileStoreInfo),
+		cache:      make(map[string]*cacheEntry),
+		lru:        list.New(),
+		inflight:   make(map[string]chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// remoteErr decodes a non-2xx response into an error.
+func remoteErr(op string, resp *http.Response) error {
+	var env api.ErrorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && env.Error != "" {
+		msg = env.Error
+	}
+	return fmt.Errorf("store/remote: %s: %s (HTTP %d)", op, msg, resp.StatusCode)
+}
+
+// drainClose releases a response body for connection reuse.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// fresh reports whether the synced index is still inside its revalidation
+// window.
+func (s *Store) fresh() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced && !s.dirty && s.revalidate > 0 && time.Since(s.lastSync) < s.revalidate
+}
+
+// sync (re)validates the cached index against the peer: a no-op inside the
+// revalidation window, a conditional GET answered 304 while the peer's
+// generation is unchanged, a full index fetch otherwise.
+func (s *Store) sync() error {
+	if s.fresh() {
+		return nil
+	}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.fresh() {
+		return nil // another caller revalidated while we waited
+	}
+	s.mu.Lock()
+	etag, dirty := s.etag, s.dirty
+	s.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodGet, s.base+"/v1/store/index", nil)
+	if err != nil {
+		return fmt.Errorf("store/remote: index: %w", err)
+	}
+	if etag != "" && !dirty {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("store/remote: index: %w", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode == http.StatusNotModified {
+		s.mu.Lock()
+		s.lastSync = time.Now()
+		s.mu.Unlock()
+		return nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return remoteErr("GET /v1/store/index", resp)
+	}
+	var body api.StoreIndexResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("store/remote: decode index: %w", err)
+	}
+	if err := api.CheckVersion(body.SchemaVersion); err != nil {
+		return fmt.Errorf("store/remote: index: %w", err)
+	}
+	etag = resp.Header.Get("ETag")
+	if etag == "" {
+		etag = api.StoreETag(body.Generation)
+	}
+	index := make(map[string]mipp.ProfileStoreInfo, len(body.Profiles))
+	for _, pi := range body.Profiles {
+		index[pi.Name] = storeInfo(pi)
+	}
+	s.mu.Lock()
+	s.index = index
+	s.gen = body.Generation
+	s.etag = etag
+	s.synced = true
+	s.dirty = false
+	s.lastSync = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// storeInfo lifts the wire DTO to store metadata. Resident is overridden
+// per lookup: for this store it means "decoded in this process's cache",
+// not the peer's residency.
+func storeInfo(pi api.ProfileInfo) mipp.ProfileStoreInfo {
+	return mipp.ProfileStoreInfo{
+		Name:         pi.Name,
+		Digest:       pi.Digest,
+		SizeBytes:    pi.SizeBytes,
+		Workload:     pi.Workload,
+		Uops:         pi.Uops,
+		Instructions: pi.Instructions,
+		Entropy:      pi.Entropy,
+		MicroTraces:  pi.MicroTraces,
+	}
+}
+
+// installLocked makes a fetched profile resident and enforces the cache
+// bound.
+func (s *Store) installLocked(digest string, p *mipp.Profile, size int64) {
+	if s.cache[digest] != nil {
+		return
+	}
+	ce := &cacheEntry{digest: digest, p: p, size: size}
+	ce.elem = s.lru.PushFront(ce)
+	s.cache[digest] = ce
+	s.cached += size
+	if s.maxCache <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.cached > s.maxCache; {
+		old := el.Value.(*cacheEntry)
+		prev := el.Prev()
+		if old != ce { // never evict the entry being installed
+			s.lru.Remove(el)
+			delete(s.cache, old.digest)
+			s.cached -= old.size
+			s.evictions++
+			s.evictedBytes += uint64(old.size)
+		}
+		el = prev
+	}
+}
+
+// fetchObject GETs one immutable object and verifies its digest.
+func (s *Store) fetchObject(digest string) ([]byte, error) {
+	resp, err := s.hc.Get(s.base + "/v1/store/objects/" + url.PathEscape(digest))
+	if err != nil {
+		return nil, fmt.Errorf("store/remote: object %s: %w", digest, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode/100 != 2 {
+		return nil, remoteErr("GET /v1/store/objects/"+digest, resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store/remote: object %s: %w", digest, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := "sha256:" + hex.EncodeToString(sum[:]); got != digest {
+		return nil, fmt.Errorf("store/remote: object %s arrived with digest %s (corrupt transfer)", digest, got)
+	}
+	return data, nil
+}
+
+// loadShared fetches and decodes one object, collapsing concurrent loads
+// of the same digest into a single round-trip.
+func (s *Store) loadShared(digest string) (*mipp.Profile, error) {
+	for {
+		s.mu.Lock()
+		if ce := s.cache[digest]; ce != nil {
+			s.lru.MoveToFront(ce.elem)
+			p := ce.p
+			s.mu.Unlock()
+			return p, nil
+		}
+		ch, busy := s.inflight[digest]
+		if !busy {
+			ch = make(chan struct{})
+			s.inflight[digest] = ch
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		// Wait for the in-progress fetch, then re-check: on its success
+		// the cache answers, on its failure we take over and retry.
+		<-ch
+	}
+	data, err := s.fetchObject(digest)
+	var p *mipp.Profile
+	if err == nil {
+		p, err = mipp.DecodeProfile(data)
+		if err != nil {
+			err = fmt.Errorf("store/remote: object %s: %w", digest, err)
+		}
+	}
+	s.mu.Lock()
+	ch := s.inflight[digest]
+	delete(s.inflight, digest)
+	if err == nil {
+		s.loads++
+		s.installLocked(digest, p, int64(len(data)))
+	}
+	s.mu.Unlock()
+	close(ch)
+	return p, err
+}
+
+// Get implements mipp.ProfileStore. A sync failure with a previously
+// synced catalog degrades to the stale index — cached objects keep
+// serving through a peer outage; a store that never reached its peer
+// reports the connection error.
+func (s *Store) Get(name string) (*mipp.Profile, bool, error) {
+	syncErr := s.sync()
+	s.mu.Lock()
+	if !s.synced {
+		s.mu.Unlock()
+		return nil, false, syncErr
+	}
+	info, ok := s.index[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	digest := info.Digest
+	if ce := s.cache[digest]; ce != nil {
+		s.hits++
+		s.lru.MoveToFront(ce.elem)
+		p := ce.p
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+	p, err := s.loadShared(digest)
+	if err != nil {
+		return nil, true, err
+	}
+	return p, true, nil
+}
+
+// Put implements mipp.ProfileStore: upload the canonical envelope to the
+// peer and adopt the authoritative metadata it answers with. The local
+// index entry is patched immediately, and the catalog is marked dirty so
+// the next revalidation fetches the peer's full index (other names may
+// have moved under the returned generation).
+func (s *Store) Put(name string, p *mipp.Profile) (mipp.ProfileStoreInfo, error) {
+	if name == "" {
+		name = p.Workload()
+	}
+	if name == "" {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put: profile has no workload name and none was given")
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put(%q): %w", name, err)
+	}
+	sum := sha256.Sum256(data)
+	digest := "sha256:" + hex.EncodeToString(sum[:])
+	req, err := http.NewRequest(http.MethodPut,
+		s.base+"/v1/store/objects/"+url.PathEscape(digest)+"?name="+url.QueryEscape(name),
+		bytes.NewReader(data))
+	if err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put(%q): %w", name, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put(%q): %w", name, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode/100 != 2 {
+		return mipp.ProfileStoreInfo{}, remoteErr("PUT /v1/store/objects/"+digest, resp)
+	}
+	var out api.StorePutObjectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put(%q): decode response: %w", name, err)
+	}
+	if err := api.CheckVersion(out.SchemaVersion); err != nil {
+		return mipp.ProfileStoreInfo{}, fmt.Errorf("store/remote: Put(%q): %w", name, err)
+	}
+	info := storeInfo(out.Profile)
+	s.mu.Lock()
+	s.index[name] = info
+	s.gen = out.Generation
+	s.dirty = true
+	s.installLocked(out.Profile.Digest, p, out.Profile.SizeBytes)
+	s.mu.Unlock()
+	info.Resident = true
+	return info, nil
+}
+
+// Delete implements mipp.ProfileStore, through the peer's ordinary
+// DELETE /v1/profiles/{name} (which also drops the peer's cached
+// predictors for the name).
+func (s *Store) Delete(name string) (bool, error) {
+	req, err := http.NewRequest(http.MethodDelete, s.base+"/v1/profiles/"+url.PathEscape(name), nil)
+	if err != nil {
+		return false, fmt.Errorf("store/remote: Delete(%q): %w", name, err)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("store/remote: Delete(%q): %w", name, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return false, remoteErr("DELETE /v1/profiles/"+name, resp)
+	}
+	s.mu.Lock()
+	delete(s.index, name)
+	s.dirty = true
+	s.mu.Unlock()
+	return true, nil
+}
+
+// Info implements mipp.ProfileStore. Resident reports this process's
+// cache, not the peer's.
+func (s *Store) Info(name string) (mipp.ProfileStoreInfo, bool) {
+	_ = s.sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.index[name]
+	if !ok {
+		return mipp.ProfileStoreInfo{}, false
+	}
+	info.Resident = s.cache[info.Digest] != nil
+	return info, true
+}
+
+// Names implements mipp.ProfileStore.
+func (s *Store) Names() []string {
+	_ = s.sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.index))
+	for n := range s.index {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats implements mipp.ProfileStore: the local cache's counters (loads
+// count network fetches).
+func (s *Store) Stats() mipp.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mipp.StoreStats{
+		Objects:          len(s.index),
+		ResidentEntries:  s.lru.Len(),
+		ResidentBytes:    s.cached,
+		MaxResidentBytes: s.maxCache,
+		Hits:             s.hits,
+		Misses:           s.misses,
+		Loads:            s.loads,
+		Evictions:        s.evictions,
+		EvictedBytes:     s.evictedBytes,
+	}
+}
+
+// Generation implements mipp.ObjectStore: the peer catalog's change token
+// as of the last sync.
+func (s *Store) Generation() uint64 {
+	_ = s.sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// GetObject implements mipp.ObjectStore by proxying to the peer, so a
+// remote-backed daemon can itself serve /v1/store to further peers.
+func (s *Store) GetObject(digest string) ([]byte, bool, error) {
+	syncErr := s.sync()
+	s.mu.Lock()
+	synced := s.synced
+	referenced := false
+	for _, info := range s.index {
+		if info.Digest == digest {
+			referenced = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !synced {
+		return nil, false, syncErr
+	}
+	if !referenced {
+		return nil, false, nil
+	}
+	data, err := s.fetchObject(digest)
+	if err != nil {
+		return nil, true, err
+	}
+	return data, true, nil
+}
+
+// Compile-time checks: a remote store backs an Engine exactly like the
+// on-disk one, replication surface included.
+var (
+	_ mipp.ProfileStore = (*Store)(nil)
+	_ mipp.ObjectStore  = (*Store)(nil)
+)

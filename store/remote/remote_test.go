@@ -1,0 +1,282 @@
+package remote_test
+
+// Remote store tests against a real mippd handler stack: catalog sync with
+// conditional GETs (304 while unchanged), object round-trips with cache
+// hits, change propagation both ways (origin mutations appear here,
+// write-through Put/Delete appear there), LRU eviction, and the
+// ObjectStore chaining surface.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mipp"
+	"mipp/server"
+	"mipp/store"
+	"mipp/store/remote"
+)
+
+const testUops = 20_000
+
+var profileCache sync.Map
+
+func testProfile(t *testing.T, workload string) *mipp.Profile {
+	t.Helper()
+	if p, ok := profileCache.Load(workload); ok {
+		return p.(*mipp.Profile)
+	}
+	p, err := mipp.NewProfiler().Profile(workload, testUops)
+	if err != nil {
+		t.Fatalf("profile %s: %v", workload, err)
+	}
+	profileCache.Store(workload, p)
+	return p
+}
+
+// origin is a mippd with a durable store, plus counters on its /v1/store
+// traffic.
+type origin struct {
+	engine   *mipp.Engine
+	ts       *httptest.Server
+	index200 atomic.Int64
+	index304 atomic.Int64
+	objects  atomic.Int64
+}
+
+func newOrigin(t *testing.T) *origin {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &origin{engine: mipp.NewEngine(mipp.WithEngineStore(st))}
+	srv := server.New(o.engine)
+	o.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/store/index":
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, r)
+			if rec.Code == http.StatusNotModified {
+				o.index304.Add(1)
+			} else {
+				o.index200.Add(1)
+			}
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(rec.Body.Bytes())
+		default:
+			if r.Method == http.MethodGet && len(r.URL.Path) > len("/v1/store/objects/") &&
+				r.URL.Path[:len("/v1/store/objects/")] == "/v1/store/objects/" {
+				o.objects.Add(1)
+			}
+			srv.ServeHTTP(w, r)
+		}
+	}))
+	t.Cleanup(o.ts.Close)
+	return o
+}
+
+func canonical(t *testing.T, p *mipp.Profile) string {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRemoteRoundTripAndCache(t *testing.T) {
+	o := newOrigin(t)
+	p := testProfile(t, "mcf")
+	if err := o.engine.Register("mcf", p); err != nil {
+		t.Fatal(err)
+	}
+	wantInfo, _ := o.engine.ProfileStore().Info("mcf")
+
+	rs := remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	got, ok, err := rs.Get("mcf")
+	if err != nil || !ok {
+		t.Fatalf("Get(mcf) = ok=%v err=%v", ok, err)
+	}
+	if canonical(t, got) != canonical(t, p) {
+		t.Error("remote profile differs from the origin's")
+	}
+	info, ok := rs.Info("mcf")
+	if !ok || info.Digest != wantInfo.Digest || info.SizeBytes != wantInfo.SizeBytes {
+		t.Fatalf("Info = %+v ok=%v, want digest %s", info, ok, wantInfo.Digest)
+	}
+	if !info.Resident {
+		t.Error("fetched profile not reported resident in the local cache")
+	}
+
+	// A second Get must come from the cache: no extra object fetch.
+	fetches := o.objects.Load()
+	if _, ok, err := rs.Get("mcf"); !ok || err != nil {
+		t.Fatalf("second Get failed: ok=%v err=%v", ok, err)
+	}
+	if o.objects.Load() != fetches {
+		t.Errorf("cache hit still fetched the object (%d -> %d fetches)", fetches, o.objects.Load())
+	}
+	st := rs.Stats()
+	if st.Loads != 1 || st.Hits < 1 || st.Objects != 1 {
+		t.Errorf("stats = %+v, want 1 load, ≥1 hit, 1 object", st)
+	}
+}
+
+func TestRemoteChangeNotification(t *testing.T) {
+	o := newOrigin(t)
+	if err := o.engine.Register("mcf", testProfile(t, "mcf")); err != nil {
+		t.Fatal(err)
+	}
+	rs := remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	if names := rs.Names(); len(names) != 1 || names[0] != "mcf" {
+		t.Fatalf("Names = %v", names)
+	}
+	gen1 := rs.Generation()
+
+	// An unchanged catalog revalidates with a 304, not a re-listing.
+	full := o.index200.Load()
+	rs.Names()
+	rs.Names()
+	if o.index200.Load() != full {
+		t.Errorf("unchanged catalog was re-listed (%d -> %d full responses)", full, o.index200.Load())
+	}
+	if o.index304.Load() == 0 {
+		t.Error("no conditional 304s observed")
+	}
+
+	// A new registration on the origin bumps the generation and appears on
+	// the next revalidation.
+	if err := o.engine.Register("gcc", testProfile(t, "gcc")); err != nil {
+		t.Fatal(err)
+	}
+	if names := rs.Names(); len(names) != 2 {
+		t.Fatalf("Names after origin register = %v", names)
+	}
+	if gen2 := rs.Generation(); gen2 <= gen1 {
+		t.Errorf("generation %d after change, want > %d", gen2, gen1)
+	}
+
+	// A deletion disappears the same way.
+	if _, err := o.engine.DeleteProfile(t.Context(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := rs.Get("mcf"); ok || err != nil {
+		t.Errorf("Get(deleted) = ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+func TestRemoteWriteThrough(t *testing.T) {
+	o := newOrigin(t)
+	rs := remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	p := testProfile(t, "mcf")
+
+	info, err := rs.Put("uploaded", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oinfo, ok := o.engine.ProfileStore().Info("uploaded")
+	if !ok || oinfo.Digest != info.Digest {
+		t.Fatalf("origin info = %+v ok=%v, want digest %s", oinfo, ok, info.Digest)
+	}
+	if _, ok := o.engine.Profile("uploaded"); !ok {
+		t.Error("origin engine cannot serve the uploaded profile")
+	}
+
+	deleted, err := rs.Delete("uploaded")
+	if err != nil || !deleted {
+		t.Fatalf("Delete = %v, %v", deleted, err)
+	}
+	if _, ok := o.engine.Profile("uploaded"); ok {
+		t.Error("origin still serves the deleted profile")
+	}
+	if again, err := rs.Delete("uploaded"); err != nil || again {
+		t.Errorf("double Delete = %v, %v, want false,nil", again, err)
+	}
+}
+
+func TestRemoteEviction(t *testing.T) {
+	o := newOrigin(t)
+	mcf, gcc := testProfile(t, "mcf"), testProfile(t, "gcc")
+	if err := o.engine.Register("mcf", mcf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.engine.Register("gcc", gcc); err != nil {
+		t.Fatal(err)
+	}
+	// Budget for one profile only: loading the second evicts the first.
+	bound := int64(len(canonical(t, mcf))) + 1
+	rs := remote.New(o.ts.URL, remote.WithRevalidateEvery(0), remote.WithMaxCachedBytes(bound))
+	if _, ok, err := rs.Get("mcf"); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if _, ok, err := rs.Get("gcc"); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	st := rs.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions under a one-profile budget: %+v", st)
+	}
+	if st.ResidentBytes > bound {
+		t.Errorf("resident %d bytes exceeds the %d bound", st.ResidentBytes, bound)
+	}
+	// The evicted profile reloads transparently.
+	if _, ok, err := rs.Get("mcf"); !ok || err != nil {
+		t.Errorf("reload after eviction: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRemoteChaining checks that a remote store itself satisfies the
+// replication surface, so a remote-backed daemon can serve /v1/store to
+// further peers.
+func TestRemoteChaining(t *testing.T) {
+	o := newOrigin(t)
+	if err := o.engine.Register("mcf", testProfile(t, "mcf")); err != nil {
+		t.Fatal(err)
+	}
+	var rs mipp.ObjectStore = remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	if rs.Generation() == 0 {
+		t.Fatal("remote generation is zero after sync")
+	}
+	info, ok := rs.Info("mcf")
+	if !ok {
+		t.Fatal("no info for mcf")
+	}
+	data, ok, err := rs.GetObject(info.Digest)
+	if err != nil || !ok {
+		t.Fatalf("GetObject = ok=%v err=%v", ok, err)
+	}
+	if string(data) != canonical(t, testProfile(t, "mcf")) {
+		t.Error("chained object bytes differ from the canonical envelope")
+	}
+	if _, ok, _ := rs.GetObject("sha256:0000"); ok {
+		t.Error("unknown digest served")
+	}
+}
+
+func TestRemoteOriginDown(t *testing.T) {
+	o := newOrigin(t)
+	if err := o.engine.Register("mcf", testProfile(t, "mcf")); err != nil {
+		t.Fatal(err)
+	}
+	rs := remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	if _, ok, err := rs.Get("mcf"); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	o.ts.Close()
+	// A cached profile keeps serving through the outage (stale catalog).
+	if _, ok, err := rs.Get("mcf"); !ok || err != nil {
+		t.Errorf("cached Get during outage: ok=%v err=%v", ok, err)
+	}
+	// A never-synced store reports the connection error instead.
+	cold := remote.New(o.ts.URL, remote.WithRevalidateEvery(0))
+	if _, _, err := cold.Get("mcf"); err == nil {
+		t.Error("cold store against a dead origin returned no error")
+	}
+}

@@ -11,11 +11,15 @@
 //	DIR/index.json                  name → {digest, size, summary} map
 //
 // Every write is atomic (temp file + rename in the same directory), so
-// readers never observe a torn object or index. The index file's
-// mtime+size is checked on every read operation: when another process
-// rewrites it, the store reloads the index without any file-watching
-// machinery. Object bytes are digest-verified on every load, so on-disk
-// corruption surfaces as ErrCorrupt instead of silent mispredictions.
+// readers never observe a torn object or index. The index file carries a
+// monotonic generation counter, bumped under the cross-process file lock on
+// every rewrite; read operations compare it against the last generation
+// loaded and reload on mismatch, without any file-watching machinery. (A
+// stat-based mtime+size comparison can miss a same-size rewrite landing
+// within one mtime granule; the generation cannot, and it doubles as the
+// change token the remote store's conditional GETs revalidate against.)
+// Object bytes are digest-verified on every load, so on-disk corruption
+// surfaces as ErrCorrupt instead of silent mispredictions.
 //
 // Decoded profiles stay resident in memory under a configurable LRU byte
 // bound (WithMaxResidentBytes); unpinned entries are evicted least-recently-
@@ -36,7 +40,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"mipp"
 )
@@ -75,9 +78,12 @@ type indexEntry struct {
 	MicroTraces  int     `json:"micro_traces"`
 }
 
-// indexBody is the versioned index file format.
+// indexBody is the versioned index file format. Generation is the
+// monotonic rewrite counter (absent — zero — in pre-generation indexes,
+// which are reloaded unconditionally until their first write stamps one).
 type indexBody struct {
 	SchemaVersion int                   `json:"schema_version"`
+	Generation    uint64                `json:"generation"`
 	Entries       map[string]indexEntry `json:"entries"`
 }
 
@@ -106,8 +112,7 @@ type Store struct {
 	entries       map[string]*entry
 	lru           *list.List // front = most recently used; values are *entry
 	residentBytes int64
-	indexMod      time.Time
-	indexSize     int64
+	generation    uint64 // of the last index loaded or written
 
 	hits, misses, loads     uint64
 	evictions, evictedBytes uint64
@@ -174,16 +179,18 @@ func digestOf(data []byte) string {
 	return DigestPrefix + hex.EncodeToString(sum[:])
 }
 
-// readIndexLocked (re)loads the index file and records its stamp.
+// readIndexLocked (re)loads the index file.
 func (s *Store) readIndexLocked() error {
-	fi, err := os.Stat(s.indexPath())
-	if err != nil {
-		return fmt.Errorf("store: stat index %s: %w", s.indexPath(), err)
-	}
 	data, err := os.ReadFile(s.indexPath())
 	if err != nil {
 		return fmt.Errorf("store: read index %s: %w", s.indexPath(), err)
 	}
+	return s.decodeIndexLocked(data)
+}
+
+// decodeIndexLocked installs one index file's content, recording its
+// generation as the staleness baseline.
+func (s *Store) decodeIndexLocked(data []byte) error {
 	var body indexBody
 	if err := json.Unmarshal(data, &body); err != nil {
 		return fmt.Errorf("store: decode index %s: %w", s.indexPath(), err)
@@ -196,24 +203,34 @@ func (s *Store) readIndexLocked() error {
 	if s.index == nil {
 		s.index = make(map[string]indexEntry)
 	}
-	s.indexMod, s.indexSize = fi.ModTime(), fi.Size()
+	s.generation = body.Generation
 	s.dropStaleLocked()
 	return nil
 }
 
 // maybeReloadLocked re-reads the index when another writer has replaced it
-// since our last read — the fsnotify-free staleness check. Reload failures
-// keep the last good index (the writer may be mid-rename on a filesystem
-// without atomic stat visibility); the next operation retries.
+// since our last read — the fsnotify-free staleness check. The comparison
+// is by the index's generation counter, which every writer bumps under the
+// cross-process file lock: unlike a stat-based mtime+size check it cannot
+// miss a same-size rewrite within one mtime granule. A zero generation is
+// a pre-generation index; those reload unconditionally (conservative, and
+// gone after their first write). Decode failures keep the last good index
+// (the writer may be mid-rename); the next operation retries.
 func (s *Store) maybeReloadLocked() {
-	fi, err := os.Stat(s.indexPath())
+	data, err := os.ReadFile(s.indexPath())
 	if err != nil {
 		return
 	}
-	if fi.ModTime().Equal(s.indexMod) && fi.Size() == s.indexSize {
+	var peek struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
 		return
 	}
-	_ = s.readIndexLocked()
+	if peek.Generation == s.generation && peek.Generation > 0 {
+		return
+	}
+	_ = s.decodeIndexLocked(data)
 }
 
 // dropStaleLocked discards resident bodies whose index entry vanished or
@@ -272,18 +289,21 @@ func (s *Store) evictLocked() {
 	}
 }
 
-// writeIndexLocked atomically persists the index and records its stamp.
+// writeIndexLocked atomically persists the index under the next generation,
+// committing the counter only once the rename landed. Callers hold both the
+// store mutex and the cross-process file lock (and re-read the index first),
+// so generations are strictly increasing across every process sharing the
+// directory.
 func (s *Store) writeIndexLocked() error {
-	data, err := json.Marshal(indexBody{SchemaVersion: IndexSchemaVersion, Entries: s.index})
+	gen := s.generation + 1
+	data, err := json.Marshal(indexBody{SchemaVersion: IndexSchemaVersion, Generation: gen, Entries: s.index})
 	if err != nil {
 		return fmt.Errorf("store: encode index: %w", err)
 	}
 	if err := atomicWrite(s.indexPath(), data); err != nil {
 		return err
 	}
-	if fi, err := os.Stat(s.indexPath()); err == nil {
-		s.indexMod, s.indexSize = fi.ModTime(), fi.Size()
-	}
+	s.generation = gen
 	return nil
 }
 
@@ -601,6 +621,45 @@ func (s *Store) Names() []string {
 	return names
 }
 
+// Generation implements mipp.ObjectStore: the index's monotonic change
+// token. It re-checks disk first, so the value reflects every writer
+// sharing the directory — two calls returning the same generation bracket
+// an interval in which the catalog did not change.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeReloadLocked()
+	return s.generation
+}
+
+// GetObject implements mipp.ObjectStore: the canonical envelope bytes of
+// one stored object, digest-verified. The bool reports whether any index
+// entry references the digest; the error reports read failures and
+// corruption for referenced objects.
+func (s *Store) GetObject(digest string) ([]byte, bool, error) {
+	s.mu.Lock()
+	s.maybeReloadLocked()
+	referenced := s.referencedLocked(digest)
+	s.mu.Unlock()
+	if !referenced {
+		return nil, false, nil
+	}
+	path := s.objectPath(digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Raced a delete that GC'd the object after our index check.
+			return nil, false, nil
+		}
+		return nil, true, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	if got := digestOf(data); got != digest {
+		return nil, true, fmt.Errorf("%w: %s: content digest %s does not match requested %s",
+			ErrCorrupt, path, got, digest)
+	}
+	return data, true, nil
+}
+
 // Stats implements mipp.ProfileStore.
 func (s *Store) Stats() mipp.StoreStats {
 	s.mu.Lock()
@@ -618,5 +677,9 @@ func (s *Store) Stats() mipp.StoreStats {
 	}
 }
 
-// Compile-time check: the on-disk store is an Engine's backing store.
-var _ mipp.ProfileStore = (*Store)(nil)
+// Compile-time checks: the on-disk store is an Engine's backing store, and
+// an object store a peer can replicate from.
+var (
+	_ mipp.ProfileStore = (*Store)(nil)
+	_ mipp.ObjectStore  = (*Store)(nil)
+)

@@ -1,0 +1,123 @@
+package mipp_test
+
+// SweepStream tests: the streamed items must be the envelope response cut
+// into frames — same results, same per-item errors, same order — with
+// admission failures surfacing before the sink's Start and sink errors
+// aborting the run.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+)
+
+func TestSweepStreamMatchesEnvelope(t *testing.T) {
+	e := newTestEngine(t, "mcf")
+	bad := arch.Reference()
+	bad.Name = "broken"
+	bad.ROB = 0
+	req := &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Configs: []api.ConfigSpec{
+			{Name: "reference"},
+			{Config: bad},
+			{Name: "lowpower"},
+			{Name: "reference+pf"},
+		},
+	}
+
+	envelope, err := e.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		startWorkload string
+		startCount    int
+		items         []api.SweepItem
+	)
+	err = e.SweepStream(context.Background(), req, mipp.SweepSink{
+		Start: func(workload string, count int) error {
+			startWorkload, startCount = workload, count
+			return nil
+		},
+		Item: func(item api.SweepItem) error {
+			items = append(items, item)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startWorkload != "mcf" || startCount != len(req.Configs) {
+		t.Errorf("Start(%q, %d), want (mcf, %d)", startWorkload, startCount, len(req.Configs))
+	}
+	if len(items) != len(envelope.Results) {
+		t.Fatalf("%d items for %d envelope results", len(items), len(envelope.Results))
+	}
+	for i, item := range items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+		got, _ := json.Marshal(item.Result)
+		want, _ := json.Marshal(envelope.Results[i])
+		if string(got) != string(want) {
+			t.Errorf("item %d result differs from the envelope's:\n%s\n%s", i, got, want)
+		}
+	}
+	for _, ie := range envelope.Errors {
+		if items[ie.Index].Error != ie.Error {
+			t.Errorf("item %d error %q, envelope says %q", ie.Index, items[ie.Index].Error, ie.Error)
+		}
+	}
+}
+
+func TestSweepStreamAdmissionBeforeStart(t *testing.T) {
+	e := newTestEngine(t, "mcf")
+	started := false
+	err := e.SweepStream(context.Background(), &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "nope",
+		Configs:       []api.ConfigSpec{{Name: "reference"}},
+	}, mipp.SweepSink{
+		Start: func(string, int) error { started = true; return nil },
+		Item:  func(api.SweepItem) error { return nil },
+	})
+	if !errors.Is(err, mipp.ErrUnknownWorkload) {
+		t.Fatalf("err = %v, want ErrUnknownWorkload", err)
+	}
+	if started {
+		t.Error("Start was called for a request that failed admission")
+	}
+}
+
+func TestSweepStreamSinkErrorAborts(t *testing.T) {
+	e := newTestEngine(t, "mcf")
+	boom := errors.New("client went away")
+	seen := 0
+	err := e.SweepStream(context.Background(), &api.SweepRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Space:         &api.SpaceSpec{Kind: "design"},
+	}, mipp.SweepSink{
+		Item: func(api.SweepItem) error {
+			seen++
+			if seen == 2 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if seen != 2 {
+		t.Errorf("sink saw %d items after aborting at 2", seen)
+	}
+}
