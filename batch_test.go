@@ -16,6 +16,7 @@ import (
 
 	"mipp"
 	"mipp/arch"
+	"mipp/internal/core"
 )
 
 // TestPredictBatchEquivalence is the acceptance guarantee of the compile →
@@ -103,9 +104,82 @@ func TestPredictBatchPerItemErrors(t *testing.T) {
 	}
 }
 
+// TestPredictBatchIntoReuseAcrossGenerations drives one caller-owned
+// BatchResult through three consecutive generations of different sizes —
+// the search Runner's steady-state shape — asserting every generation's
+// materialized results stay byte-identical to fresh Predict calls, and that
+// results published from one generation survive the next generation's
+// buffer reuse untouched (the aliasing canary: re-running the batch mutates
+// the reused buffers after publish).
+func TestPredictBatchIntoReuseAcrossGenerations(t *testing.T) {
+	pd, err := mipp.NewPredictor(testProfile(t, "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := arch.DesignSpaceSample(3)
+	generations := [][]*arch.Config{space[:40], space[20:70], space}
+
+	var br mipp.BatchResult
+	type snapshot struct {
+		cfg       *arch.Config
+		published *mipp.Result
+		want      []byte
+	}
+	var retained []snapshot
+	for g, configs := range generations {
+		if err := pd.PredictBatchInto(context.Background(), configs, &br); err != nil {
+			t.Fatalf("generation %d: %v", g, err)
+		}
+		// The canary check: anything published in an earlier generation
+		// must still marshal to the bytes captured at publish time, even
+		// though the buffers it came from have since been overwritten.
+		for _, s := range retained {
+			got, err := json.Marshal(s.published)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(s.want, got) {
+				t.Fatalf("generation %d mutated a result published earlier (%s):\nnow:  %s\nthen: %s",
+					g, s.cfg.Name, got, s.want)
+			}
+		}
+		for i, cfg := range configs {
+			if !br.Ok(i) {
+				t.Fatalf("generation %d slot %d (%s): err=%v", g, i, cfg.Name, br.Err(i))
+			}
+			single, err := pd.Predict(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(br.Result(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("generation %d slot %d (%s) differs from Predict:\nbatch:  %s\nsingle: %s",
+					g, i, cfg.Name, got, want)
+			}
+		}
+		// Publish a few results from this generation for the next one's
+		// canary check.
+		for _, i := range []int{0, len(configs) / 2, len(configs) - 1} {
+			r := br.Result(i)
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			retained = append(retained, snapshot{cfg: configs[i], published: r, want: b})
+		}
+	}
+}
+
 // pollCountCtx is a context whose Err flips to Canceled after a fixed
 // number of polls, making "cancelled mid-batch" deterministic: the batch
-// kernel polls once per configuration.
+// kernel polls once every core.CtxCheckStride configurations.
 type pollCountCtx struct {
 	context.Context
 	polls atomic.Int64
@@ -119,25 +193,33 @@ func (c *pollCountCtx) Err() error {
 	return nil
 }
 
-// TestPredictBatchCancelledMidBatch asserts the batch kernel checks the
-// context between configurations: cancellation arriving after the k-th
-// check stops the batch there, with exactly the first k slots filled.
+// TestPredictBatchCancelledMidBatch asserts the batch kernel observes
+// cancellation inside a batch, not just at work-item boundaries. The
+// per-config ctx.Err() is amortized to one poll every core.CtxCheckStride
+// configurations (it is a synchronized load), so cancellation arriving
+// after the first poll stops the batch at the stride boundary: exactly the
+// first CtxCheckStride slots are filled.
 func TestPredictBatchCancelledMidBatch(t *testing.T) {
 	pd, err := mipp.NewPredictor(testProfile(t, "soplex"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	configs := arch.DesignSpaceSample(3)
-	const after = 7
-	ctx := &pollCountCtx{Context: context.Background(), after: after}
+	if len(configs) <= core.CtxCheckStride {
+		t.Fatalf("sample has %d configs, need > %d to observe a mid-batch stride poll",
+			len(configs), core.CtxCheckStride)
+	}
+	// The poll at config 0 passes; the next, at config CtxCheckStride,
+	// observes the cancellation.
+	ctx := &pollCountCtx{Context: context.Background(), after: 1}
 	results, _, err := pd.PredictBatch(ctx, configs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	for i, r := range results {
-		if (i < after) != (r != nil) {
-			t.Fatalf("results[%d] = %v: cancellation after %d polls should fill exactly the first %d slots",
-				i, r, after, after)
+		if (i < core.CtxCheckStride) != (r != nil) {
+			t.Fatalf("results[%d] = %v: cancellation at the second poll should fill exactly the first %d slots",
+				i, r, core.CtxCheckStride)
 		}
 	}
 }

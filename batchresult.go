@@ -1,0 +1,209 @@
+package mipp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mipp/api"
+	"mipp/internal/core"
+	"mipp/internal/power"
+)
+
+// BatchResult is the caller-owned result block of the batched prediction
+// path: struct-of-arrays columns (one flat slice per quantity, held by the
+// embedded core block) plus the facade's per-config state — resolved
+// configurations, per-config validation errors and power stacks. Grown once
+// by PredictBatchInto and reused across calls, so steady-state batched
+// prediction allocates nothing.
+//
+// A BatchResult owns its memory: accessors that return pointers or slices
+// alias buffers that the next PredictBatchInto (or Put back to a pool)
+// overwrites, while Result materializes an independent copy. It is not safe
+// for concurrent use, except that the sweep fan-out writes disjoint row
+// ranges from multiple goroutines.
+type BatchResult struct {
+	n int
+	// resolved[i] is the validated (possibly prefetcher-overridden)
+	// configuration evaluated into row i, nil where errs[i] is set.
+	resolved []*Config
+	// copies backs the prefetcher-override copies so resolving does not
+	// allocate; only grown when the predictor carries an override.
+	copies []Config
+	errs   []error
+	power  []power.Stack
+	core   core.BatchResult
+
+	// row and fres are the reused gather rows behind fill; see Result for
+	// the copying accessor.
+	row  core.Result
+	fres Result
+}
+
+// growSlice returns s resized to n, reusing its backing array when it is
+// large enough and zeroing the returned prefix either way.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Len returns the number of configuration slots.
+func (br *BatchResult) Len() int { return br.n }
+
+// Err returns slot i's validation error (nil for evaluated slots).
+func (br *BatchResult) Err(i int) error { return br.errs[i] }
+
+// Ok reports whether slot i holds a complete prediction: it validated and
+// was evaluated before any cancellation.
+func (br *BatchResult) Ok(i int) bool { return br.errs[i] == nil && br.core.Valid(i) }
+
+// fill gathers slot i into the reused result row, aliasing the batch's
+// MicroCPI storage. The pointer is valid until the next fill on br.
+func (br *BatchResult) fill(i int) *Result {
+	br.core.CopyResult(i, &br.row)
+	br.fres = Result{
+		Config:         br.row.Config,
+		Workload:       br.row.Workload,
+		FrequencyGHz:   br.resolved[i].FrequencyGHz,
+		Cycles:         br.row.Cycles,
+		Uops:           br.row.Uops,
+		Instructions:   br.row.Instructions,
+		Stack:          br.row.Stack,
+		Activity:       br.row.Activity,
+		Power:          br.power[i],
+		Deff:           br.row.Deff,
+		MLP:            br.row.MLP,
+		BranchMissRate: br.row.BranchMissRate,
+		MicroCPI:       br.row.MicroCPI,
+	}
+	return &br.fres
+}
+
+// Result materializes slot i as a standalone *Result, byte-identical to
+// what Predict would have returned for the same configuration, or nil when
+// the slot is not Ok.
+func (br *BatchResult) Result(i int) *Result {
+	if !br.Ok(i) {
+		return nil
+	}
+	out := *br.fill(i)
+	out.MicroCPI = make([]float64, len(br.row.MicroCPI))
+	copy(out.MicroCPI, br.row.MicroCPI)
+	return &out
+}
+
+// apiResult lowers slot i to the wire DTO. The DTO is an independent copy
+// (apiResult copies MicroCPI when requested), so it may be published while
+// br's buffers are reused.
+func (br *BatchResult) apiResult(i int, withMicroCPI bool) *api.Result {
+	return apiResult(br.fill(i), withMicroCPI)
+}
+
+// release drops the references a reused BatchResult pins — configurations,
+// errors, name strings — keeping the numeric columns' capacity.
+func (br *BatchResult) release() {
+	clear(br.resolved[:cap(br.resolved)])
+	clear(br.copies[:cap(br.copies)])
+	clear(br.errs[:cap(br.errs)])
+	br.core.Release()
+	br.n = 0
+}
+
+// batchResultPool recycles the batch blocks behind the compatibility paths
+// (PredictBatch, Sweep, the Engine surfaces), so those too run allocation-
+// light without every call site owning a buffer.
+var batchResultPool = sync.Pool{New: func() any { return new(BatchResult) }}
+
+// maxPooledRows bounds the row capacity a BatchResult may carry back into
+// the pool: one huge sweep must not pin its columns for the process
+// lifetime.
+const maxPooledRows = 1 << 15
+
+func getBatchResult() *BatchResult { return batchResultPool.Get().(*BatchResult) }
+
+func putBatchResult(br *BatchResult) {
+	if cap(br.resolved) > maxPooledRows {
+		return
+	}
+	br.release()
+	batchResultPool.Put(br)
+}
+
+// prepareBatch sizes br for n configurations predicted by pd.
+func (pd *Predictor) prepareBatch(br *BatchResult, n int) {
+	pd.compiled.PrepareBatch(&br.core, n)
+	br.n = n
+	br.resolved = growSlice(br.resolved, n)
+	br.errs = growSlice(br.errs, n)
+	br.power = growSlice(br.power, n)
+	if pd.prefetcher != nil {
+		br.copies = growSlice(br.copies, n)
+	}
+}
+
+// resolveRange validates configs into br's slots [off, off+len(configs)),
+// applying the predictor's prefetcher override without allocating (the
+// copies land in br's backing column).
+//
+//mipp:hotpath
+func (pd *Predictor) resolveRange(configs []*Config, br *BatchResult, off int) {
+	for i, cfg := range configs {
+		j := off + i
+		if cfg == nil {
+			br.errs[j] = fmt.Errorf("mipp: Predict: nil config") //mipp:allow hotpath cold per-item failure path
+			continue
+		}
+		c := cfg
+		if pd.prefetcher != nil && c.Prefetcher.Enabled != *pd.prefetcher {
+			br.copies[j] = *cfg
+			br.copies[j].Prefetcher.Enabled = *pd.prefetcher
+			c = &br.copies[j]
+		}
+		if err := c.Validate(); err != nil {
+			br.errs[j] = fmt.Errorf("mipp: Predict: %w", err) //mipp:allow hotpath cold per-item failure path
+			continue
+		}
+		br.resolved[j] = c
+	}
+}
+
+// finishRange attaches the power estimate to every evaluated slot in
+// [lo, hi).
+//
+//mipp:hotpath
+func (pd *Predictor) finishRange(br *BatchResult, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if br.errs[i] != nil || !br.core.Valid(i) {
+			continue
+		}
+		br.power[i] = power.Estimate(br.resolved[i], br.core.ActivityAt(i))
+	}
+}
+
+// PredictBatchInto is the allocation-free batched prediction entry point:
+// it sizes br for configs (reusing its buffers across calls) and evaluates
+// every configuration in input order on one pooled kernel, so steady-state
+// generations — a search strategy's, a sweep window's — assemble results
+// with zero allocations. Row i always corresponds to configs[i]:
+// br.Err(i) is non-nil exactly where the configuration failed validation (a
+// bad configuration skips its slot, it does not abort the batch), and
+// br.Result(i) is byte-identical to what Predict(configs[i]) returns.
+//
+// Every configuration is validated up front; the context is then polled
+// every few configurations during evaluation (see core.CtxCheckStride), so
+// cancellation inside a large batch is observed promptly. On cancellation
+// the rows evaluated so far keep their values, the rest are not Ok, and
+// ctx.Err() is returned. Unlike Predict, PredictBatchInto with one br is
+// not safe for concurrent use — br is the whole point of the call; use one
+// BatchResult per goroutine (or PredictBatch, which pools them).
+func (pd *Predictor) PredictBatchInto(ctx context.Context, configs []*Config, br *BatchResult) error {
+	pd.prepareBatch(br, len(configs))
+	pd.resolveRange(configs, br, 0)
+	err := pd.compiled.EvaluateRangeInto(ctx, br.resolved, &br.core, 0)
+	pd.finishRange(br, 0, len(configs))
+	return err
+}

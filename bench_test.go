@@ -258,6 +258,67 @@ func BenchmarkPredictBatch(b *testing.B) {
 	reportPerConfig(b, len(configs), &m0, &m1)
 }
 
+// BenchmarkPredictBatchInto is the zero-allocation entry point (PR 8): the
+// same 81-config mixed-axis sample through one caller-owned BatchResult
+// reused across iterations. Steady state allocates nothing — CI gates the
+// -benchmem allocs/op column at 0 and throughput at ≥500k configs/s.
+func BenchmarkPredictBatchInto(b *testing.B) {
+	pd := predictorForBench(b)
+	configs := arch.DesignSpaceSample(3)
+	ctx := context.Background()
+	var br mipp.BatchResult
+	if err := pd.PredictBatchInto(ctx, configs, &br); err != nil {
+		b.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pd.PredictBatchInto(ctx, configs, &br); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	reportPerConfig(b, len(configs), &m0, &m1)
+}
+
+// BenchmarkPredictBatchDVFS is the frequency-sweep fast path (PR 8):
+// consecutive configurations that differ only in clock skip the
+// clock-independent stage entirely (geometry, miss ratios, dispatch,
+// branches) and replay it from the batch's cached invariants, paying only
+// the per-clock memory model and the DRAM combine. CI gates this shape at
+// ≥1M configs/s and 0 allocs/op.
+func BenchmarkPredictBatchDVFS(b *testing.B) {
+	pd := predictorForBench(b)
+	base := arch.Reference()
+	points := arch.DVFSPoints()
+	configs := make([]*arch.Config, 0, 100*len(points))
+	for len(configs) < cap(configs) {
+		for _, p := range points {
+			configs = append(configs, arch.WithDVFS(base, p))
+		}
+	}
+	ctx := context.Background()
+	var br mipp.BatchResult
+	if err := pd.PredictBatchInto(ctx, configs, &br); err != nil {
+		b.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pd.PredictBatchInto(ctx, configs, &br); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	reportPerConfig(b, len(configs), &m0, &m1)
+}
+
 // BenchmarkPredictSequential is the same space through one-at-a-time
 // Predict calls — what the batched path saves in per-call overhead.
 func BenchmarkPredictSequential(b *testing.B) {

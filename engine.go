@@ -621,21 +621,21 @@ func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Confi
 	if workers <= 0 {
 		workers = e.workers
 	}
-	native := make(Results, len(configs))
-	errs := make([]error, len(configs))
-	sweepBatches(ctx, pd, configs, workers, native, errs)
+	br := getBatchResult()
+	defer putBatchResult(br)
+	sweepInto(ctx, pd, configs, workers, br)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	results := make([]*api.Result, len(configs))
-	for i, res := range native {
-		if res != nil {
-			results[i] = apiResult(res, false)
+	for i := range configs {
+		if br.Ok(i) {
+			results[i] = br.apiResult(i, false)
 		}
 	}
 	var itemErrs []api.ItemError
-	for i, err := range errs {
-		if err != nil {
+	for i := range configs {
+		if err := br.Err(i); err != nil {
 			name := ""
 			if configs[i] != nil {
 				name = configs[i].Name
@@ -714,10 +714,11 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 	items := make([]api.BatchItem, len(req.Workloads)*len(configs))
 	runPool(ctx, len(spans), workers, func(si int) {
 		sp := spans[si]
-		native := make(Results, sp.hi-sp.lo)
-		errs := make([]error, sp.hi-sp.lo)
+		var br *BatchResult
 		if pdErrs[sp.wi] == nil {
-			_ = pds[sp.wi].predictBatchInto(ctx, configs[sp.lo:sp.hi], native, errs)
+			br = getBatchResult()
+			defer putBatchResult(br)
+			_ = pds[sp.wi].PredictBatchInto(ctx, configs[sp.lo:sp.hi], br)
 		}
 		for ci := sp.lo; ci < sp.hi; ci++ {
 			item := &items[sp.wi*len(configs)+ci]
@@ -728,10 +729,10 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 			switch {
 			case pdErrs[sp.wi] != nil:
 				item.Error = pdErrs[sp.wi].Error()
-			case errs[ci-sp.lo] != nil:
-				item.Error = errs[ci-sp.lo].Error()
-			case native[ci-sp.lo] != nil:
-				item.Result = apiResult(native[ci-sp.lo], false)
+			case br.Err(ci-sp.lo) != nil:
+				item.Error = br.Err(ci - sp.lo).Error()
+			case br.Ok(ci - sp.lo):
+				item.Result = br.apiResult(ci-sp.lo, false)
 			}
 		}
 	})

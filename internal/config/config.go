@@ -117,8 +117,16 @@ func (c *Config) Validate() error {
 	if c.DispatchWidth <= 0 || c.ROB <= 0 || c.IQ <= 0 {
 		return fmt.Errorf("config %s: non-positive core structure", c.Name)
 	}
+	// One pass over the port map (not UnitCount per class, which rescans
+	// it): a class is issueable iff any port lists it.
+	var served uint64
+	for _, p := range c.Ports {
+		for _, cl := range p {
+			served |= 1 << cl
+		}
+	}
 	for cl := trace.Class(0); cl < trace.NumClasses; cl++ {
-		if c.UnitCount(cl) == 0 {
+		if served&(1<<cl) == 0 {
 			return fmt.Errorf("config %s: no port serves %v", c.Name, cl)
 		}
 		if c.FU[cl].Latency <= 0 {

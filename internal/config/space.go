@@ -5,6 +5,7 @@ import (
 	"iter"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Space is a lazy parametric design space: the cross product of up to six
@@ -40,6 +41,13 @@ type Space struct {
 	Clocks []DVFSPoint `json:"clocks,omitempty"`
 	// Prefetcher enumerates stride-prefetcher settings (off/on).
 	Prefetcher []bool `json:"prefetcher,omitempty"`
+
+	// freqNames caches the fixed-two-decimal frequency strings the naming
+	// scheme embeds: AppendFloat's fixed-precision path is the single most
+	// expensive step of materializing a config, and a space has only a
+	// handful of distinct clocks. Built lazily on first At; building twice
+	// under a race is benign (the contents are deterministic).
+	freqNames atomic.Pointer[[]string]
 }
 
 // NumSpaceAxes is the fixed axis count of a Space (coordinate vectors have
@@ -234,12 +242,37 @@ func (s *Space) at(coords [NumSpaceAxes]int) *Config {
 	buf = append(buf, "k-l3_"...)
 	buf = strconv.AppendInt(buf, c.L3.SizeBytes>>20, 10)
 	buf = append(buf, "m-f"...)
-	buf = strconv.AppendFloat(buf, c.FrequencyGHz, 'f', 2, 64)
+	buf = append(buf, s.freqName(coords[4], c.FrequencyGHz)...)
 	if pf && len(s.Prefetcher) > 0 {
 		buf = append(buf, "+pf"...)
 	}
 	c.Name = string(buf)
 	return c
+}
+
+// freqName returns the fixed-two-decimal string for the clock axis value at
+// coordinate ci (the same bytes strconv.AppendFloat(f, 'f', 2, 64) would
+// produce — FormatFloat builds the cache), serving every At call after the
+// first from the per-Space table. freq is the already-resolved frequency of
+// the configuration, used both to build the table and as the single cached
+// value when the clock axis is pinned.
+//
+//mipp:hotpath
+func (s *Space) freqName(ci int, freq float64) string {
+	if p := s.freqNames.Load(); p != nil {
+		return (*p)[ci]
+	}
+	var names []string
+	if len(s.Clocks) == 0 {
+		names = []string{strconv.FormatFloat(freq, 'f', 2, 64)}
+	} else {
+		names = make([]string, len(s.Clocks))
+		for i, p := range s.Clocks {
+			names[i] = strconv.FormatFloat(p.FrequencyGHz, 'f', 2, 64)
+		}
+	}
+	s.freqNames.CompareAndSwap(nil, &names)
+	return (*s.freqNames.Load())[ci]
 }
 
 // All iterates (index, configuration) pairs lazily in enumeration order;

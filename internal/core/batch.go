@@ -1,0 +1,704 @@
+package core
+
+import (
+	"context"
+
+	"mipp/internal/cache"
+	"mipp/internal/config"
+	"mipp/internal/mlp"
+	"mipp/internal/perf"
+	"mipp/internal/prefetch"
+	"mipp/internal/trace"
+)
+
+// CtxCheckStride is how many configurations EvaluateRangeInto evaluates
+// between consecutive ctx.Err() polls. ctx.Err() is a synchronized load
+// (an atomic at best, a mutex on some Context implementations), which at
+// ~1µs/config is measurable on every iteration of the hot loop; polling
+// every 64 configs bounds cancellation latency to a few tens of
+// microseconds while making the check's cost invisible. The poll at k == 0
+// still catches an already-cancelled context before any work happens.
+const CtxCheckStride = 64
+
+// BatchResult is a struct-of-arrays result block: one flat, reusable slice
+// per quantity, grown once by PrepareBatch and reused across generations so
+// the steady-state batched path allocates nothing. Per-config MicroCPI rows
+// live config-major in one backing array (row i is
+// microCPI[i*nmicros:(i+1)*nmicros]), so a row is sliceable without copying
+// and a whole generation is one allocation no matter how many configs it
+// holds.
+//
+// A BatchResult owns its memory: rows written by EvaluateRangeInto are
+// plain columns, and Result/CopyResult materialize independent copies, so
+// callers that publish results (NDJSON streams, search updates) copy before
+// the buffers are reused. A BatchResult is not safe for concurrent writers
+// on overlapping row ranges; disjoint ranges (one per sweep worker) are
+// race-free.
+type BatchResult struct {
+	n       int
+	nmicros int
+
+	// Header quantities constant across the batch (profile-level).
+	workload     string
+	uops         float64
+	instructions float64
+
+	// Per-config columns, all length n.
+	names     []string
+	valid     []bool
+	cycles    []float64
+	deff      []float64
+	mlpAvg    []float64
+	bmr       []float64
+	llcMisses []float64
+	dramStall []float64
+	stack     [perf.NumComponents][]float64
+	limiter   [][4]float64
+	activity  []perf.Activity
+
+	// microCPI is the config-major len(micros)×n backing array.
+	microCPI []float64
+}
+
+// grow returns s resized to n, reusing its backing array when it is large
+// enough and zeroing the returned prefix either way.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// PrepareBatch sizes br for n configurations evaluated by this kernel,
+// growing each column only when the previous capacity is too small.
+func (c *Compiled) PrepareBatch(br *BatchResult, n int) {
+	p := c.model.Profile
+	br.n = n
+	br.nmicros = len(c.micros)
+	br.workload = p.Workload
+	br.uops = float64(p.TotalUops)
+	br.instructions = float64(p.TotalInstrs)
+	br.names = grow(br.names, n)
+	br.valid = grow(br.valid, n)
+	br.cycles = grow(br.cycles, n)
+	br.deff = grow(br.deff, n)
+	br.mlpAvg = grow(br.mlpAvg, n)
+	br.bmr = grow(br.bmr, n)
+	br.llcMisses = grow(br.llcMisses, n)
+	br.dramStall = grow(br.dramStall, n)
+	for ci := range br.stack {
+		br.stack[ci] = grow(br.stack[ci], n)
+	}
+	br.limiter = grow(br.limiter, n)
+	br.activity = grow(br.activity, n)
+	br.microCPI = grow(br.microCPI, n*br.nmicros)
+}
+
+// Len returns the number of configuration slots in the batch.
+func (br *BatchResult) Len() int { return br.n }
+
+// NumMicros returns the per-config MicroCPI row width.
+func (br *BatchResult) NumMicros() int { return br.nmicros }
+
+// Valid reports whether slot i holds an evaluated result (false for nil
+// configurations and slots past a cancellation point).
+func (br *BatchResult) Valid(i int) bool { return br.valid[i] }
+
+// CyclesAt returns the predicted cycle count of slot i.
+func (br *BatchResult) CyclesAt(i int) float64 { return br.cycles[i] }
+
+// ActivityAt returns the activity factors of slot i, pointing into the
+// batch's column (valid until the next PrepareBatch on br).
+func (br *BatchResult) ActivityAt(i int) *perf.Activity { return &br.activity[i] }
+
+// MicroCPIRow returns slot i's per-micro CPI row, aliasing the batch's
+// backing array (valid until the next PrepareBatch on br).
+func (br *BatchResult) MicroCPIRow(i int) []float64 {
+	return br.microCPI[i*br.nmicros : (i+1)*br.nmicros]
+}
+
+// CopyResult gathers slot i into res, reusing res.MicroCPI's capacity when
+// it is large enough. Every field of res is (re)assigned.
+func (br *BatchResult) CopyResult(i int, res *Result) {
+	res.Config = br.names[i]
+	res.Workload = br.workload
+	res.Cycles = br.cycles[i]
+	res.Uops = br.uops
+	res.Instructions = br.instructions
+	for ci := range res.Stack.Cycles {
+		res.Stack.Cycles[ci] = br.stack[ci][i]
+	}
+	res.Activity = br.activity[i]
+	res.Deff = br.deff[i]
+	res.MLP = br.mlpAvg[i]
+	res.BranchMissRate = br.bmr[i]
+	res.LLCLoadMisses = br.llcMisses[i]
+	res.DRAMStallPerMiss = br.dramStall[i]
+	if res.MicroCPI == nil || cap(res.MicroCPI) < br.nmicros {
+		res.MicroCPI = make([]float64, br.nmicros)
+	} else {
+		res.MicroCPI = res.MicroCPI[:br.nmicros]
+	}
+	copy(res.MicroCPI, br.MicroCPIRow(i))
+	res.Limiter = br.limiter[i]
+}
+
+// Result materializes slot i as a standalone *Result, byte-identical to
+// what Compiled.Evaluate would have returned for the same configuration.
+func (br *BatchResult) Result(i int) *Result {
+	res := &Result{MicroCPI: make([]float64, 0, br.nmicros)}
+	br.CopyResult(i, res)
+	return res
+}
+
+// setRow scatters one evaluated result into slot i's columns.
+//
+//mipp:hotpath
+func (br *BatchResult) setRow(i int, res *Result) {
+	br.names[i] = res.Config
+	br.valid[i] = true
+	br.cycles[i] = res.Cycles
+	br.deff[i] = res.Deff
+	br.mlpAvg[i] = res.MLP
+	br.bmr[i] = res.BranchMissRate
+	br.llcMisses[i] = res.LLCLoadMisses
+	br.dramStall[i] = res.DRAMStallPerMiss
+	for ci := range res.Stack.Cycles {
+		br.stack[ci][i] = res.Stack.Cycles[ci]
+	}
+	br.limiter[i] = res.Limiter
+	br.activity[i] = res.Activity
+	copy(br.MicroCPIRow(i), res.MicroCPI)
+}
+
+// Release drops the references a reused BatchResult pins (configuration
+// name strings) without freeing the numeric columns, so a pooled batch
+// keeps its capacity but no foreign memory.
+func (br *BatchResult) Release() {
+	clear(br.names[:cap(br.names)])
+	br.n = 0
+}
+
+// nonClockKey is the comparable projection of a configuration onto the
+// fields the clock-invariant kernel stages read. Two configurations with
+// equal keys (and equal port maps — compared separately because Ports is a
+// slice) produce identical invariants; only MemConfig and the MLP memory
+// query differ, which is exactly what the DVFS fast path re-runs.
+// FrequencyGHz, VoltageV, Name and Prefetcher are deliberately absent:
+// voltage and the label never reach the core model, and frequency and the
+// prefetcher only enter at the memory-query stage (computeMems patches
+// both into the parameter set), so they are the axes the fast path
+// re-runs cheaply.
+type nonClockKey struct {
+	dispatchWidth int
+	rob           int
+	iq            int
+	lsq           int
+	frontEndDepth int
+	mshrs         int
+	fu            [trace.NumClasses]config.FUSpec
+	l1i           cache.Config
+	l1d           cache.Config
+	l2            cache.Config
+	l3            cache.Config
+	memLatencyNS  float64
+	busNSPerLine  float64
+	memChannels   int
+	predictor     string
+	numPorts      int
+}
+
+func makeKey(cfg *config.Config) nonClockKey {
+	return nonClockKey{
+		dispatchWidth: cfg.DispatchWidth,
+		rob:           cfg.ROB,
+		iq:            cfg.IQ,
+		lsq:           cfg.LSQ,
+		frontEndDepth: cfg.FrontEndDepth,
+		mshrs:         cfg.MSHRs,
+		fu:            cfg.FU,
+		l1i:           cfg.L1I,
+		l1d:           cfg.L1D,
+		l2:            cfg.L2,
+		l3:            cfg.L3,
+		memLatencyNS:  cfg.MemLatencyNS,
+		busNSPerLine:  cfg.BusNSPerLine,
+		memChannels:   cfg.MemChannels,
+		predictor:     cfg.Predictor,
+		numPorts:      len(cfg.Ports),
+	}
+}
+
+// memColKey identifies one MicroMem column across a whole sweep. The
+// normalized mlp.Params sequence a column is computed from is fully
+// determined by these fields plus per-Compiled state (mode, load fractions,
+// the micro set): mlp.Compiled.Evaluate zeroes DispatchRate, BusPerLine and
+// the L1/L2 line counts out of its memo key because no memory model reads
+// them, and MispredictEvery is a pure function of the micro and missRate.
+// Keying columns this way makes them valid across nonClockKey changes — a
+// grid sweep that revisits a (ROB, L3, clock) combination under a different
+// width or L2 reuses the column with no invalidation.
+type memColKey struct {
+	rob        int
+	mshrs      int
+	lat        int
+	bus        int
+	l3         cache.Config
+	prefetcher prefetch.Config
+	missRate   float64
+}
+
+// maxMemCacheEntries bounds the MicroMem columns a warm Batch retains;
+// realistic grid sweeps touch well under this many (ROB, L3, clock,
+// prefetch) combinations. At the bound the cache is flushed whole onto the
+// free list — amortized O(1), never different results.
+const maxMemCacheEntries = 256
+
+// Batch is a single-goroutine evaluation kernel with persistent scratch
+// buffers and the DVFS fast-path state; use one per worker when fanning a
+// sweep out. When consecutive configurations share their nonClockKey and
+// port map, the kernel skips the geometry/miss-ratio/chain stages entirely
+// and re-runs only the frequency-dependent memory query and the final
+// combine — and caches the memory query per distinct clock, so a sweep
+// cycling through a DVFS axis does pure arithmetic per point.
+type Batch struct {
+	c   *Compiled
+	scr scratch
+
+	keyValid bool
+	key      nonClockKey
+	// portBuf/portLens is the flattened port-map snapshot backing the
+	// content comparison (Ports is a slice and not part of nonClockKey).
+	portBuf  []trace.Class
+	portLens []int
+
+	ge       *geomEntry
+	missRate float64
+
+	// memCache holds one MicroMem column per (ROB, MSHRs, L3, clock,
+	// prefetch, missRate) combination seen by this kernel — see memColKey
+	// for why that key makes columns sweep-lifetime valid; memFree recycles
+	// columns retired by a full-cache flush.
+	memCache map[memColKey][]mlp.MicroMem
+	memFree  [][]mlp.MicroMem
+
+	// Clock-invariant lookup caches local to this single-goroutine kernel.
+	// They serve the values the Compiled memo tables would — geometry per
+	// cache-geometry key, raw per-micro miss-ratio triples per geometry,
+	// per-micro chain interpolations per ROB — without the tables' RWMutex
+	// and map hashing, which together dominate the mixed-axis hot loop.
+	// Values are bit-identical (they come from the same tables on a miss),
+	// so batched results stay byte-for-byte equal to Compiled.Evaluate.
+	geomKeyCached geomKey
+	geomCached    *geomEntry
+	mrCache       map[geomKey][]float64 // 3 per micro: L1, L2, LLC miss ratio
+	mrFree        [][]float64
+	chainCache    map[int][]float64 // 2 per micro: ABP, CP at that ROB
+	chainFree     [][]float64
+
+	// Port/unit dispatch-bound cache: the bounds depend only on the port
+	// map and FU table, so the handful of distinct back-ends a sweep visits
+	// (one per dispatch width, typically) each compute once. Keyed by the
+	// FU table plus the width that selected the port map, with the actual
+	// flattened port snapshot verified on every hit so two different port
+	// maps behind one key can never alias.
+	puCache map[puKey]*puEntry
+	puFree  []*puEntry
+
+	// res is the reused gather row for the *Into entry points.
+	res Result
+}
+
+// NewBatch returns a kernel for one goroutine's share of a sweep.
+func (c *Compiled) NewBatch() *Batch { return &Batch{c: c} }
+
+// Evaluate predicts one configuration on the kernel's scratch.
+//
+//mipp:hotpath
+func (b *Batch) Evaluate(cfg *config.Config) *Result {
+	res := &Result{MicroCPI: make([]float64, 0, len(b.c.micros))}
+	b.evaluateInto(cfg, res)
+	return res
+}
+
+// evaluateInto evaluates cfg into res, taking the DVFS fast path when cfg
+// differs from the previous configuration only in clock (and name).
+//
+//mipp:hotpath
+func (b *Batch) evaluateInto(cfg *config.Config, res *Result) {
+	key := makeKey(cfg)
+	if !b.keyValid || key != b.key || !b.samePorts(cfg) {
+		b.ge, b.missRate = b.invariants(cfg)
+		b.key = key
+		b.snapshotPorts(cfg)
+		b.keyValid = true
+	}
+	b.c.finish(cfg, b.ge, b.missRate, b.scr.invs, b.memsFor(cfg), res)
+}
+
+// invariants is the batch kernel's clock-invariant stage: the same math as
+// Compiled.invariants, with the memoized inputs served from the kernel's
+// local caches (geometry entry, miss-ratio triples, chain interpolations)
+// instead of the shared locked tables.
+//
+//mipp:hotpath
+func (b *Batch) invariants(cfg *config.Config) (*geomEntry, float64) {
+	c := b.c
+	gk := geomKey{cfg.L1D, cfg.L2, cfg.L3, cfg.L1I}
+	if b.geomCached == nil || gk != b.geomKeyCached {
+		b.geomCached = c.geometry(cfg)
+		b.geomKeyCached = gk
+	}
+	ge := b.geomCached
+	missRate := c.opts.BranchMissRate
+	if missRate < 0 {
+		missRate = c.model.missRateFor(cfg.Predictor)
+	}
+	prm := c.prm
+	prm.ROB = cfg.ROB
+	prm.MSHRs = cfg.MSHRs
+	prm.L1Lines = float64(cfg.L1D.Lines())
+	prm.L2Lines = float64(cfg.L2.Lines())
+	prm.LLCLines = float64(cfg.L3.Lines())
+	prm.Prefetch = cfg.Prefetcher
+	scr := &b.scr
+	scr.ensureMicros(len(c.micros))
+	mr := b.missRatios(gk, prm)
+	ch := b.chains(cfg.ROB)
+	full := c.opts.DispatchModel == DispatchFull
+	var pu []float64
+	if full {
+		pu = b.portUnits(cfg)
+	}
+	for mi := range c.micros {
+		if c.micros[mi].Len == 0 {
+			scr.invs[mi] = microInv{skip: true}
+			continue
+		}
+		var portD, unitD float64
+		if full {
+			portD, unitD = pu[2*mi], pu[2*mi+1]
+		}
+		c.microInvariant(mi, cfg, ge, &prm, missRate,
+			mr[3*mi], mr[3*mi+1], mr[3*mi+2], ch[2*mi], ch[2*mi+1], portD, unitD, &scr.invs[mi])
+	}
+	return ge, missRate
+}
+
+// puKey selects a port/unit cache entry: the FU table (comparable) plus the
+// dispatch width and port count standing in for the port map itself (a
+// slice, not hashable). Distinct port maps that collide on a key are told
+// apart by the snapshot comparison in portUnits, so the key is a locator,
+// never the correctness boundary.
+type puKey struct {
+	fu       [trace.NumClasses]config.FUSpec
+	width    int
+	numPorts int
+}
+
+// puEntry is one cached back-end: the flattened port snapshot that
+// validates a hit and the per-micro [portD, unitD] column.
+type puEntry struct {
+	lens []int
+	buf  []trace.Class
+	col  []float64
+}
+
+// maxPuCacheEntries bounds the distinct back-ends a warm Batch retains —
+// sweeps touch one per dispatch width, far below this. Flushed whole onto
+// the free list at the bound, like the other batch caches.
+const maxPuCacheEntries = 64
+
+// portUnits returns the per-micro [portD, unitD] dispatch bounds for cfg's
+// execution back-end, computing each distinct (FU table, port map) once per
+// kernel lifetime. A multi-entry cache matters for randomized drivers
+// (search samplers), whose consecutive configs alternate dispatch widths; a
+// single-entry cache would recompute the §3.4 greedy port schedule on
+// nearly every config.
+//
+//mipp:hotpath
+func (b *Batch) portUnits(cfg *config.Config) []float64 {
+	k := puKey{fu: cfg.FU, width: cfg.DispatchWidth, numPorts: len(cfg.Ports)}
+	if e, ok := b.puCache[k]; ok && portsEqual(cfg, e.lens, e.buf) {
+		return e.col
+	}
+	c := b.c
+	n := len(c.micros)
+	if b.puCache == nil {
+		b.puCache = make(map[puKey]*puEntry, 8)
+	} else if len(b.puCache) >= maxPuCacheEntries {
+		for k2, e := range b.puCache {
+			// The free list holds interchangeable spare entries: the refill
+			// below fully overwrites a recycled entry before it is read, so
+			// the map-iteration order never reaches a result.
+			//mipp:allow determinism free-list of fungible buffers, contents overwritten before use
+			b.puFree = append(b.puFree, e)
+			delete(b.puCache, k2)
+		}
+	}
+	e := b.puCache[k] // key collision with a different port map: overwrite in place
+	if e == nil {
+		if fl := len(b.puFree); fl > 0 {
+			e = b.puFree[fl-1]
+			b.puFree = b.puFree[:fl-1]
+		} else {
+			e = new(puEntry)
+		}
+		b.puCache[k] = e
+	}
+	if cap(e.col) < 2*n {
+		e.col = make([]float64, 2*n)
+	}
+	col := e.col[:2*n]
+	for mi := range c.micros {
+		if c.micros[mi].Len == 0 {
+			col[2*mi], col[2*mi+1] = 0, 0
+			continue
+		}
+		col[2*mi], col[2*mi+1] = effectiveDispatchLimits(c.microMixes[mi], cfg, &b.scr)
+	}
+	e.col = col
+	e.lens, e.buf = snapshotPortsInto(cfg, e.lens, e.buf)
+	return col
+}
+
+// missRatios returns the per-micro [L1, L2, LLC] raw load miss ratios for
+// one cache geometry, cached locally. The cache is bounded like memCache:
+// past maxMemCacheEntries geometries it is flushed whole (the columns are
+// recycled), which keeps a long mixed sweep amortized-O(1) per config.
+//
+//mipp:hotpath
+func (b *Batch) missRatios(gk geomKey, prm mlp.Params) []float64 {
+	if col, ok := b.mrCache[gk]; ok {
+		return col
+	}
+	if b.mrCache == nil {
+		b.mrCache = make(map[geomKey][]float64, maxMemCacheEntries)
+	} else if len(b.mrCache) >= maxMemCacheEntries {
+		flushFloatCache(b.mrCache, &b.mrFree)
+	}
+	col := takeFloats(&b.mrFree, 3*len(b.c.micros))
+	for mi := range b.c.micros {
+		if b.c.micros[mi].Len == 0 {
+			col[3*mi], col[3*mi+1], col[3*mi+2] = 0, 0, 0
+			continue
+		}
+		col[3*mi] = b.c.missRatio(mi, prm.L1Lines)
+		col[3*mi+1] = b.c.missRatio(mi, prm.L2Lines)
+		col[3*mi+2] = b.c.missRatio(mi, prm.LLCLines)
+	}
+	b.mrCache[gk] = col
+	return col
+}
+
+// chains returns the per-micro [ABP, CP] chain interpolations at one ROB
+// size, cached locally with the same bound-and-flush policy as missRatios.
+//
+//mipp:hotpath
+func (b *Batch) chains(rob int) []float64 {
+	if col, ok := b.chainCache[rob]; ok {
+		return col
+	}
+	if b.chainCache == nil {
+		b.chainCache = make(map[int][]float64, maxMemCacheEntries)
+	} else if len(b.chainCache) >= maxMemCacheEntries {
+		flushFloatCache(b.chainCache, &b.chainFree)
+	}
+	col := takeFloats(&b.chainFree, 2*len(b.c.micros))
+	for mi := range b.c.micros {
+		if b.c.micros[mi].Len == 0 {
+			col[2*mi], col[2*mi+1] = 0, 0
+			continue
+		}
+		_, abp, cp := b.c.chainAt(mi, rob)
+		col[2*mi] = abp
+		col[2*mi+1] = cp
+	}
+	b.chainCache[rob] = col
+	return col
+}
+
+// flushFloatCache retires every column of a full lookup cache onto its free
+// list so the next fills recycle them.
+func flushFloatCache[K comparable](cache map[K][]float64, free *[][]float64) {
+	for k, col := range cache {
+		// The free list holds interchangeable spare capacity: takeFloats'
+		// caller fully overwrites a recycled column before it is read, so
+		// the map-iteration order never reaches a result.
+		//mipp:allow determinism free-list of fungible buffers, contents overwritten before use
+		*free = append(*free, col)
+		delete(cache, k)
+	}
+}
+
+// takeFloats recycles a retired float column or allocates one of length n.
+func takeFloats(free *[][]float64, n int) []float64 {
+	if f := len(*free); f > 0 {
+		col := (*free)[f-1]
+		*free = (*free)[:f-1]
+		if cap(col) >= n {
+			return col[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// samePorts reports whether cfg's port map matches the snapshot taken at
+// the last invariant computation. Design-space enumerators build fresh
+// Port slices per configuration, so this is a content comparison, not a
+// pointer one.
+//
+//mipp:hotpath
+func (b *Batch) samePorts(cfg *config.Config) bool {
+	return portsEqual(cfg, b.portLens, b.portBuf)
+}
+
+// snapshotPorts flattens cfg's port map into the kernel's reusable
+// buffers.
+func (b *Batch) snapshotPorts(cfg *config.Config) {
+	b.portLens, b.portBuf = snapshotPortsInto(cfg, b.portLens, b.portBuf)
+}
+
+// portsEqual compares cfg's port map against a flattened snapshot by
+// content.
+//
+//mipp:hotpath
+func portsEqual(cfg *config.Config, lens []int, buf []trace.Class) bool {
+	if len(cfg.Ports) != len(lens) {
+		return false
+	}
+	k := 0
+	for pi, p := range cfg.Ports {
+		if len(p) != lens[pi] {
+			return false
+		}
+		for _, cl := range p {
+			if buf[k] != cl {
+				return false
+			}
+			k++
+		}
+	}
+	return true
+}
+
+// snapshotPortsInto flattens cfg's port map into the given reusable
+// buffers, returning them resized.
+func snapshotPortsInto(cfg *config.Config, lens []int, buf []trace.Class) ([]int, []trace.Class) {
+	lens = lens[:0]
+	buf = buf[:0]
+	for _, p := range cfg.Ports {
+		lens = append(lens, len(p))
+		buf = append(buf, p...)
+	}
+	return lens, buf
+}
+
+// memsFor returns the MicroMem column for cfg's memory-relevant state,
+// computing it at most once per distinct memColKey while cached.
+//
+//mipp:hotpath
+func (b *Batch) memsFor(cfg *config.Config) []mlp.MicroMem {
+	mc := cfg.MemConfig()
+	k := memColKey{
+		rob:        cfg.ROB,
+		mshrs:      cfg.MSHRs,
+		lat:        mc.LatencyCycles,
+		bus:        mc.BusCyclesPerLine,
+		l3:         cfg.L3,
+		prefetcher: cfg.Prefetcher,
+		missRate:   b.missRate,
+	}
+	if col, ok := b.memCache[k]; ok {
+		return col
+	}
+	if b.memCache == nil {
+		b.memCache = make(map[memColKey][]mlp.MicroMem, 16)
+	} else if len(b.memCache) >= maxMemCacheEntries {
+		for kk, col := range b.memCache {
+			// The free list holds interchangeable spare capacity:
+			// takeColumn's caller fully overwrites a recycled column before
+			// it is read, so the map-iteration order never reaches a result.
+			//mipp:allow determinism free-list of fungible buffers, contents overwritten before use
+			b.memFree = append(b.memFree, col)
+			delete(b.memCache, kk)
+		}
+	}
+	col := b.takeColumn()
+	b.c.computeMems(cfg, b.scr.invs, col)
+	b.memCache[k] = col
+	return col
+}
+
+// takeColumn recycles a retired MicroMem column or allocates one sized for
+// the current micro-trace count.
+func (b *Batch) takeColumn() []mlp.MicroMem {
+	n := len(b.scr.invs)
+	if f := len(b.memFree); f > 0 {
+		col := b.memFree[f-1]
+		b.memFree = b.memFree[:f-1]
+		if cap(col) >= n {
+			return col[:n]
+		}
+	}
+	return make([]mlp.MicroMem, n)
+}
+
+// EvaluateRangeInto evaluates cfgs into br's slots [off, off+len(cfgs)),
+// which must lie within a PrepareBatch'd br. Nil configurations leave their
+// slot invalid. ctx is polled every CtxCheckStride configurations (see its
+// doc); on cancellation the rows evaluated so far keep their values, the
+// rest stay invalid, and ctx.Err() is returned. A nil ctx disables the
+// checks. Concurrent calls on disjoint ranges of the same br are
+// race-free.
+//
+//mipp:hotpath
+func (c *Compiled) EvaluateRangeInto(ctx context.Context, cfgs []*config.Config, br *BatchResult, off int) error {
+	b := c.batches.Get().(*Batch)
+	if cap(b.res.MicroCPI) < len(c.micros) {
+		b.res.MicroCPI = make([]float64, 0, len(c.micros))
+	}
+	var err error
+	for k, cfg := range cfgs {
+		if ctx != nil && k%CtxCheckStride == 0 {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+		}
+		if cfg == nil {
+			continue
+		}
+		b.evaluateInto(cfg, &b.res)
+		br.setRow(off+k, &b.res)
+	}
+	c.batches.Put(b)
+	return err
+}
+
+// EvaluateBatchInto is the allocation-free batched entry point: it sizes br
+// for cfgs (reusing its buffers) and evaluates every configuration in input
+// order on one pooled kernel. Results land at their input index; see
+// EvaluateRangeInto for nil-config, cancellation and aliasing semantics.
+func (c *Compiled) EvaluateBatchInto(ctx context.Context, cfgs []*config.Config, br *BatchResult) error {
+	c.PrepareBatch(br, len(cfgs))
+	return c.EvaluateRangeInto(ctx, cfgs, br, 0)
+}
+
+// EvaluateBatch evaluates every configuration in input order, returning one
+// freshly materialized *Result per slot. It is a thin adapter over
+// EvaluateBatchInto kept for compatibility; batched callers that care about
+// allocation should hold a BatchResult instead. On cancellation the slots
+// evaluated so far are returned alongside ctx.Err(); the rest are nil.
+func (c *Compiled) EvaluateBatch(ctx context.Context, cfgs []*config.Config) ([]*Result, error) {
+	out := make([]*Result, len(cfgs))
+	var br BatchResult
+	err := c.EvaluateBatchInto(ctx, cfgs, &br)
+	for i := range out {
+		if br.valid[i] {
+			out[i] = br.Result(i)
+		}
+	}
+	return out, err
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mipp/internal/config"
+	"mipp/internal/mlp"
+)
+
+// TestEvaluateBatchIntoGolden is the byte-identity guarantee of the
+// struct-of-arrays kernel: over the full 243-point reference design space
+// and the option variants, EvaluateBatchInto, EvaluateBatch and N
+// one-at-a-time Evaluate calls marshal to exactly the same JSON. The
+// BatchResult is reused across option variants (distinct compiled kernels),
+// exercising the grown-once-reused-forever buffer contract.
+func TestEvaluateBatchIntoGolden(t *testing.T) {
+	m := modelFor(t, "mcf", 60_000)
+	configs := config.DesignSpace()
+	if len(configs) != 243 {
+		t.Fatalf("design space has %d configs, want 243", len(configs))
+	}
+	var br BatchResult
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{MLPMode: mlp.ColdMiss, BranchMissRate: -1},
+		{MLPMode: mlp.StrideMLP, Combined: true, BranchMissRate: -1},
+		{MLPMode: mlp.StrideMLP, NoLLCChain: true, NoBusQueue: true, BranchMissRate: -1},
+	} {
+		c := m.Compile(opts)
+		if err := c.EvaluateBatchInto(context.Background(), configs, &br); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := c.EvaluateBatch(context.Background(), configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range configs {
+			if !br.Valid(i) {
+				t.Fatalf("opts %+v: slot %d (%s) invalid", opts, i, cfg.Name)
+			}
+			want, err := json.Marshal(c.Evaluate(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(br.Result(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(want) != string(got) {
+				t.Fatalf("opts %+v: EvaluateBatchInto slot %d (%s) differs from Evaluate:\ninto:   %s\nsingle: %s",
+					opts, i, cfg.Name, got, want)
+			}
+			adapter, err := json.Marshal(batch[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(want) != string(adapter) {
+				t.Fatalf("opts %+v: EvaluateBatch slot %d (%s) differs from Evaluate", opts, i, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestDVFSFastPathGolden pins the DVFS fast path: over a clock-only sweep a
+// warm Batch must (a) never touch the geometry or miss-ratio memos again —
+// the invariant stages are skipped entirely — and (b) stay deeply equal to
+// the general path, including across a mid-sweep key change (which must
+// invalidate the cached per-clock columns) and back.
+func TestDVFSFastPathGolden(t *testing.T) {
+	m := modelFor(t, "soplex", 60_000)
+	c := m.Compile(DefaultOptions())
+
+	base := config.Reference()
+	var clockOnly []*config.Config
+	for rep := 0; rep < 4; rep++ {
+		for _, p := range config.DVFSPoints() {
+			clockOnly = append(clockOnly, config.WithDVFS(base, p))
+		}
+	}
+
+	b := c.NewBatch()
+	b.Evaluate(clockOnly[0]) // prime the invariants for the sweep's key
+	before := c.Stats()
+	fast := make([]*Result, len(clockOnly))
+	for i, cfg := range clockOnly {
+		fast[i] = b.Evaluate(cfg)
+	}
+	after := c.Stats()
+	if after.GeometryLookups != before.GeometryLookups {
+		t.Errorf("clock-only sweep did %d geometry lookups on the fast path, want 0",
+			after.GeometryLookups-before.GeometryLookups)
+	}
+	if after.MissRatioLookups != before.MissRatioLookups {
+		t.Errorf("clock-only sweep did %d miss-ratio lookups on the fast path, want 0",
+			after.MissRatioLookups-before.MissRatioLookups)
+	}
+	for i, cfg := range clockOnly {
+		if general := c.Evaluate(cfg); !reflect.DeepEqual(general, fast[i]) {
+			t.Fatalf("fast path result %d (%s) differs from general path", i, cfg.Name)
+		}
+	}
+
+	// A key change mid-stream (different width → different ports and
+	// dispatch) must leave the kernel correct when the sweep returns to the
+	// original key: the cached clock columns belong to the old invariants.
+	wide := config.DesignSpace()[81] // a width-4 point vs whatever ran before
+	mixed := []*config.Config{clockOnly[0], wide, clockOnly[1], clockOnly[2]}
+	for i, cfg := range mixed {
+		got := b.Evaluate(cfg)
+		if want := c.Evaluate(cfg); !reflect.DeepEqual(want, got) {
+			t.Fatalf("mixed sweep result %d (%s) differs from general path", i, cfg.Name)
+		}
+	}
+}
+
+// TestEvaluateRangeIntoNilAndOffset pins EvaluateRangeInto's contract: rows
+// land at their offset, nil configurations leave their slot invalid, and
+// valid slots match Evaluate.
+func TestEvaluateRangeIntoNilAndOffset(t *testing.T) {
+	m := modelFor(t, "gamess", 60_000)
+	c := m.Compile(DefaultOptions())
+	configs := config.DesignSpace()[:9]
+	configs[4] = nil
+
+	var br BatchResult
+	c.PrepareBatch(&br, len(configs))
+	if err := c.EvaluateRangeInto(context.Background(), configs[:5], &br, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EvaluateRangeInto(context.Background(), configs[5:], &br, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range configs {
+		if cfg == nil {
+			if br.Valid(i) {
+				t.Fatalf("nil config slot %d marked valid", i)
+			}
+			continue
+		}
+		if !br.Valid(i) {
+			t.Fatalf("slot %d (%s) invalid", i, cfg.Name)
+		}
+		if want := c.Evaluate(cfg); !reflect.DeepEqual(want, br.Result(i)) {
+			t.Fatalf("slot %d (%s) differs from Evaluate", i, cfg.Name)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -66,6 +65,11 @@ type Compiled struct {
 	geomComputes atomic.Uint64
 	mrLookups    atomic.Uint64
 	mrComputes   atomic.Uint64
+
+	// batches pools warm evaluation kernels — scratch buffers plus the
+	// DVFS fast-path state — for the batched *Into entry points, so
+	// repeated generations reuse invariants instead of rebuilding them.
+	batches sync.Pool
 }
 
 // Memo-table bounds: real sweeps stay far below these (the stock 243-point
@@ -140,6 +144,7 @@ func newCompiled(m *Model, opts Options) *Compiled {
 		c.microMixes[i] = micro.Mix()
 		c.mcs[i] = mlp.Compile(p, micro, curves.Curve)
 	}
+	c.batches.New = func() any { return &Batch{c: c} }
 	return c
 }
 
@@ -147,6 +152,9 @@ func newCompiled(m *Model, opts Options) *Compiled {
 // Lookups minus computes is the number of cache hits. Under concurrent
 // evaluation two goroutines may race to fill the same entry, so computes is
 // an upper bound on distinct keys; single-goroutine use counts exactly.
+// Batch kernels consult their own lock-free caches first and reach these
+// tables only on a batch-cache miss, so lookup counters under-count batched
+// sweeps (computes stay exact).
 type CompiledStats struct {
 	// GeometryLookups and StatStackPredicts count per-config geometry
 	// resolutions and the StatStack predictions actually computed.
@@ -280,6 +288,52 @@ type scratch struct {
 	serving  []int
 	tied     []int
 	multi    []trace.Class
+	invs     []microInv
+	mems     []mlp.MicroMem
+}
+
+// ensureMicros sizes the per-micro-trace stage buffers for one evaluation.
+func (s *scratch) ensureMicros(n int) {
+	if cap(s.invs) < n {
+		s.invs = make([]microInv, n)
+	} else {
+		s.invs = s.invs[:n]
+	}
+	if cap(s.mems) < n {
+		s.mems = make([]mlp.MicroMem, n)
+	} else {
+		s.mems = s.mems[:n]
+	}
+}
+
+// pooledCapLimit bounds the slice capacity a scratch may carry back into
+// scratchPool: one evaluation of a pathologically wide configuration (or a
+// profile with an enormous micro-trace count) must not pin its buffers for
+// the life of the pool. Oversized slices are dropped on Put and reallocated
+// by the next evaluation that needs them; real configurations stay far
+// below the limit, so the trim is free on the steady path.
+const pooledCapLimit = 1 << 12
+
+// trim drops oversized buffers before the scratch returns to the pool.
+func (s *scratch) trim() {
+	if cap(s.activity) > pooledCapLimit {
+		s.activity = nil
+	}
+	if cap(s.serving) > pooledCapLimit {
+		s.serving = nil
+	}
+	if cap(s.tied) > pooledCapLimit {
+		s.tied = nil
+	}
+	if cap(s.multi) > pooledCapLimit {
+		s.multi = nil
+	}
+	if cap(s.invs) > pooledCapLimit {
+		s.invs = nil
+	}
+	if cap(s.mems) > pooledCapLimit {
+		s.mems = nil
+	}
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -292,95 +346,147 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 func (c *Compiled) Evaluate(cfg *config.Config) *Result {
 	scr := scratchPool.Get().(*scratch)
 	res := c.evaluate(cfg, scr)
+	scr.trim()
 	scratchPool.Put(scr)
 	return res
 }
 
-// Batch is a single-goroutine evaluation kernel with persistent scratch
-// buffers; use one per worker when fanning a sweep out.
-type Batch struct {
-	c   *Compiled
-	scr scratch
-}
-
-// NewBatch returns a kernel for one goroutine's share of a sweep.
-func (c *Compiled) NewBatch() *Batch { return &Batch{c: c} }
-
-// Evaluate predicts one configuration on the kernel's scratch.
-//
-//mipp:hotpath
-func (b *Batch) Evaluate(cfg *config.Config) *Result { return b.c.evaluate(cfg, &b.scr) }
-
-// EvaluateBatch evaluates every configuration in input order on one kernel,
-// checking ctx between configurations so cancellation inside a large batch
-// is observed promptly. Results land at their input index; on cancellation
-// the slice is returned with the configurations evaluated so far alongside
-// ctx.Err(). A nil ctx disables the cancellation checks.
-//
-//mipp:hotpath
-func (c *Compiled) EvaluateBatch(ctx context.Context, cfgs []*config.Config) ([]*Result, error) {
-	out := make([]*Result, len(cfgs))
-	b := c.NewBatch()
-	for i, cfg := range cfgs {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return out, err
-			}
-		}
-		out[i] = b.Evaluate(cfg)
-	}
-	return out, nil
-}
-
 // evaluate applies Equation 3.1 across the micro-traces for one
-// configuration and combines the predictions.
+// configuration and combines the predictions. It is the one-shot
+// composition of the three kernel stages the batched DVFS fast path reuses
+// separately: invariants (everything independent of the clock), computeMems
+// (the frequency-dependent MLP model queries) and finish (the combine).
 //
 //mipp:hotpath
 func (c *Compiled) evaluate(cfg *config.Config, scr *scratch) *Result {
-	p := c.model.Profile
-	ge := c.geometry(cfg)
-	res := &Result{
-		Config:       cfg.Name,
-		Workload:     p.Workload,
-		Uops:         float64(p.TotalUops),
-		Instructions: float64(p.TotalInstrs),
-	}
-	res.BranchMissRate = c.opts.BranchMissRate
-	if res.BranchMissRate < 0 {
-		res.BranchMissRate = c.model.missRateFor(cfg.Predictor)
-	}
+	res := &Result{MicroCPI: make([]float64, 0, len(c.micros))}
+	ge, missRate := c.invariants(cfg, scr)
+	c.computeMems(cfg, scr.invs, scr.mems)
+	c.finish(cfg, ge, missRate, scr.invs, scr.mems, res)
+	return res
+}
 
+// microInv is the clock-invariant share of one micro-trace's evaluation:
+// every CPI component except DRAM, the effective dispatch rate, the
+// predicted LLC load misses, and the MLP parameter set minus its two
+// frequency-derived fields (MemLatency, BusPerLine — patched in by
+// computeMems). The DVFS fast path computes these once per distinct
+// non-clock configuration and re-runs only computeMems + finish per clock.
+type microInv struct {
+	stack   perf.CPIStack
+	deff    float64
+	misses  float64
+	limiter int
+	skip    bool // zero-length micro-trace: contributes nothing
+	prm     mlp.Params
+}
+
+// invariants computes the clock-invariant evaluation state for one
+// configuration: the geometry entry, the branch miss rate, and one microInv
+// per micro-trace in scr.invs.
+//
+//mipp:hotpath
+func (c *Compiled) invariants(cfg *config.Config, scr *scratch) (*geomEntry, float64) {
+	ge := c.geometry(cfg)
+	missRate := c.opts.BranchMissRate
+	if missRate < 0 {
+		missRate = c.model.missRateFor(cfg.Predictor)
+	}
 	prm := c.prm
 	prm.ROB = cfg.ROB
 	prm.MSHRs = cfg.MSHRs
-	mem := cfg.MemConfig()
-	prm.MemLatency = mem.LatencyCycles
-	prm.BusPerLine = mem.BusCyclesPerLine
 	prm.L1Lines = float64(cfg.L1D.Lines())
 	prm.L2Lines = float64(cfg.L2.Lines())
 	prm.LLCLines = float64(cfg.L3.Lines())
 	prm.Prefetch = cfg.Prefetcher
+	scr.ensureMicros(len(c.micros))
+	full := c.opts.DispatchModel == DispatchFull
+	for mi := range c.micros {
+		if c.micros[mi].Len == 0 {
+			scr.invs[mi] = microInv{skip: true}
+			continue
+		}
+		mrL1 := c.missRatio(mi, prm.L1Lines)
+		mrL2 := c.missRatio(mi, prm.L2Lines)
+		mrLLC := c.missRatio(mi, prm.LLCLines)
+		_, abp, cp := c.chainAt(mi, cfg.ROB)
+		var portD, unitD float64
+		if full {
+			portD, unitD = effectiveDispatchLimits(c.microMixes[mi], cfg, scr)
+		}
+		c.microInvariant(mi, cfg, ge, &prm, missRate, mrL1, mrL2, mrLLC, abp, cp, portD, unitD, &scr.invs[mi])
+	}
+	return ge, missRate
+}
 
-	res.MicroCPI = make([]float64, 0, len(c.micros))
+// computeMems runs the frequency-dependent MLP model query for every
+// micro-trace: the invariant parameter set patched with the DRAM latency
+// and bus occupancy the configuration's clock implies, plus the prefetcher
+// setting. Prefetch is patched here, not baked into the invariants, because
+// no clock-invariant stage reads it — which lets the batch kernel's fast
+// path treat the prefetcher like a second clock axis and reuse invariants
+// across a prefetcher toggle.
+//
+//mipp:hotpath
+func (c *Compiled) computeMems(cfg *config.Config, invs []microInv, mems []mlp.MicroMem) {
+	mem := cfg.MemConfig()
+	for mi := range invs {
+		if invs[mi].skip {
+			mems[mi] = mlp.MicroMem{}
+			continue
+		}
+		prm := invs[mi].prm
+		prm.MemLatency = mem.LatencyCycles
+		prm.BusPerLine = mem.BusCyclesPerLine
+		prm.Prefetch = cfg.Prefetcher
+		mems[mi] = c.mcs[mi].Evaluate(prm)
+	}
+}
+
+// finish combines the per-micro invariants with their per-clock MicroMem
+// column into res — the only stage that runs on every configuration of a
+// warm DVFS sweep. res may be a reused row: every output field is
+// (re)assigned, and MicroCPI is appended into its existing capacity.
+//
+//mipp:hotpath
+func (c *Compiled) finish(cfg *config.Config, ge *geomEntry, missRate float64, invs []microInv, mems []mlp.MicroMem, res *Result) {
+	p := c.model.Profile
+	mem := cfg.MemConfig()
+	res.Config = cfg.Name
+	res.Workload = p.Workload
+	res.Cycles = 0
+	res.Uops = float64(p.TotalUops)
+	res.Instructions = float64(p.TotalInstrs)
+	res.Stack = perf.CPIStack{}
+	res.Activity = perf.Activity{}
+	res.Deff = 0
+	res.MLP = 0
+	res.BranchMissRate = missRate
+	res.LLCLoadMisses = 0
+	res.DRAMStallPerMiss = 0
+	res.MicroCPI = res.MicroCPI[:0]
+	res.Limiter = [4]float64{}
+
 	var totalUops float64
 	var deffSum, mlpSum, mlpW float64
 	var missSum, dramStall float64
-	for mi, micro := range c.micros {
-		ev := c.evaluateMicro(mi, cfg, ge, prm, scr)
+	for mi := range invs {
+		ev := c.microFinish(mi, cfg, ge, &invs[mi], mems[mi], mem.LatencyCycles, mem.BusCyclesPerLine)
 		res.Stack.Add(&ev.stack)
-		totalUops += float64(micro.Len)
-		deffSum += ev.deff * float64(micro.Len)
+		n := float64(c.micros[mi].Len)
+		totalUops += n
+		deffSum += ev.deff * n
 		if ev.misses > 0 {
 			mlpSum += ev.mlp * ev.misses
 			mlpW += ev.misses
 			missSum += ev.misses
 			dramStall += ev.stack.Cycles[perf.DRAM]
 		}
-		res.MicroCPI = append(res.MicroCPI, ev.stack.Total()/float64(micro.Len))
+		res.MicroCPI = append(res.MicroCPI, ev.stack.Total()/n)
 		res.Limiter[ev.limiter]++
 	}
 	if totalUops == 0 {
-		return res
+		return
 	}
 	// Scale the sampled prediction to the full stream.
 	scale := float64(p.TotalUops) / totalUops
@@ -397,25 +503,32 @@ func (c *Compiled) evaluate(cfg *config.Config, scr *scratch) *Result {
 		res.DRAMStallPerMiss = dramStall / missSum
 	}
 	c.fillActivity(res, ge.pred)
-	return res
 }
 
-// evaluateMicro applies Equation 3.1 to one micro-trace.
+// microInvariant applies the clock-invariant part of Equation 3.1 to one
+// micro-trace: miss ratios, dispatch rate, base, branch, I-cache and
+// chained-LLC-hit components, and the MLP parameter set short of the
+// frequency-derived fields. The memoized or mix-derived per-micro inputs —
+// the raw L1/L2/LLC load miss ratios, the chain interpolation (ABP, CP) at
+// cfg.ROB, and the port/unit dispatch bounds — are computed by the caller,
+// so batch kernels can serve them from their lock-free local caches. The
+// result is written into out (a reused scr.invs slot), and prm's per-micro
+// fields (MispredictEvery, DispatchRate) are unconditionally reassigned, so
+// one caller-owned Params template serves every micro.
 //
 //mipp:hotpath
-func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm mlp.Params, scr *scratch) microEval {
+func (c *Compiled) microInvariant(mi int, cfg *config.Config, ge *geomEntry, prm *mlp.Params, missRate float64, mrL1, mrL2, mrLLC, abp, cp, portD, unitD float64, out *microInv) {
 	micro := c.micros[mi]
-	var ev microEval
 	n := float64(micro.Len)
+	*out = microInv{}
 	if n == 0 {
-		return ev
+		out.skip = true
+		return
 	}
+	inv := out
 	mix := c.microMixes[mi]
 
 	// Per-micro cache behaviour: L1/L2/LLC load miss ratios.
-	mrL1 := c.missRatio(mi, prm.L1Lines)
-	mrL2 := c.missRatio(mi, prm.L2Lines)
-	mrLLC := c.missRatio(mi, prm.LLCLines)
 	if mrL2 > mrL1 {
 		mrL2 = mrL1
 	}
@@ -427,26 +540,21 @@ func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm 
 	lat := averageLatency(mix, cfg, mrL1)
 
 	// Effective dispatch rate (Eq 3.10) with the per-ROB critical path.
-	_, abp, cp := c.chainAt(mi, cfg.ROB)
-	deff, limiter := effectiveDispatchScratch(mix, cfg, lat, cp, c.opts.DispatchModel, scr)
-	ev.deff = deff
-	ev.limiter = limiter
+	deff, limiter := effectiveDispatchFrom(cfg, lat, cp, c.opts.DispatchModel, portD, unitD)
+	inv.deff = deff
+	inv.limiter = limiter
 
 	// Base component.
 	if c.opts.DispatchModel == DispatchInstructions {
-		ev.stack.Cycles[perf.Base] = float64(micro.Instrs) / float64(cfg.DispatchWidth)
+		inv.stack.Cycles[perf.Base] = float64(micro.Instrs) / float64(cfg.DispatchWidth)
 	} else {
-		ev.stack.Cycles[perf.Base] = n / deff
+		inv.stack.Cycles[perf.Base] = n / deff
 	}
 
 	// Branch misprediction component: m_bpred × (c_res + c_fe). When the
 	// backend, not the front-end, is the bottleneck (Deff < D), the ROB
 	// backlog keeps the core busy while the front-end recovers; only the
 	// part of the recovery that outlasts the backlog drain costs cycles.
-	missRate := c.opts.BranchMissRate
-	if missRate < 0 {
-		missRate = c.model.missRateFor(cfg.Predictor)
-	}
 	branches := float64(micro.Branches)
 	mispred := branches * missRate
 	if mispred > 0 {
@@ -458,7 +566,7 @@ func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm 
 		if resolution < 0 {
 			resolution = 0
 		}
-		ev.stack.Cycles[perf.BranchComp] = mispred * (resolution + float64(cfg.FrontEndDepth))
+		inv.stack.Cycles[perf.BranchComp] = mispred * (resolution + float64(cfg.FrontEndDepth))
 		prm.MispredictEvery = n / mispred
 	} else {
 		prm.MispredictEvery = 0
@@ -467,22 +575,41 @@ func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm 
 	// I-cache component: misses resolved from L2.
 	if ge.pred.ICacheMPKI > 0 {
 		icMisses := ge.pred.ICacheMPKI / 1000 * float64(micro.Instrs)
-		ev.stack.Cycles[perf.ICache] = icMisses * float64(cfg.L2.LatencyCycles)
+		inv.stack.Cycles[perf.ICache] = icMisses * float64(cfg.L2.LatencyCycles)
 	}
 
-	// Memory component: m_LLC × (c_mem + c_bus)/MLP with prefetch,
-	// MSHR and bus corrections.
+	// The memory component itself is frequency-dependent (computeMems /
+	// microFinish); what is invariant is the fully-specified parameter
+	// set short of MemLatency/BusPerLine, and the predicted miss count.
 	prm.DispatchRate = deff
-	mem := c.mcs[mi].Evaluate(prm)
-	misses := mrLLC * float64(micro.LoadCount)
-	ev.misses = misses
-	ev.mlp = mem.MLP
-	if misses > 0 {
-		cmem := float64(prm.MemLatency) + float64(cfg.L3.LatencyCycles)
+	inv.misses = mrLLC * float64(micro.LoadCount)
+
+	// Chained LLC hits (§4.8, Eq 4.7-4.12).
+	if !c.opts.NoLLCChain {
+		inv.stack.Cycles[perf.LLCHit] = c.llcChainPenalty(mi, cfg, deff, mrL2, mrLLC)
+	}
+	inv.prm = *prm
+}
+
+// microFinish completes Equation 3.1 for one micro-trace: the DRAM
+// component — m_LLC × (c_mem + c_bus)/MLP with prefetch, MSHR and bus
+// corrections — on top of the invariant components.
+//
+//mipp:hotpath
+func (c *Compiled) microFinish(mi int, cfg *config.Config, ge *geomEntry, inv *microInv, mem mlp.MicroMem, latCycles, busPerLine int) microEval {
+	if inv.skip {
+		return microEval{}
+	}
+	ev := microEval{stack: inv.stack, deff: inv.deff, mlp: mem.MLP, misses: inv.misses, limiter: inv.limiter}
+	if inv.misses > 0 {
+		n := float64(c.micros[mi].Len)
+		deff := inv.deff
+		misses := inv.misses
+		cmem := float64(latCycles) + float64(cfg.L3.LatencyCycles)
 		cbus := 0.0
 		if !c.opts.NoBusQueue {
 			mlpPrime := mlp.RescaleForStores(mem.MLP, misses, ge.storeMissPerUop*n)
-			cbus = mlp.BusLatency(mlpPrime, prm.BusPerLine)
+			cbus = mlp.BusLatency(mlpPrime, busPerLine)
 		}
 		// Prefetch coverage (Eq 4.13): timely misses cost nothing;
 		// partial ones cost the residual latency.
@@ -514,11 +641,6 @@ func (c *Compiled) evaluateMicro(mi int, cfg *config.Config, ge *geomEntry, prm 
 			penalty = 0
 		}
 		ev.stack.Cycles[perf.DRAM] = penalty
-	}
-
-	// Chained LLC hits (§4.8, Eq 4.7-4.12).
-	if !c.opts.NoLLCChain {
-		ev.stack.Cycles[perf.LLCHit] = c.llcChainPenalty(mi, cfg, deff, mrL2, mrLLC)
 	}
 	return ev
 }

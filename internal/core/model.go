@@ -232,6 +232,33 @@ func effectiveDispatch(mix [trace.NumClasses]float64, cfg *config.Config, lat, c
 // effectiveDispatchScratch is effectiveDispatch on caller-owned scratch, so
 // the batched hot path schedules ports without allocating.
 func effectiveDispatchScratch(mix [trace.NumClasses]float64, cfg *config.Config, lat, cp float64, dm DispatchModel, scr *scratch) (float64, int) {
+	var portD, unitD float64
+	if dm == DispatchFull {
+		portD, unitD = effectiveDispatchLimits(mix, cfg, scr)
+	}
+	return effectiveDispatchFrom(cfg, lat, cp, dm, portD, unitD)
+}
+
+// effectiveDispatchLimits computes the port- and unit-contention dispatch
+// bounds — functions of the uop mix and the port/FU tables only, never of
+// latency, window or clock, so batch kernels cache them per micro across
+// whole grid sweeps.
+//
+//mipp:hotpath
+func effectiveDispatchLimits(mix [trace.NumClasses]float64, cfg *config.Config, scr *scratch) (portD, unitD float64) {
+	// Port contention: schedule the mix onto ports (§3.4's greedy
+	// algorithm) and bound by the busiest port's activity.
+	// Functional-unit contention: pipelined units bound by unit count,
+	// non-pipelined by count/latency.
+	return portLimit(mix, cfg, scr), unitLimit(mix, cfg)
+}
+
+// effectiveDispatchFrom combines the dispatch bounds into Deff (Eq 3.10).
+// portD and unitD are read only under DispatchFull, the one model that
+// prices contention.
+//
+//mipp:hotpath
+func effectiveDispatchFrom(cfg *config.Config, lat, cp float64, dm DispatchModel, portD, unitD float64) (float64, int) {
 	deff := float64(cfg.DispatchWidth)
 	limiter := 0
 	if dm == DispatchUops || dm == DispatchInstructions {
@@ -247,15 +274,11 @@ func effectiveDispatchScratch(mix [trace.NumClasses]float64, cfg *config.Config,
 	if dm == DispatchCritical {
 		return deff, limiter
 	}
-	// Port contention: schedule the mix onto ports (§3.4's greedy
-	// algorithm) and bound by the busiest port's activity.
-	if portD := portLimit(mix, cfg, scr); portD < deff {
+	if portD < deff {
 		deff = portD
 		limiter = 2
 	}
-	// Functional-unit contention: pipelined units bound by unit count,
-	// non-pipelined by count/latency.
-	if unitD := unitLimit(mix, cfg); unitD < deff {
+	if unitD < deff {
 		deff = unitD
 		limiter = 3
 	}

@@ -28,11 +28,16 @@ import (
 //     allocation per iteration; hoist it above the loop.
 //   - defer-in-loop: defer inside a loop runs at function exit, not loop
 //     exit, and each one allocates a deferred frame.
+//   - make-in-loop: make() inside a loop — one slice/map/channel allocation
+//     per iteration; hoist the buffer above the loop and reuse it.
+//   - map-in-loop: a map composite literal inside a loop — allocates the
+//     map (and its buckets) per iteration.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "enforces //mipp:hotpath: no fmt calls, string concatenation, " +
 		"capacity-less appends, scalar interface boxing, per-iteration closures, " +
-		"or defers in loops inside functions annotated as allocation-budgeted",
+		"defers in loops, or per-iteration make/map allocations inside functions " +
+		"annotated as allocation-budgeted",
 	Run: runHotpath,
 }
 
@@ -90,8 +95,18 @@ func checkHotpath(pass *Pass, fd *ast.FuncDecl) {
 				return false
 			case *ast.AssignStmt:
 				checkStringConcat(pass, fd, node, inLoop)
+			case *ast.CompositeLit:
+				if inLoop {
+					if t := pass.TypeOf(node); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(node.Pos(), "map-in-loop",
+								"map literal inside a loop in hot path %s: allocates the map and its buckets per iteration; hoist it above the loop and reuse it",
+								fd.Name.Name)
+						}
+					}
+				}
 			case *ast.CallExpr:
-				checkHotCall(pass, fd, node, prealloc, params)
+				checkHotCall(pass, fd, node, prealloc, params, inLoop)
 			}
 			return true
 		})
@@ -124,16 +139,26 @@ func checkStringConcat(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, inLoop 
 	}
 }
 
-func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc, params map[string]bool) {
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc, params map[string]bool, inLoop bool) {
 	if pkg, name := pkgFuncCall(pass, call); pkg == "fmt" {
 		pass.Reportf(call.Pos(), "fmt-call",
 			"fmt.%s in hot path %s: allocates the formatted string and boxes every argument; move formatting off the evaluation path",
 			name, fd.Name.Name)
 		return
 	}
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
-		checkAppend(pass, fd, call, prealloc, params)
-		return
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "append":
+			checkAppend(pass, fd, call, prealloc, params)
+			return
+		case "make":
+			if inLoop {
+				pass.Reportf(call.Pos(), "make-in-loop",
+					"make inside a loop in hot path %s: allocates per iteration; hoist the buffer above the loop and reuse it",
+					fd.Name.Name)
+			}
+			return
+		}
 	}
 	checkInterfaceBoxing(pass, fd, call)
 }

@@ -85,6 +85,50 @@ func hotBox(x float64) {
 	sink(x) // want `\[hotpath/interface-box\] float64`
 }
 
+//mipp:hotpath
+func hotMake(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want `\[hotpath/make-in-loop\]`
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+//mipp:hotpath
+func hotMakeMap(keys []string) int {
+	total := 0
+	for range keys {
+		m := make(map[string]int, 4) // want `\[hotpath/make-in-loop\]`
+		total += len(m)
+	}
+	return total
+}
+
+// hoistedMake allocates the buffer once, above the loop: silent.
+//
+//mipp:hotpath
+func hoistedMake(n int) int {
+	buf := make([]int, 8)
+	total := 0
+	for i := 0; i < n; i++ {
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+//mipp:hotpath
+func hotMapLit(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		m := map[string]int{k: 1} // want `\[hotpath/map-in-loop\]`
+		total += m[k]
+	}
+	return total
+}
+
 // hotPanic demonstrates the escape hatch on a cold panic path.
 //
 //mipp:hotpath

@@ -1,19 +1,25 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // perf record and enforces metric budgets, so CI can both archive the perf
-// trajectory (BENCH_pr4.json) and fail when a hot path regresses.
+// trajectory (BENCH_pr8.json) and fail when a hot path regresses.
 //
 // Usage:
 //
 //	go test -run=NONE -bench=... -benchmem . ./search | \
-//	    go run ./internal/tools/benchjson -out BENCH_pr4.json \
-//	        -limit 'PredictBatch:allocs/config:10' \
-//	        -limit 'SearchRandom:allocs/eval:6.2'
+//	    go run ./internal/tools/benchjson -out BENCH_pr8.json \
+//	        -limit 'PredictBatchInto:allocs/op:0' \
+//	        -min 'PredictBatchDVFS:configs/s:1000000' \
+//	        -ratio 'SearchRandom:evals/s:SearchEvaluatorKernel:evals/s:0.833'
 //
 // Every benchmark line becomes an entry keyed by its name (the -<procs>
 // suffix stripped), holding iterations plus each reported metric verbatim
-// ("ns/op", "configs/s", "allocs/config", ...). A -limit NAME:METRIC:MAX
-// flag (repeatable) makes the run fail if the named benchmark is missing,
-// the metric is absent, or its value exceeds MAX.
+// ("ns/op", "configs/s", "allocs/config", ...). Budgets are repeatable and
+// fail the run when the named benchmark or metric is missing:
+//
+//   - -limit NAME:METRIC:MAX   fails if the metric exceeds MAX
+//   - -min   NAME:METRIC:MIN   fails if the metric is below MIN
+//   - -ratio A:MA:B:MB:MIN     fails if A's MA divided by B's MB is below
+//     MIN — e.g. the search driver's evals/s must stay within 1.2× of the
+//     raw kernel's (ratio ≥ 1/1.2 ≈ 0.833)
 package main
 
 import (
@@ -39,36 +45,40 @@ type record struct {
 	SchemaVersion int    `json:"schema_version"`
 	PR            int    `json:"pr"`
 	Note          string `json:"note,omitempty"`
-	// Seed records the prior PR's achieved numbers (BENCH_pr3.json: the
-	// batched kernel and the 1-worker engine batch) so the trajectory is
-	// readable from this file alone. The search drivers are budgeted
-	// against the kernel's allocs/config floor.
+	// Seed records the prior PR's achieved numbers (BENCH_pr4.json: the
+	// []*Result batch adapter, the 1-worker engine batch, and the random
+	// search driver) so the trajectory is readable from this file alone.
 	Seed     map[string]float64 `json:"seed_baseline"`
 	Benches  map[string]entry   `json:"benchmarks"`
 	Failures []string           `json:"budget_failures,omitempty"`
 }
 
-type limits []string
+type budgets []string
 
-func (l *limits) String() string     { return strings.Join(*l, ",") }
-func (l *limits) Set(s string) error { *l = append(*l, s); return nil }
+func (l *budgets) String() string     { return strings.Join(*l, ",") }
+func (l *budgets) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
-		lims limits
+		out                = flag.String("out", "BENCH_pr8.json", "output JSON path (- for stdout)")
+		pr                 = flag.Int("pr", 8, "PR number stamped into the record")
+		note               = flag.String("note", "zero-alloc struct-of-arrays batch kernel: EvaluateBatchInto + batch-local memo caches; DVFS fast path >1M configs/s", "note stamped into the record")
+		lims, mins, ratios budgets
 	)
 	flag.Var(&lims, "limit", "budget NAME:METRIC:MAX (repeatable); fail if exceeded or missing")
+	flag.Var(&mins, "min", "floor NAME:METRIC:MIN (repeatable); fail if below or missing")
+	flag.Var(&ratios, "ratio", "floor A:METRICA:B:METRICB:MIN (repeatable); fail if A/B below MIN or missing")
 	flag.Parse()
 
 	rec := record{
 		SchemaVersion: 1,
-		PR:            4,
-		Note:          "search subsystem: strategy drivers (random/hill/genetic) over a ~61k-point lazy parametric space, vs the raw batched kernel",
+		PR:            *pr,
+		Note:          *note,
 		Seed: map[string]float64{
-			"pr3_predict_batch_configs_per_s":     171099,
-			"pr3_predict_batch_allocs_per_config": 3.148,
-			"pr3_engine_evaluate_configs_per_s":   93525,
+			"pr4_predict_batch_configs_per_s":     214629,
+			"pr4_predict_batch_allocs_per_config": 3.148,
+			"pr4_engine_evaluate_configs_per_s":   132684,
+			"pr4_search_random_evals_per_s":       156971,
 		},
 		Benches: make(map[string]entry),
 	}
@@ -103,6 +113,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	// metric resolves NAME:METRIC against the parsed benchmarks, recording a
+	// failure (and returning ok=false) when either is absent.
+	metric := func(name, met string) (float64, bool) {
+		e, ok := rec.Benches[name]
+		if !ok {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("benchmark %q missing", name))
+			return 0, false
+		}
+		v, ok := e.Metrics[met]
+		if !ok {
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: metric %q missing", name, met))
+			return 0, false
+		}
+		return v, true
+	}
+
 	for _, lim := range lims {
 		parts := strings.Split(lim, ":")
 		if len(parts) != 3 {
@@ -114,19 +140,54 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: bad -limit max %q: %v\n", parts[2], err)
 			os.Exit(2)
 		}
-		e, ok := rec.Benches[parts[0]]
-		if !ok {
-			rec.Failures = append(rec.Failures, fmt.Sprintf("benchmark %q missing", parts[0]))
-			continue
-		}
-		v, ok := e.Metrics[parts[1]]
-		if !ok {
-			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: metric %q missing", parts[0], parts[1]))
-			continue
-		}
-		if v > maxV {
+		if v, ok := metric(parts[0], parts[1]); ok && v > maxV {
 			rec.Failures = append(rec.Failures,
 				fmt.Sprintf("%s: %s = %g exceeds budget %g", parts[0], parts[1], v, maxV))
+		}
+	}
+
+	for _, min := range mins {
+		parts := strings.Split(min, ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -min %q (want NAME:METRIC:MIN)\n", min)
+			os.Exit(2)
+		}
+		minV, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -min floor %q: %v\n", parts[2], err)
+			os.Exit(2)
+		}
+		if v, ok := metric(parts[0], parts[1]); ok && v < minV {
+			rec.Failures = append(rec.Failures,
+				fmt.Sprintf("%s: %s = %g below floor %g", parts[0], parts[1], v, minV))
+		}
+	}
+
+	for _, rat := range ratios {
+		parts := strings.Split(rat, ":")
+		if len(parts) != 5 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -ratio %q (want A:METRICA:B:METRICB:MIN)\n", rat)
+			os.Exit(2)
+		}
+		minV, err := strconv.ParseFloat(parts[4], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -ratio floor %q: %v\n", parts[4], err)
+			os.Exit(2)
+		}
+		num, okA := metric(parts[0], parts[1])
+		den, okB := metric(parts[2], parts[3])
+		if !okA || !okB {
+			continue
+		}
+		if den == 0 {
+			rec.Failures = append(rec.Failures,
+				fmt.Sprintf("%s: %s is zero, ratio undefined", parts[2], parts[3]))
+			continue
+		}
+		if r := num / den; r < minV {
+			rec.Failures = append(rec.Failures,
+				fmt.Sprintf("%s:%s / %s:%s = %.3f below floor %g",
+					parts[0], parts[1], parts[2], parts[3], r, minV))
 		}
 	}
 

@@ -273,38 +273,28 @@ func (pd *Predictor) Predict(cfg *Config) (*Result, error) {
 // configuration failed validation (a bad configuration skips its slot, it
 // does not abort the batch).
 //
-// The context is checked between configurations, so cancellation inside a
-// large batch is observed promptly; on cancellation the partial results are
-// returned alongside ctx.Err(). Safe for concurrent use.
+// Every configuration is validated up front; the context is then polled
+// every few configurations (core.CtxCheckStride), so cancellation inside a
+// large batch is observed promptly. On cancellation the configurations
+// evaluated before the poll that saw it keep their results, the rest are
+// nil, and ctx.Err() is returned. Safe for concurrent use.
+//
+// PredictBatch is a thin adapter over PredictBatchInto on a pooled
+// BatchResult; batched callers that care about allocation should hold a
+// BatchResult themselves.
 func (pd *Predictor) PredictBatch(ctx context.Context, configs []*Config) (Results, []error, error) {
+	br := getBatchResult()
+	err := pd.PredictBatchInto(ctx, configs, br)
 	results := make(Results, len(configs))
 	errs := make([]error, len(configs))
-	err := pd.predictBatchInto(ctx, configs, results, errs)
+	for i := range configs {
+		errs[i] = br.Err(i)
+		if br.Ok(i) {
+			results[i] = br.Result(i)
+		}
+	}
+	putBatchResult(br)
 	return results, errs, err
-}
-
-// predictBatchInto is PredictBatch writing into caller-owned slices, so the
-// pool fan-out in Sweep and Engine lands chunk results directly at their
-// input index without per-chunk allocation.
-//
-//mipp:hotpath
-func (pd *Predictor) predictBatchInto(ctx context.Context, configs []*Config, results Results, errs []error) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	batch := pd.compiled.NewBatch()
-	for i, cfg := range configs {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		c, err := pd.resolve(cfg)
-		if err != nil {
-			errs[i] = err
-			continue
-		}
-		results[i] = toResult(c, batch.Evaluate(c))
-	}
-	return nil
 }
 
 // Config is a complete processor description; see mipp/arch for

@@ -1,0 +1,70 @@
+package search
+
+// Differential test for the staircase paretoFront against a straightforward
+// sort-and-sweep reference, over adversarial randomized inputs (duplicated
+// times, duplicated points, infeasible mixes, quantized values so exact
+// float ties actually occur).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceFront is the pre-staircase implementation: sort the feasible
+// subset by (time, power, index) and sweep keeping strict power improvers.
+func referenceFront(evals []Eval) []Eval {
+	feasible := make([]Eval, 0, len(evals))
+	for _, e := range evals {
+		if e.Feasible {
+			feasible = append(feasible, e)
+		}
+	}
+	for i := 1; i < len(feasible); i++ {
+		for j := i; j > 0; j-- {
+			a, b := feasible[j-1], feasible[j]
+			if a.TimeSeconds < b.TimeSeconds ||
+				(a.TimeSeconds == b.TimeSeconds && a.Watts < b.Watts) ||
+				(a.TimeSeconds == b.TimeSeconds && a.Watts == b.Watts && a.Index < b.Index) {
+				break
+			}
+			feasible[j-1], feasible[j] = feasible[j], feasible[j-1]
+		}
+	}
+	front := make([]Eval, 0, 16)
+	bestPower := 0.0
+	for i, e := range feasible {
+		if i == 0 || e.Watts < bestPower {
+			front = append(front, e)
+			bestPower = e.Watts
+		}
+	}
+	return front
+}
+
+func TestParetoFrontMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(120)
+		evals := make([]Eval, n)
+		for i := range evals {
+			evals[i] = Eval{
+				// Quantized so ties in one or both objectives are common.
+				Index:       i,
+				TimeSeconds: float64(rng.Intn(8)) * 0.25,
+				Watts:       float64(rng.Intn(8)) * 0.5,
+				Feasible:    rng.Intn(4) != 0,
+			}
+		}
+		got := paretoFront(evals)
+		want := referenceFront(evals)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: front size %d, want %d\ngot  %+v\nwant %+v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: front[%d] = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

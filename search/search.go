@@ -26,10 +26,11 @@
 package search
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mipp/arch"
 )
@@ -81,6 +82,11 @@ type Metrics struct {
 // adapts a compiled Predictor (batched kernel, shared worker pool); tests
 // substitute synthetic ones. Results must be deterministic and positional:
 // out[i] corresponds to configs[i].
+//
+// Reuse contract: an Evaluator may reuse its returned slice — the metrics
+// are valid only until the next call, and callers that retain them (the
+// Runner's memo does) must copy first. An Evaluator is driven serially by
+// its Runner and need not be safe for concurrent calls.
 type Evaluator func(ctx context.Context, configs []*arch.Config) ([]Metrics, error)
 
 // Constraints restricts the feasible region (Table 7.1's power-capped
@@ -247,36 +253,83 @@ type Runner struct {
 	opts  Options
 	rng   *rand.Rand
 
-	seen  map[int]int32 // space index → position in evals
-	evals []Eval
-	best  int // position of incumbent in evals, -1 until feasible
-	gens  int
-	trace []TraceStep
+	// The memo (space index → position in evals) lives in a direct-indexed
+	// slab when the space is small enough to afford one, and in a map
+	// otherwise: the slab turns the three memo touches per evaluation
+	// (dedup probe, reservation, out-mapping) into array indexing. Slab
+	// entries store position+1 so the zero value means "unseen".
+	seenSlab []int32
+	seen     map[int]int32
+	evals    []Eval
+	best     int // position of incumbent in evals, -1 until feasible
+	gens     int
+	trace    []TraceStep
 
 	cfgScratch []*arch.Config
 	idxScratch []int
+	// outScratch backs Evaluate's returned slice, reused across
+	// generations (see Evaluate's reuse contract).
+	outScratch []Eval
 
 	// lastFront is the most recently emitted incremental front, used to
 	// suppress no-change emissions; only maintained while Options.OnUpdate
-	// is set. feasScratch is its per-generation collection buffer.
-	lastFront   []Eval
-	feasScratch []Eval
+	// is set.
+	lastFront []Eval
 }
+
+// seenSlabMax bounds the memo slab at 16 MiB of int32; spaces larger than
+// this fall back to the map so runner memory scales with the sample, not
+// the space.
+const seenSlabMax = 1 << 22
 
 func newRunner(space *arch.Space, ev Evaluator, opts Options) *Runner {
 	hint := opts.Budget
 	if hint <= 0 || hint > 1<<20 {
 		hint = 1 << 12
 	}
-	return &Runner{
+	r := &Runner{
 		space: space,
 		eval:  ev,
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
-		seen:  make(map[int]int32, hint),
 		evals: make([]Eval, 0, hint),
 		best:  -1,
 	}
+	if n := space.Size(); n <= seenSlabMax {
+		r.seenSlab = make([]int32, n)
+	} else {
+		r.seen = make(map[int]int32, hint)
+	}
+	return r
+}
+
+// lookup returns the memo position of space index i, if evaluated.
+//
+//mipp:hotpath
+func (r *Runner) lookup(i int) (int32, bool) {
+	if r.seenSlab != nil {
+		p := r.seenSlab[i]
+		return p - 1, p != 0
+	}
+	p, ok := r.seen[i]
+	return p, ok
+}
+
+//mipp:hotpath
+func (r *Runner) record(i int, pos int32) {
+	if r.seenSlab != nil {
+		r.seenSlab[i] = pos + 1
+		return
+	}
+	r.seen[i] = pos
+}
+
+func (r *Runner) forget(i int) {
+	if r.seenSlab != nil {
+		r.seenSlab[i] = 0
+		return
+	}
+	delete(r.seen, i)
 }
 
 // Space returns the space under search.
@@ -304,7 +357,7 @@ func (r *Runner) Remaining() int {
 
 // Seen reports whether index i has already been evaluated.
 func (r *Runner) Seen(i int) bool {
-	_, ok := r.seen[i]
+	_, ok := r.lookup(i)
 	return ok
 }
 
@@ -323,26 +376,37 @@ func (r *Runner) Best() (Eval, bool) {
 // trim their generations first. A generation is recorded in the trace even
 // when fully memoized, so the trace mirrors the strategy's control flow.
 //
+// The returned slice is backed by scratch reused across generations: it is
+// valid until the next Evaluate call, and strategies that keep Evals across
+// generations must copy the elements (they are plain values).
+//
 //mipp:hotpath
 func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 	fresh := r.idxScratch[:0]
 	for _, idx := range indices {
-		if _, ok := r.seen[idx]; ok {
+		if _, ok := r.lookup(idx); ok {
 			continue
 		}
 		// Reserve the slot now so duplicates within this generation
 		// dedupe too; the position is filled below.
-		r.seen[idx] = int32(len(r.evals))
+		r.record(idx, int32(len(r.evals)))
 		r.evals = append(r.evals, Eval{Index: idx})
 		fresh = append(fresh, idx)
 	}
 	r.idxScratch = fresh
+	// Evaluate the generation in enumeration order regardless of how the
+	// strategy drew it: ascending indices vary the space's inner axes
+	// fastest, so consecutive configs share their back-end and geometry and
+	// the batch kernel's caches hit instead of thrashing. Results are
+	// per-config pure, so order only affects throughput (and which of two
+	// exactly-tied points is recorded as best — still deterministic).
+	slices.Sort(fresh)
 	if r.opts.Budget > 0 && len(r.evals) > r.opts.Budget {
 		// Roll the reservations back so the memo never holds phantom
 		// never-evaluated points and Evaluations() stays truthful for
 		// strategies that treat the budget error as a soft stop.
 		for _, idx := range fresh {
-			delete(r.seen, idx)
+			r.forget(idx)
 		}
 		r.evals = r.evals[:len(r.evals)-len(fresh)]
 		//mipp:allow hotpath cold terminal error path, at most once per search
@@ -366,7 +430,8 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 		}
 		for i, idx := range fresh {
 			e := r.score(idx, cfgs[i], metrics[i])
-			pos := int(r.seen[idx])
+			p, _ := r.lookup(idx)
+			pos := int(p)
 			r.evals[pos] = e
 			if e.Feasible && (r.best < 0 || Better(e, r.evals[r.best])) {
 				r.best = pos
@@ -396,14 +461,7 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 		if r.best >= 0 {
 			u.Best = r.evals[r.best]
 		}
-		feasible := r.feasScratch[:0]
-		for _, e := range r.evals {
-			if e.Feasible {
-				feasible = append(feasible, e)
-			}
-		}
-		r.feasScratch = feasible
-		front := paretoFront(feasible)
+		front := paretoFront(r.evals)
 		if !equalFronts(front, r.lastFront) {
 			r.lastFront = front
 			u.Front = front
@@ -411,9 +469,13 @@ func (r *Runner) Evaluate(ctx context.Context, indices []int) ([]Eval, error) {
 		r.opts.OnUpdate(u)
 	}
 
-	out := make([]Eval, len(indices))
+	if cap(r.outScratch) < len(indices) {
+		r.outScratch = make([]Eval, len(indices))
+	}
+	out := r.outScratch[:len(indices)]
 	for i, idx := range indices {
-		out[i] = r.evals[r.seen[idx]]
+		p, _ := r.lookup(idx)
+		out[i] = r.evals[p]
 	}
 	return out, nil
 }
@@ -464,42 +526,81 @@ func (r *Runner) report(strategy string) *Report {
 	if rep.Trace == nil {
 		rep.Trace = []TraceStep{}
 	}
-	feasible := make([]Eval, 0, len(r.evals))
-	for _, e := range r.evals {
-		if e.Feasible {
-			feasible = append(feasible, e)
+	for i := range r.evals {
+		if r.evals[i].Feasible {
+			rep.Feasible++
 		}
 	}
-	rep.Feasible = len(feasible)
 	if r.best >= 0 {
 		best := r.evals[r.best]
 		rep.Best = &best
 	}
-	rep.Front = paretoFront(feasible)
+	rep.Front = paretoFront(r.evals)
 	return rep
 }
 
-// paretoFront returns the non-dominated subset on (time, power), sorted by
-// time, with deterministic index tie-breaking — the same scan internal/dse
-// uses, kept index-aware so front entries retain their space position.
+// paretoFront returns the non-dominated feasible subset on (time, power),
+// sorted by time, with deterministic index tie-breaking (on exact
+// time/power ties the smallest space index wins) — the same front
+// internal/dse computes, kept index-aware so entries retain their space
+// position. Infeasible evals are skipped here rather than copied out by
+// the caller, so assembling a report never duplicates the memo.
+//
+// The front is built as an incremental staircase rather than by sorting
+// the whole memo: it stays ordered by time ascending with power strictly
+// descending along it, and each candidate either falls to one
+// binary-search dominance probe or splices in, evicting the members it
+// now dominates. Fronts are small (tens of points for thousands of
+// evals), so this is O(n log k) against the sort's O(n log n) — on the
+// search hot path the full sort was the driver's single largest overhead
+// over the raw kernel. frontKey keeps the staircase compact: three words
+// per member instead of a wide Eval.
+type frontKey struct {
+	t, w float64
+	i    int32
+}
+
+func frontKeyByTime(a, b frontKey) int { return cmp.Compare(a.t, b.t) }
+
+//mipp:hotpath
 func paretoFront(evals []Eval) []Eval {
-	sorted := append([]Eval(nil), evals...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].TimeSeconds != sorted[j].TimeSeconds {
-			return sorted[i].TimeSeconds < sorted[j].TimeSeconds
+	var keys []frontKey
+	for i := range evals {
+		e := &evals[i]
+		if !e.Feasible {
+			continue
 		}
-		if sorted[i].Watts != sorted[j].Watts {
-			return sorted[i].Watts < sorted[j].Watts
+		p := frontKey{t: e.TimeSeconds, w: e.Watts, i: int32(i)}
+		lo, _ := slices.BinarySearchFunc(keys, p, frontKeyByTime)
+		if lo < len(keys) && keys[lo].t == p.t {
+			m := &keys[lo]
+			if m.w < p.w {
+				continue // dominated: same time, less power already held
+			}
+			if m.w == p.w {
+				if evals[p.i].Index < evals[m.i].Index {
+					m.i = p.i // exact tie: canonical member is the lowest index
+				}
+				continue
+			}
+			// p dominates m (same time, less power): replace it, then fall
+			// through to evict any later members p also dominates.
+			*m = p
+		} else {
+			if lo > 0 && keys[lo-1].w <= p.w {
+				continue // dominated by the staircase member just left of it
+			}
+			keys = slices.Insert(keys, lo, p)
 		}
-		return sorted[i].Index < sorted[j].Index
-	})
-	front := make([]Eval, 0, 16)
-	bestPower := 0.0
-	for i, e := range sorted {
-		if i == 0 || e.Watts < bestPower {
-			front = append(front, e)
-			bestPower = e.Watts
+		hi := lo + 1
+		for hi < len(keys) && keys[hi].w >= p.w {
+			hi++
 		}
+		keys = slices.Delete(keys, lo+1, hi)
+	}
+	front := make([]Eval, len(keys))
+	for i, k := range keys {
+		front[i] = evals[k.i]
 	}
 	return front
 }

@@ -249,7 +249,9 @@ func (g Genetic) Search(ctx context.Context, r *Runner) error {
 	genomes := make([][]int, pop)
 	next := make([][]int, pop)
 	for i := range genomes {
+		//mipp:allow hotpath one-time population setup, not per-generation
 		genomes[i] = make([]int, arch.NumSpaceAxes)
+		//mipp:allow hotpath one-time population setup, not per-generation
 		next[i] = make([]int, arch.NumSpaceAxes)
 		for ax, d := range dims {
 			genomes[i][ax] = rng.Intn(d)

@@ -12,24 +12,45 @@ import (
 
 // NewSearchEvaluator bridges a compiled Predictor into the search
 // subsystem: each strategy generation arrives as one configuration batch
-// and is answered by the batched phase-2 kernel (PredictBatch) fanned out
-// in contiguous chunks over the shared worker pool — the same machinery
+// and is answered by the batched phase-2 kernel (PredictBatchInto) fanned
+// out in contiguous chunks over the shared worker pool — the same machinery
 // Sweep and the Engine run on. workers caps the pool (0 = GOMAXPROCS).
+//
+// The evaluator owns one BatchResult and one metrics slice reused across
+// generations, so steady-state search evaluation allocates nothing per
+// generation; per the search.Evaluator contract the returned slice is valid
+// only until the next call, and the evaluator must not be called
+// concurrently (the Runner drives it serially).
 func NewSearchEvaluator(pd *Predictor, workers int) search.Evaluator {
+	br := &BatchResult{}
+	var out []search.Metrics
 	return func(ctx context.Context, configs []*Config) ([]search.Metrics, error) {
-		var opts []SweepOption
-		if workers > 0 {
-			opts = append(opts, WithWorkers(workers))
+		if pd == nil {
+			return nil, fmt.Errorf("mipp: search evaluator: nil predictor")
 		}
-		results, err := Sweep(ctx, pd, configs, opts...)
-		if err != nil {
+		sweepInto(ctx, pd, configs, workers, br)
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out := make([]search.Metrics, len(results))
-		for i, r := range results {
-			if r == nil {
+		var failures []error
+		for i := range configs {
+			if err := br.Err(i); err != nil {
+				name := "<nil>"
+				if configs[i] != nil {
+					name = configs[i].Name
+				}
+				failures = append(failures, fmt.Errorf("config %d (%s): %w", i, name, err))
+			}
+		}
+		if len(failures) > 0 {
+			return nil, errors.Join(failures...)
+		}
+		out = growSlice(out, len(configs))
+		for i := range configs {
+			if !br.Ok(i) {
 				return nil, fmt.Errorf("mipp: search evaluator: missing result for config %d", i)
 			}
+			r := br.fill(i)
 			out[i] = search.Metrics{
 				TimeSeconds:  r.TimeSeconds(),
 				Watts:        r.Watts(),

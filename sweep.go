@@ -73,18 +73,23 @@ func batchChunk(n, workers int) int {
 	return chunk
 }
 
-// sweepBatches fans the predictor's batch kernel over contiguous chunks of
-// configs on the pool, landing results and per-config errors at their input
-// index in the caller-owned slices. It is the one fan-out used by Sweep and
-// the Engine; cancellation is observed between configs inside each chunk
-// (a context error surfaces through the caller's ctx.Err() check).
-func sweepBatches(ctx context.Context, pd *Predictor, configs []*Config, workers int, results Results, errs []error) {
+// sweepInto fans the predictor's batch kernel over contiguous chunks of
+// configs on the pool, landing rows at their input index in the
+// caller-owned (typically pooled, reused) BatchResult. It is the one
+// fan-out used by Sweep, the Engine and the search evaluator; chunks are
+// disjoint row ranges, so the workers share br race-free, and cancellation
+// is observed between configs inside each chunk (a context error surfaces
+// through the caller's ctx.Err() check).
+func sweepInto(ctx context.Context, pd *Predictor, configs []*Config, workers int, br *BatchResult) {
+	pd.prepareBatch(br, len(configs))
 	chunk := batchChunk(len(configs), workers)
 	nchunks := (len(configs) + chunk - 1) / chunk
 	runPool(ctx, nchunks, workers, func(ci int) {
 		lo := ci * chunk
 		hi := min(lo+chunk, len(configs))
-		_ = pd.predictBatchInto(ctx, configs[lo:hi], results[lo:hi], errs[lo:hi])
+		pd.resolveRange(configs[lo:hi], br, lo)
+		_ = pd.compiled.EvaluateRangeInto(ctx, br.resolved[lo:hi], &br.core, lo)
+		pd.finishRange(br, lo, hi)
 	})
 }
 
@@ -112,15 +117,15 @@ func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepO
 		return nil, nil
 	}
 
-	results := make(Results, len(configs))
-	errs := make([]error, len(configs))
-	sweepBatches(ctx, pd, configs, sc.workers, results, errs)
+	br := getBatchResult()
+	defer putBatchResult(br)
+	sweepInto(ctx, pd, configs, sc.workers, br)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var failures []error
-	for i, err := range errs {
-		if err != nil {
+	for i := range configs {
+		if err := br.Err(i); err != nil {
 			name := "<nil>"
 			if configs[i] != nil {
 				name = configs[i].Name
@@ -130,6 +135,12 @@ func Sweep(ctx context.Context, pd *Predictor, configs []*Config, opts ...SweepO
 	}
 	if len(failures) > 0 {
 		return nil, errors.Join(failures...)
+	}
+	results := make(Results, len(configs))
+	for i := range configs {
+		if br.Ok(i) {
+			results[i] = br.Result(i)
+		}
 	}
 	return results, nil
 }

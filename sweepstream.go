@@ -56,29 +56,28 @@ func (e *Engine) SweepStream(ctx context.Context, req *api.SweepRequest, sink Sw
 
 	// One window = one batch chunk per worker: every window saturates the
 	// pool the way a full Sweep would, and items stream at window
-	// boundaries. The scratch slices are reused across windows.
+	// boundaries. The pooled BatchResult is reused across windows; each
+	// emitted item is an independent DTO copy, so reusing the buffers for
+	// the next window never mutates an already-published item.
+	br := getBatchResult()
+	defer putBatchResult(br)
 	window := batchChunk(len(configs), workers) * workers
-	native := make(Results, window)
-	errs := make([]error, window)
 	for lo := 0; lo < len(configs); lo += window {
 		hi := min(lo+window, len(configs))
-		n := hi - lo
-		clear(native[:n])
-		clear(errs[:n])
-		sweepBatches(ctx, pd, configs[lo:hi], workers, native[:n], errs[:n])
+		sweepInto(ctx, pd, configs[lo:hi], workers, br)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for i := 0; i < n; i++ {
-			item := api.SweepItem{Index: lo + i}
-			if configs[lo+i] != nil {
-				item.Config = configs[lo+i].Name
+		for i := lo; i < hi; i++ {
+			item := api.SweepItem{Index: i}
+			if configs[i] != nil {
+				item.Config = configs[i].Name
 			}
 			switch {
-			case errs[i] != nil:
-				item.Error = errs[i].Error()
-			case native[i] != nil:
-				item.Result = apiResult(native[i], false)
+			case br.Err(i-lo) != nil:
+				item.Error = br.Err(i - lo).Error()
+			case br.Ok(i - lo):
+				item.Result = br.apiResult(i-lo, false)
 			}
 			if err := sink.Item(item); err != nil {
 				return err
