@@ -13,6 +13,14 @@ import (
 // replica by a single token.
 const RequestIDHeader = "X-Request-Id"
 
+// SpanIDHeader carries the caller's current trace-span ID hop-to-hop: the
+// client stamps its span, the router adopts it as the remote parent of its
+// own spans and stamps its span on the forwarded request, and the replica's
+// spans hang off the router's in turn. Combined with the request ID as the
+// trace token, the span lines of all three processes assemble into one tree
+// (see mipp/obs).
+const SpanIDHeader = "X-Span-Id"
+
 // NewRequestID returns a fresh 16-hex-character request ID. It draws from
 // crypto/rand so IDs are unique across processes without coordination; on
 // the (never-observed) failure of the system entropy source it degrades to

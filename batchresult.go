@@ -201,6 +201,10 @@ func (pd *Predictor) finishRange(br *BatchResult, lo, hi int) {
 // not safe for concurrent use — br is the whole point of the call; use one
 // BatchResult per goroutine (or PredictBatch, which pools them).
 func (pd *Predictor) PredictBatchInto(ctx context.Context, configs []*Config, br *BatchResult) error {
+	// Two atomic adds are the whole cost of instrumenting the hot path: the
+	// package-level counters live on obs.Default() and allocate nothing.
+	kernelBatches.Inc()
+	kernelConfigs.Add(uint64(len(configs)))
 	pd.prepareBatch(br, len(configs))
 	pd.resolveRange(configs, br, 0)
 	err := pd.compiled.EvaluateRangeInto(ctx, br.resolved, &br.core, 0)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mipp/api"
+	"mipp/obs"
 )
 
 // The streaming consumers: iterator-style wrappers over the daemon's two
@@ -21,13 +22,18 @@ import (
 
 // setRequestID stamps the X-Request-Id header: the context's id when the
 // caller put one there with api.ContextWithRequestID, a fresh one
-// otherwise — so every hop of a distributed call logs the same rid.
+// otherwise — so every hop of a distributed call logs the same rid. When
+// the caller is inside a trace span (obs.StartSpan), its span ID rides the
+// X-Span-Id header too, so the server's spans nest under the caller's.
 func setRequestID(req *http.Request) {
 	rid := api.RequestIDFromContext(req.Context())
 	if rid == "" {
 		rid = api.NewRequestID()
 	}
 	req.Header.Set(api.RequestIDHeader, rid)
+	if sp := obs.SpanFromContext(req.Context()); sp != nil {
+		req.Header.Set(api.SpanIDHeader, sp.ID)
+	}
 }
 
 // SweepStream is an in-flight streamed sweep. Call Next until it returns

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"mipp/obs"
 	"mipp/router"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		loadFactor = flag.Float64("load-factor", router.DefaultLoadFactor, "bounded-load factor c (>1)")
 		healthIv   = flag.Duration("health-interval", 2*time.Second, "replica health-check interval")
 		failThresh = flag.Int("fail-threshold", 2, "consecutive failed health checks before a replica leaves rotation")
+		debugAddr  = flag.String("debug-addr", "", "separate listener for /metrics and /debug/pprof/* (empty = disabled; /metrics is always on -addr too)")
 	)
 	flag.Parse()
 	if *replicas == "" {
@@ -66,6 +68,22 @@ func main() {
 
 	rt.CheckHealth(ctx) // converge on reality before taking traffic
 	go rt.HealthLoop(ctx, *healthIv)
+
+	if *debugAddr != "" {
+		// pprof stays off the service port: profiling endpoints never share
+		// a listener with untrusted traffic.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(rt.MetricsRegistry()),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (metrics, pprof) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

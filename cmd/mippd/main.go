@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"mipp"
+	"mipp/obs"
 	"mipp/server"
 	"mipp/store"
 	"mipp/store/remote"
@@ -57,6 +58,7 @@ func main() {
 		remoteURL = flag.String("remote-store", "", "base URL of a peer mippd to use as the profile store (diskless replica; mutually exclusive with -store)")
 		storeMax  = flag.Int64("store-resident-bytes", 0, "LRU bound on decoded profile bytes the store keeps in memory (0 = unbounded)")
 		workers   = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
+		debugAddr = flag.String("debug-addr", "", "separate listener for /metrics and /debug/pprof/* (empty = disabled; /metrics is always on -addr too)")
 	)
 	flag.Parse()
 
@@ -79,15 +81,34 @@ func main() {
 		engineOpts = append(engineOpts, mipp.WithEngineStore(st))
 		log.Printf("remote profile store %s (diskless replica)", *remoteURL)
 	}
+	// The engine logger enables trace spans (store.load, engine.compile,
+	// search.generation) in the same log stream as the request lines.
+	engineOpts = append(engineOpts, mipp.WithEngineLogger(log.Default()))
 	engine := mipp.NewEngine(engineOpts...)
 	if err := boot(engine, *preload, *n, *profiles); err != nil {
 		log.Fatal(err)
 	}
 
+	handler := server.New(engine, server.WithLogger(log.Default()))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine, server.WithLogger(log.Default())),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *debugAddr != "" {
+		// pprof stays off the service port: profiling endpoints never share
+		// a listener with untrusted traffic.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(handler.MetricsRegistry()),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (metrics, pprof) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,5 +1,5 @@
 // Command mipplint runs the repository's invariant analyzers — determinism,
-// hotpath, lockorder, wraperr — over Go packages.
+// hotpath, lockorder, wraperr, obshygiene — over Go packages.
 //
 // Two entry points share one analysis core:
 //
@@ -46,6 +46,7 @@ var analyzers = []*lint.Analyzer{
 	lint.Hotpath,
 	lint.LockOrder,
 	lint.Wraperr,
+	lint.ObsHygiene,
 }
 
 func main() {

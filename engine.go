@@ -6,14 +6,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"mipp/api"
 	"mipp/internal/dse"
 	"mipp/internal/power"
+	"mipp/obs"
 )
 
 // Engine is the in-process Evaluator: a concurrency-safe registry of named
@@ -41,8 +42,19 @@ type Engine struct {
 	profiles   map[string]*Profile
 	predictors map[predictorKey]*predictorEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// hits and misses are obs instruments (read back by Stats for /healthz
+	// and registered on /metrics by MetricsInto) rather than raw atomics,
+	// so the two surfaces share one source of truth.
+	hits   obs.Counter
+	misses obs.Counter
+
+	// logger, when set, receives search-job lifecycle lines and trace-span
+	// lines (obs.StartSpan is logger-gated); nil keeps library use silent.
+	logger *log.Logger
+
+	// metrics holds the engine-owned latency histograms and search gauges
+	// (metrics.go); always non-nil for engines built with NewEngine.
+	metrics *engineMetrics
 
 	// search holds the asynchronous design-space search jobs (jobs.go).
 	search searchJobs
@@ -84,12 +96,21 @@ func WithEngineStore(st ProfileStore) EngineOption {
 	return func(e *Engine) { e.store = st }
 }
 
+// WithEngineLogger sets the logger for search-job lifecycle lines and trace
+// spans: with one, every request carrying an X-Request-Id decomposes in the
+// logs into store-load, compile, and per-generation evaluate spans. The
+// default (nil) disables both.
+func WithEngineLogger(l *log.Logger) EngineOption {
+	return func(e *Engine) { e.logger = l }
+}
+
 // NewEngine returns an empty engine ready for Register.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
 		workers:    runtime.GOMAXPROCS(0),
 		profiles:   make(map[string]*Profile),
 		predictors: make(map[predictorKey]*predictorEntry),
+		metrics:    newEngineMetrics(),
 	}
 	for _, o := range opts {
 		o(e)
@@ -192,6 +213,14 @@ func (e *Engine) profileExists(name string) error {
 // resolveProfile returns the profile registered under name, lazy-loading it
 // from the backing store when it is not held in memory.
 func (e *Engine) resolveProfile(name string) (*Profile, error) {
+	return e.resolveProfileCtx(context.Background(), name)
+}
+
+// resolveProfileCtx is resolveProfile with request context: a resolution
+// that goes to the backing store is timed into the store-load histogram and
+// wrapped in a "store.load" span parented on ctx's current span, so a slow
+// request's store time is visible in the logs.
+func (e *Engine) resolveProfileCtx(ctx context.Context, name string) (*Profile, error) {
 	e.mu.RLock()
 	p := e.profiles[name]
 	e.mu.RUnlock()
@@ -199,7 +228,11 @@ func (e *Engine) resolveProfile(name string) (*Profile, error) {
 		return p, nil
 	}
 	if e.store != nil {
+		_, span := obs.StartSpan(ctx, e.logger, api.RequestIDFromContext(ctx), "store.load")
+		t := obs.StartTimer()
 		sp, ok, err := e.store.Get(name)
+		t.ObserveInto(e.metrics.storeLoadSeconds)
+		span.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("mipp: workload %q: %w", name, err)
 		}
@@ -276,10 +309,10 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Profiles:            len(e.profiles),
 		CachedPredictors:    len(e.predictors),
-		CacheHits:           e.hits.Load(),
-		CacheMisses:         e.misses.Load(),
-		SearchJobsInFlight:  int(e.search.inFlight.Load()),
-		SearchJobsCompleted: e.search.completed.Load(),
+		CacheHits:           e.hits.Value(),
+		CacheMisses:         e.misses.Value(),
+		SearchJobsInFlight:  int(e.search.inFlight.Value()),
+		SearchJobsCompleted: e.search.completed.Value(),
 	}
 	e.mu.RUnlock()
 	if e.store != nil {
@@ -341,6 +374,15 @@ func predictorOptions(spec api.PredictorSpec) ([]PredictorOption, error) {
 // stall unrelated requests, and a Register racing the compile still
 // invalidates the entry it observes.
 func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor, error) {
+	return e.predictor(context.Background(), workload, spec)
+}
+
+// predictor is Predictor with request context: a compile triggered by this
+// lookup is timed into the compile histogram and wrapped in an
+// "engine.compile" span parented on ctx's current span (the creating
+// caller's — concurrent callers sharing the compile attach their wait to
+// whichever request first published the entry).
+func (e *Engine) predictor(ctx context.Context, workload string, spec api.PredictorSpec) (*Predictor, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -356,7 +398,13 @@ func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor,
 		if entry, ok = e.predictors[key]; !ok {
 			entry = &predictorEntry{}
 			entry.compile = func() {
-				profile, err := e.resolveProfile(workload)
+				cctx, span := obs.StartSpan(ctx, e.logger, api.RequestIDFromContext(ctx), "engine.compile")
+				t := obs.StartTimer()
+				defer func() {
+					t.ObserveInto(e.metrics.compileSeconds)
+					span.Finish()
+				}()
+				profile, err := e.resolveProfileCtx(cctx, workload)
 				if err != nil {
 					entry.err = err
 					return
@@ -373,9 +421,9 @@ func (e *Engine) Predictor(workload string, spec api.PredictorSpec) (*Predictor,
 		e.mu.Unlock()
 	}
 	if ok {
-		e.hits.Add(1)
+		e.hits.Inc()
 	} else {
-		e.misses.Add(1)
+		e.misses.Inc()
 	}
 	entry.once.Do(entry.compile)
 	if entry.err != nil {
@@ -593,7 +641,7 @@ func (e *Engine) Predict(ctx context.Context, req *api.PredictRequest) (*api.Pre
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	pd, err := e.Predictor(req.Workload, req.Options)
+	pd, err := e.predictor(ctx, req.Workload, req.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -614,7 +662,7 @@ func (e *Engine) Predict(ctx context.Context, req *api.PredictRequest) (*api.Pre
 // contiguous batches — each pool task runs the compiled batch kernel over
 // its chunk — reporting per-config failures instead of aborting the batch.
 func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Config, spec api.PredictorSpec, workers int) ([]*api.Result, []api.ItemError, error) {
-	pd, err := e.Predictor(workload, spec)
+	pd, err := e.predictor(ctx, workload, spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -623,7 +671,9 @@ func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Confi
 	}
 	br := getBatchResult()
 	defer putBatchResult(br)
+	t := obs.StartTimer()
 	sweepInto(ctx, pd, configs, workers, br)
+	t.ObserveInto(e.metrics.evaluateSeconds)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -695,7 +745,7 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 	pds := make([]*Predictor, len(req.Workloads))
 	pdErrs := make([]error, len(req.Workloads))
 	runPool(ctx, len(req.Workloads), workers, func(i int) {
-		pds[i], pdErrs[i] = e.Predictor(req.Workloads[i], req.Options)
+		pds[i], pdErrs[i] = e.predictor(ctx, req.Workloads[i], req.Options)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -718,7 +768,9 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 		if pdErrs[sp.wi] == nil {
 			br = getBatchResult()
 			defer putBatchResult(br)
+			t := obs.StartTimer()
 			_ = pds[sp.wi].PredictBatchInto(ctx, configs[sp.lo:sp.hi], br)
+			t.ObserveInto(e.metrics.evaluateSeconds)
 		}
 		for ci := sp.lo; ci < sp.hi; ci++ {
 			item := &items[sp.wi*len(configs)+ci]

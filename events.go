@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mipp/api"
+	"mipp/obs"
 )
 
 // Event-stream bounds: a job retains up to maxRetainedSearchEvents for
@@ -29,6 +30,13 @@ type searchEventLog struct {
 	subs   map[int]chan api.SearchEvent
 	nextID int
 	closed bool
+
+	// subscribers and dropped, when wired (the engine points them at its
+	// stream instruments when it creates the job), track the live
+	// subscriber count and the events dropped on slow subscriber channels.
+	// Both are shared across every job of one engine.
+	subscribers *obs.Gauge
+	dropped     *obs.Counter
 }
 
 // publish appends one event (stamping its Seq) and fans it out.
@@ -55,6 +63,9 @@ func (l *searchEventLog) publish(ev api.SearchEvent) {
 		//mipp:allow determinism per-subscriber fan-out order does not affect any subscriber's observed event order
 		case ch <- ev:
 		default: // slow subscriber: drop, it resumes by Seq
+			if l.dropped != nil {
+				l.dropped.Inc()
+			}
 		}
 	}
 }
@@ -68,6 +79,9 @@ func (l *searchEventLog) close() {
 	l.closed = true
 	for _, ch := range l.subs {
 		close(ch)
+	}
+	if l.subscribers != nil && len(l.subs) > 0 {
+		l.subscribers.Add(-float64(len(l.subs)))
 	}
 	l.subs = nil
 }
@@ -98,13 +112,20 @@ func (l *searchEventLog) subscribe(after int) (<-chan api.SearchEvent, func()) {
 	id := l.nextID
 	l.nextID++
 	l.subs[id] = ch
+	if l.subscribers != nil {
+		l.subscribers.Add(1)
+	}
 	cancel := func() {
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		// close() may have raced us and closed the channel already; then
-		// subs is nil and there is nothing to remove.
+		// subs is nil and there is nothing to remove (close already
+		// released the subscriber count).
 		if _, ok := l.subs[id]; ok {
 			delete(l.subs, id)
+			if l.subscribers != nil {
+				l.subscribers.Add(-1)
+			}
 		}
 	}
 	return ch, cancel

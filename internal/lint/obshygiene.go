@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// obsPkgPath is the observability package whose construction API the
+// analyzer polices. The package itself is exempt (it is the implementation).
+const obsPkgPath = "mipp/obs"
+
+// obsConstructors are the package-level mipp/obs functions that build or
+// register an instrument — startup work that allocates and locks.
+var obsConstructors = map[string]bool{
+	"NewHistogram": true,
+	"NewHTTPStats": true,
+	"NewRegistry":  true,
+}
+
+// registryMethods are the *obs.Registry methods that register a series.
+// Their first argument is the metric name, which must be a compile-time
+// constant: dynamic names create unbounded series cardinality and defeat
+// grep-ability of the metric namespace.
+var registryMethods = map[string]bool{
+	"Counter":           true,
+	"Gauge":             true,
+	"Histogram":         true,
+	"RegisterCounter":   true,
+	"RegisterGauge":     true,
+	"RegisterHistogram": true,
+	"CounterFunc":       true,
+	"GaugeFunc":         true,
+}
+
+// ObsHygiene enforces the observability layer's construction discipline:
+// instruments are built once at startup, mutated lock-free forever after.
+//
+// Diagnostic kinds:
+//
+//   - construct-in-hotpath: an obs constructor or Registry registration
+//     inside a //mipp:hotpath function — registration locks and allocates,
+//     which the hot path's allocation budget forbids. Hot paths touch
+//     pre-built instruments (Inc/Add/Observe) only.
+//   - construct-in-loop: registration inside any loop — a loop that
+//     registers either panics on the duplicate series or leaks one series
+//     per iteration. The sanctioned pattern (pre-registering one series per
+//     known label value at startup) is deliberate enough to carry a
+//     //mipp:allow.
+//   - non-const-name: a Registry registration whose metric-name argument is
+//     not a compile-time constant string. Label VALUES may be dynamic (a
+//     route, a replica URL); metric NAMES are the grep-able contract and
+//     must be literals.
+var ObsHygiene = &Analyzer{
+	Name: "obshygiene",
+	Doc: "enforces metrics construction discipline: no instrument registration " +
+		"in //mipp:hotpath functions or loops, and compile-time-constant metric names",
+	Run: runObsHygiene,
+}
+
+func runObsHygiene(pass *Pass) error {
+	if pass.Path == obsPkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		hot := make(map[*ast.FuncDecl]bool)
+		for _, fd := range hotpathFuncs(f) {
+			hot[fd] = true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkObsHygiene(pass, fd, hot[fd])
+		}
+	}
+	return nil
+}
+
+// checkObsHygiene walks one function, tracking loop nesting the same way
+// the hotpath analyzer does (loop init/cond/post run once or per iteration;
+// only the body is "in the loop" for registration purposes — a registration
+// per iteration is the bug either way, so all four count).
+func checkObsHygiene(pass *Pass, fd *ast.FuncDecl, inHotpath bool) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if node == nil || node == n {
+				return true
+			}
+			switch node := node.(type) {
+			case *ast.ForStmt:
+				if node.Init != nil {
+					walk(node.Init, inLoop)
+				}
+				if node.Cond != nil {
+					walk(node.Cond, inLoop)
+				}
+				if node.Post != nil {
+					walk(node.Post, inLoop)
+				}
+				walk(node.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(node.X, inLoop)
+				walk(node.Body, true)
+				return false
+			case *ast.CallExpr:
+				checkObsCall(pass, fd, node, inHotpath, inLoop)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+func checkObsCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, inHotpath, inLoop bool) {
+	what := obsConstruction(pass, call)
+	if what == "" {
+		return
+	}
+	if inHotpath {
+		pass.Reportf(call.Pos(), "construct-in-hotpath",
+			"%s in hot path %s: instrument registration locks and allocates; build instruments at startup and mutate them here",
+			what, fd.Name.Name)
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(), "construct-in-loop",
+			"%s inside a loop in %s: per-iteration registration panics on the duplicate series or leaks one per iteration; hoist it (pre-registering per label value is fine — annotate it)",
+			what, fd.Name.Name)
+	}
+	checkMetricName(pass, fd, call, what)
+}
+
+// obsConstruction classifies call as an obs construction/registration site,
+// returning a human-readable description ("" when it is not one).
+func obsConstruction(pass *Pass, call *ast.CallExpr) string {
+	if pkg, name := pkgFuncCall(pass, call); pkg == obsPkgPath && obsConstructors[name] {
+		return "obs." + name
+	}
+	recv, method := methodCallRecv(call)
+	if recv == nil || !registryMethods[method] {
+		return ""
+	}
+	if t := pass.TypeOf(recv); isObsRegistry(t) {
+		return "Registry." + method
+	}
+	return ""
+}
+
+// isObsRegistry reports whether t is mipp/obs.Registry or a pointer to it.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath && obj.Name() == "Registry"
+}
+
+// checkMetricName flags a Registry registration whose first (name) argument
+// is not a compile-time constant string.
+func checkMetricName(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, what string) {
+	if len(call.Args) == 0 || what == "obs.NewHistogram" || what == "obs.NewRegistry" {
+		return
+	}
+	arg := call.Args[0]
+	if what == "obs.NewHTTPStats" {
+		// NewHTTPStats(registry, route): the route label value may be
+		// dynamic; there is no name argument to check.
+		return
+	}
+	if pass.Info == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[arg]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return
+	}
+	pass.Reportf(arg.Pos(), "non-const-name",
+		"metric name passed to %s in %s is not a compile-time constant: dynamic names create unbounded cardinality; put variation in label values",
+		what, fd.Name.Name)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mipp/internal/lint"
+	"mipp/internal/lint/linttest"
+)
+
+func TestObsHygiene(t *testing.T) {
+	linttest.Run(t, "testdata/obshygiene", lint.ObsHygiene)
+}

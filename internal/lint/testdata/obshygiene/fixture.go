@@ -1,0 +1,60 @@
+// Fixture for the obshygiene analyzer: instrument construction belongs at
+// startup, with compile-time-constant metric names. goodStartup at the
+// bottom proves the sanctioned shapes stay silent.
+package fixture
+
+import "mipp/obs"
+
+// hotRegister registers inside a hot path: both the constructor and the
+// registration are flagged.
+//
+//mipp:hotpath
+func hotRegister(reg *obs.Registry) *obs.Histogram {
+	h := obs.NewHistogram(obs.DefBuckets...)                 // want `\[obshygiene/construct-in-hotpath\] obs\.NewHistogram`
+	reg.RegisterHistogram("mipp_fixture_seconds", "help", h) // want `\[obshygiene/construct-in-hotpath\] Registry\.RegisterHistogram`
+	return h
+}
+
+// loopRegister registers one counter per iteration — the duplicate-series
+// panic waiting to happen.
+func loopRegister(reg *obs.Registry, names []string) {
+	for range names {
+		reg.Counter("mipp_fixture_total", "help") // want `\[obshygiene/construct-in-loop\] Registry\.Counter`
+	}
+}
+
+// dynamicName builds the metric name at run time: unbounded cardinality.
+func dynamicName(reg *obs.Registry, suffix string) {
+	reg.Gauge("mipp_fixture_"+suffix, "help") // want `\[obshygiene/non-const-name\] metric name passed to Registry\.Gauge`
+}
+
+// allowedLoop carries the escape hatch: pre-registering one series per
+// known label value is the sanctioned startup pattern.
+func allowedLoop(reg *obs.Registry, sentinels []string) {
+	for _, s := range sentinels {
+		//mipp:allow obshygiene pre-registering one series per sentinel at startup
+		reg.Counter("mipp_fixture_errors_total", "help", obs.Label{Key: "sentinel", Value: s})
+	}
+}
+
+const constName = "mipp_fixture_const_total"
+
+// goodStartup is the normal shape: straight-line registration with literal
+// (or named-constant) names and dynamic label values. Silent.
+func goodStartup(reg *obs.Registry, member string) (*obs.Counter, *obs.Gauge) {
+	c := reg.Counter(constName, "help", obs.Label{Key: "member", Value: member})
+	g := reg.Gauge("mipp_fixture_gauge", "help")
+	reg.GaugeFunc("mipp_fixture_func", "help", func() float64 { return 0 })
+	return c, g
+}
+
+// hotMutate touches pre-built instruments inside a hot path — the whole
+// point of the discipline. Silent.
+//
+//mipp:hotpath
+func hotMutate(c *obs.Counter, h *obs.Histogram, xs []float64) {
+	for _, x := range xs {
+		c.Inc()
+		h.Observe(x)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"mipp/api"
 	"mipp/arch"
+	"mipp/obs"
 	"mipp/search"
 )
 
@@ -21,6 +22,11 @@ type searchJob struct {
 	workload string
 	strategy string
 	size     int
+
+	// rid is the X-Request-Id of the submitting request: job lifecycle log
+	// lines carry it, and it is the trace token of the job's spans, so a
+	// slow search decomposes in the logs by the same ID the client holds.
+	rid string
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -117,8 +123,12 @@ type searchJobs struct {
 	order []*searchJob
 	seq   atomic.Uint64
 
-	inFlight  atomic.Int64
-	completed atomic.Uint64
+	// inFlight and completed are obs instruments (registered on /metrics by
+	// MetricsInto, read back by Stats for /healthz). inFlight doubles as
+	// the admission counter: Gauge.Add is a CAS returning the new value, so
+	// the claim-then-check pattern stays race-free.
+	inFlight  obs.Gauge
+	completed obs.Counter
 
 	// token makes job IDs unique per engine instance, so a router fronting
 	// N replicas never sees two replicas mint the same ID ("job-1" each).
@@ -227,11 +237,13 @@ func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api
 		return nil, err
 	}
 	// Atomic admission: claim the slot first, release it if that pushed
-	// past the cap — concurrent submits cannot overshoot.
+	// past the cap — concurrent submits cannot overshoot. (Gauge.Add is a
+	// CAS returning the new value, so this works exactly like the atomic
+	// counter it replaced.)
 	if n := e.search.inFlight.Add(1); n > maxInFlightSearchJobs {
 		e.search.inFlight.Add(-1)
 		return nil, fmt.Errorf("%w: %d search jobs already running (max %d)",
-			ErrBusy, n-1, maxInFlightSearchJobs)
+			ErrBusy, int(n)-1, maxInFlightSearchJobs)
 	}
 	if err := ctx.Err(); err != nil {
 		e.search.inFlight.Add(-1)
@@ -244,10 +256,14 @@ func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api
 		workload: req.Workload,
 		strategy: strategy.Name(),
 		size:     space.Size(),
+		rid:      api.RequestIDFromContext(ctx),
 		cancel:   cancel,
 		done:     make(chan struct{}),
 		state:    api.JobRunning,
 	}
+	// The job's event log feeds the engine-wide stream instruments.
+	job.events.subscribers = &e.metrics.streamSubscribers
+	job.events.dropped = &e.metrics.streamDropped
 	e.search.add(job)
 
 	go e.runSearchJob(jctx, job, req, space, strategy)
@@ -260,6 +276,15 @@ func (e *Engine) SubmitSearch(ctx context.Context, req *api.SearchRequest) (*api
 // predictor, run the strategy, land the report. It owns the job's terminal
 // state transition.
 func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.SearchRequest, space *arch.Space, strategy search.Strategy) {
+	// The job's root span: every compile, store-load and generation span
+	// below hangs off it, all sharing the submitting request's ID as the
+	// trace token. The context also carries the request ID so nested spans
+	// resolve the same trace.
+	ctx = api.ContextWithRequestID(ctx, job.rid)
+	ctx, span := obs.StartSpan(ctx, e.logger, job.rid, "search.job")
+	e.logf("search job %s started workload=%s strategy=%s space=%d rid=%s",
+		job.id, job.workload, job.strategy, job.size, job.rid)
+
 	// finish is called exactly once, on this goroutine. The registry
 	// counters move before the job's state becomes terminal, so a poller
 	// that sees "done" can never catch /healthz still counting the job as
@@ -268,7 +293,10 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 	finish := func(state, errMsg string, rep *api.SearchReport) {
 		finished = true
 		e.search.inFlight.Add(-1)
-		e.search.completed.Add(1)
+		e.search.completed.Inc()
+		e.logf("search job %s %s evals=%d gens=%d rid=%s",
+			job.id, state, job.evals.Load(), job.gens.Load(), job.rid)
+		span.Finish()
 		job.mu.Lock()
 		job.state = state
 		job.errMsg = errMsg
@@ -296,7 +324,7 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		close(job.done)
 	}()
 
-	pd, err := e.Predictor(req.Workload, req.Options)
+	pd, err := e.predictor(ctx, req.Workload, req.Options)
 	if err != nil {
 		finish(api.JobFailed, err.Error(), nil)
 		return
@@ -308,6 +336,9 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		OnUpdate: func(u search.Update) {
 			job.evals.Store(int64(u.Step.Evaluations))
 			job.gens.Store(int64(u.Step.Generation))
+			if u.Front != nil {
+				e.metrics.searchFrontSize.Set(float64(len(u.Front)))
+			}
 			job.publishUpdate(u)
 		},
 	}
@@ -318,7 +349,8 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		opts.Constraints.MaxArea = *req.MaxArea
 	}
 
-	rep, err := search.Run(ctx, NewSearchEvaluator(pd, req.Workers), space, strategy, opts)
+	ev := e.instrumentSearchEvaluator(ctx, job, NewSearchEvaluator(pd, req.Workers))
+	rep, err := search.Run(ctx, ev, space, strategy, opts)
 	switch {
 	case err == nil:
 		// Success wins even when a cancel raced the final evaluation:
@@ -331,6 +363,25 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 		finish(api.JobCancelled, "", nil)
 	default:
 		finish(api.JobFailed, err.Error(), nil)
+	}
+}
+
+// instrumentSearchEvaluator wraps a job's evaluator so every strategy
+// generation is timed into the generation histogram, reflected in the
+// evals-per-second gauge, and emitted as a "search.generation" span
+// parented on the job's root span — the decomposition that lets a slow
+// /v1/search be read out of the logs alone.
+func (e *Engine) instrumentSearchEvaluator(ctx context.Context, job *searchJob, ev search.Evaluator) search.Evaluator {
+	return func(c context.Context, configs []*Config) ([]search.Metrics, error) {
+		_, span := obs.StartSpan(ctx, e.logger, job.rid, "search.generation")
+		t := obs.StartTimer()
+		out, err := ev(c, configs)
+		secs := t.ObserveInto(e.metrics.searchGenSeconds)
+		span.Finish()
+		if secs > 0 {
+			e.metrics.searchEvalsPerSec.Set(float64(len(configs)) / secs)
+		}
+		return out, err
 	}
 }
 

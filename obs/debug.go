@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the -debug-addr surface of mippd and mipp-router: the
+// net/http/pprof profile endpoints plus the registry's /metrics, on a mux
+// of their own so profiling and scraping never share a listener with
+// production traffic (and can be firewalled separately).
+//
+//	/metrics                 Prometheus text exposition of reg
+//	/debug/pprof/            pprof index (heap, goroutine, block, ...)
+//	/debug/pprof/profile     30s CPU profile
+//	/debug/pprof/trace       execution trace
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

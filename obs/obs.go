@@ -1,0 +1,149 @@
+// Package obs is the observability layer of the mipp serving tier:
+// lock-free metric instruments (counters, gauges, fixed-bucket histograms),
+// a registry that renders them in the Prometheus text exposition format on
+// GET /metrics, and lightweight log-based trace spans extending the
+// X-Request-Id plumbing across process hops.
+//
+// The package is deliberately stdlib-only and allocation-free on the hot
+// path: instruments are plain structs whose Add/Inc/Set/Observe methods are
+// single atomic operations (a histogram Observe is one atomic bucket
+// increment plus one CAS on the float64 bits of the sum), so the batched
+// evaluation kernel's 0 allocs/config budget survives instrumentation.
+// Construction and registration, by contrast, allocate freely and must
+// happen once at startup — never inside //mipp:hotpath functions or loops;
+// the mipplint obshygiene analyzer enforces exactly that.
+//
+// Clock reads live here on purpose: packages under the determinism lint
+// scope (mipp, mipp/store, ...) time their stages through StartTimer and
+// StartSpan instead of calling time.Now themselves, keeping the model
+// packages free of direct clock access.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; Inc and Add are single atomic adds, safe from any goroutine.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (in-flight requests, resident
+// bytes, evals/s). The zero value is ready to use. Set is a single atomic
+// store; Add is a CAS loop over the float bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta and returns the new value (the return lets admission-style
+// callers do "claim then check" without a second load).
+func (g *Gauge) Add(delta float64) float64 {
+	for {
+		old := g.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at construction.
+// Observe is lock-free: a linear scan over the (small, sorted) bounds, one
+// atomic bucket increment, and one CAS on the sum — no allocation. Bucket
+// counts render cumulatively (Prometheus le= semantics) at scrape time, so
+// the write path never touches more than one bucket.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] observations in (bounds[i-1], bounds[i]]
+	sum    atomic.Uint64   // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given upper bounds (sorted
+// copies; the implicit +Inf bucket is always present). Call it once at
+// startup — construction allocates.
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// DefBuckets are the default latency buckets, in seconds: 100µs to ~100s in
+// roughly 3× steps — wide enough for both a microsecond predict and a
+// minutes-long search generation.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 100,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Timer measures a duration for histogram observation. The clock read is
+// owned by this package so deterministic-scoped packages never call
+// time.Now themselves.
+type Timer struct {
+	t0 time.Time
+}
+
+// StartTimer starts a timer.
+func StartTimer() Timer { return Timer{t0: time.Now()} }
+
+// Seconds returns the elapsed time in seconds.
+func (t Timer) Seconds() float64 { return time.Since(t.t0).Seconds() }
+
+// ObserveInto records the elapsed seconds into h (nil-safe) and returns the
+// elapsed seconds.
+func (t Timer) ObserveInto(h *Histogram) float64 {
+	s := t.Seconds()
+	if h != nil {
+		h.Observe(s)
+	}
+	return s
+}

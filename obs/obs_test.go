@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	if got := g.Add(2); got != 3.5 {
+		t.Fatalf("gauge Add returned %v, want 3.5", got)
+	}
+	if got := g.Add(-3.5); got != 0 {
+		t.Fatalf("gauge Add returned %v, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	// Bucket occupancy: (-inf,1]=2, (1,2]=2, (2,5]=1, (5,+inf)=1.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if got, w := h.Sum(), 108.0; math.Abs(got-w) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, w)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race it proves Observe is safe lock-free, and the final count and
+// sum prove no observation was lost to a CAS race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefBuckets...)
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if got, want := h.Sum(), float64(goroutines*per)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+// TestRenderGolden pins the exact text exposition bytes: family ordering,
+// HELP/TYPE lines, label sorting and escaping, cumulative histogram
+// buckets, and the chained base registry.
+func TestRenderGolden(t *testing.T) {
+	base := NewRegistry()
+	base.Counter("mipp_kernel_batches_total", "Batched kernel invocations.").Add(3)
+
+	r := NewRegistry(WithBase(base))
+	r.Counter("mipp_demo_requests_total", "Demo requests.",
+		Label{"route", "predict"}, Label{"code", "2xx"}).Add(7)
+	r.Counter("mipp_demo_requests_total", "Demo requests.",
+		Label{"route", "predict"}, Label{"code", "5xx"}).Add(1)
+	r.Gauge("mipp_demo_inflight", "In-flight demo requests.").Set(2)
+	r.GaugeFunc("mipp_demo_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	h := r.Histogram("mipp_demo_seconds", `Latency with "quotes" and back\slash.`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mipp_demo_inflight In-flight demo requests.
+# TYPE mipp_demo_inflight gauge
+mipp_demo_inflight 2
+# HELP mipp_demo_requests_total Demo requests.
+# TYPE mipp_demo_requests_total counter
+mipp_demo_requests_total{code="2xx",route="predict"} 7
+mipp_demo_requests_total{code="5xx",route="predict"} 1
+# HELP mipp_demo_seconds Latency with "quotes" and back\\slash.
+# TYPE mipp_demo_seconds histogram
+mipp_demo_seconds_bucket{le="0.1"} 1
+mipp_demo_seconds_bucket{le="1"} 2
+mipp_demo_seconds_bucket{le="+Inf"} 3
+mipp_demo_seconds_sum 2.55
+mipp_demo_seconds_count 3
+# HELP mipp_demo_uptime_seconds Uptime.
+# TYPE mipp_demo_uptime_seconds gauge
+mipp_demo_uptime_seconds 12.5
+# HELP mipp_kernel_batches_total Batched kernel invocations.
+# TYPE mipp_kernel_batches_total counter
+mipp_kernel_batches_total 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("mipp_x_total", "x")
+	mustPanic("duplicate series", func() { r.Counter("mipp_x_total", "x") })
+	mustPanic("kind conflict", func() { r.Gauge("mipp_x_total", "x", Label{"a", "b"}) })
+	mustPanic("bad name", func() { r.Counter("1bad-name", "x") })
+}
+
+func TestHTTPStatsWrap(t *testing.T) {
+	r := NewRegistry()
+	hs := NewHTTPStats(r, "predict")
+	var sawInflight float64
+	handler := hs.Wrap(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sawInflight = hs.inflight.Value()
+		if req.URL.Query().Get("fail") != "" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200 must still count as 2xx
+	}))
+	for _, url := range []string{"/v1/predict", "/v1/predict", "/v1/predict?fail=1"} {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
+	}
+	if sawInflight != 1 {
+		t.Errorf("inflight during request = %v, want 1", sawInflight)
+	}
+	if got := hs.inflight.Value(); got != 0 {
+		t.Errorf("inflight after requests = %v, want 0", got)
+	}
+	if got := hs.requests[2].Value(); got != 2 {
+		t.Errorf("2xx count = %d, want 2", got)
+	}
+	if got := hs.requests[5].Value(); got != 1 {
+		t.Errorf("5xx count = %d, want 1", got)
+	}
+	if got := hs.seconds.Count(); got != 3 {
+		t.Errorf("latency observations = %d, want 3", got)
+	}
+}
+
+func TestSpanLineage(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+
+	ctx := context.Background()
+	ctx, root := StartSpan(ctx, logger, "rid123", "http POST /v1/search")
+	ctx, child := StartSpan(ctx, logger, "", "engine.compile")
+	if child.Parent != root.ID {
+		t.Errorf("child parent = %q, want %q", child.Parent, root.ID)
+	}
+	if child.Trace != "rid123" {
+		t.Errorf("child trace = %q, want rid123 (inherited)", child.Trace)
+	}
+	child.Finish()
+	root.Finish()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d span lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "span "+child.ID) ||
+		!strings.Contains(lines[0], "parent="+root.ID) ||
+		!strings.Contains(lines[0], "trace=rid123") ||
+		!strings.Contains(lines[0], "name=engine.compile") {
+		t.Errorf("child span line missing fields: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "parent=-") {
+		t.Errorf("root span line should have parent=-: %s", lines[1])
+	}
+}
+
+func TestSpanRemoteParentAndNilLogger(t *testing.T) {
+	// Nil logger: no span, unchanged context, nil-safe Finish.
+	ctx, s := StartSpan(context.Background(), nil, "rid", "x")
+	if s != nil || SpanFromContext(ctx) != nil {
+		t.Fatal("nil logger must not create a span")
+	}
+	s.Finish() // must not panic
+
+	// A remote parent (from the X-Span-Id header) becomes the root's parent.
+	var buf bytes.Buffer
+	ctx = ContextWithRemoteParent(context.Background(), "cafecafecafecafe")
+	_, root := StartSpan(ctx, log.New(&buf, "", 0), "rid", "http")
+	if root.Parent != "cafecafecafecafe" {
+		t.Fatalf("root parent = %q, want adopted remote parent", root.Parent)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := NewHistogram(DefBuckets...)
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	if s := tm.ObserveInto(h); s <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", s)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	Timer{}.ObserveInto(nil) // nil-safe
+}
+
+func TestDebugHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mipp_x_total", "x").Inc()
+	srv := httptest.NewServer(DebugHandler(r))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":            "mipp_x_total 1",
+		"/debug/pprof/":       "profiles",
+		"/debug/pprof/symbol": "",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var body bytes.Buffer
+		_, _ = body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(body.String(), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}

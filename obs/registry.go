@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension. Label values may be dynamic (a route, a
+// replica URL); metric names must be compile-time constants — obshygiene
+// flags anything else.
+type Label struct {
+	Key, Value string
+}
+
+// kind is the Prometheus metric type of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// series is one (instrument, label set) inside a family. Exactly one of the
+// instrument fields is set.
+type series struct {
+	labels string // rendered `key="value",...` form, sorted by key; "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cf     func() uint64
+	gf     func() float64
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+}
+
+// Registry holds instruments and renders them as Prometheus text exposition
+// format (version 0.0.4). Registration is for startup (it locks and
+// allocates); the registered instruments themselves stay lock-free.
+//
+// A registry may chain to a base registry (WithBase): Render merges the
+// base's families in, so a per-server registry can include the process-wide
+// Default() instruments (the kernel's package-level counters) without the
+// two sharing registration state.
+type Registry struct {
+	mu       sync.Mutex
+	base     *Registry
+	families map[string]*family
+}
+
+// RegistryOption customizes a Registry.
+type RegistryOption func(*Registry)
+
+// WithBase chains parent's families into every Render of the new registry.
+func WithBase(parent *Registry) RegistryOption {
+	return func(r *Registry) { r.base = parent }
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// defaultRegistry holds process-wide instruments: package-level hot-path
+// counters (the batched kernel's) register here at init, and per-daemon
+// registries chain to it with WithBase.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// renderLabels builds the canonical `key="value",...` form, sorted by key.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// add registers one series, creating or extending its family. Name and kind
+// conflicts, duplicate (name, labels) pairs, and malformed names are
+// programmer errors caught at startup — they panic.
+func (r *Registry) add(name, help string, k kind, s *series, labels []Label) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k, f.kind))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+}
+
+// validMetricName checks the [a-zA-Z_:][a-zA-Z0-9_:]* grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter creates and registers a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(name, help, kindCounter, &series{c: c}, labels)
+	return c
+}
+
+// Gauge creates and registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, kindGauge, &series{g: g}, labels)
+	return g
+}
+
+// Histogram creates and registers a histogram series over the given bucket
+// bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := NewHistogram(bounds...)
+	r.add(name, help, kindHistogram, &series{h: h}, labels)
+	return h
+}
+
+// RegisterCounter attaches an existing counter (e.g. a struct field owned
+// by the engine) as a series.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.add(name, help, kindCounter, &series{c: c}, labels)
+}
+
+// RegisterGauge attaches an existing gauge as a series.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	r.add(name, help, kindGauge, &series{g: g}, labels)
+}
+
+// RegisterHistogram attaches an existing histogram as a series.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.add(name, help, kindHistogram, &series{h: h}, labels)
+}
+
+// CounterFunc registers a counter series computed at scrape time — the
+// read-back seam for counters owned elsewhere (store stats, search-job
+// completions).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.add(name, help, kindCounter, &series{cf: fn}, labels)
+}
+
+// GaugeFunc registers a gauge series computed at scrape time (resident
+// bytes, cached predictors, ring spread, uptime).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(name, help, kindGauge, &series{gf: fn}, labels)
+}
+
+// gather snapshots the family set, base first so a (never expected) name
+// collision resolves in favor of this registry's own series order.
+func (r *Registry) gather(into map[string]*family) {
+	if r.base != nil {
+		r.base.gather(into)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.families {
+		if prev, ok := into[name]; ok {
+			merged := &family{name: name, help: prev.help, kind: prev.kind}
+			merged.series = append(append([]*series(nil), prev.series...), f.series...)
+			sort.Slice(merged.series, func(i, j int) bool { return merged.series[i].labels < merged.series[j].labels })
+			into[name] = merged
+			continue
+		}
+		into[name] = f
+	}
+}
+
+// Render writes the registry (base included) in Prometheus text exposition
+// format, families sorted by name.
+func (r *Registry) Render(w io.Writer) error {
+	fams := make(map[string]*family)
+	r.gather(fams)
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			renderSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// renderSeries writes one series' sample lines.
+func renderSeries(w *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.c != nil:
+		writeSample(w, f.name, s.labels, formatUint(s.c.Value()))
+	case s.cf != nil:
+		writeSample(w, f.name, s.labels, formatUint(s.cf()))
+	case s.g != nil:
+		writeSample(w, f.name, s.labels, formatFloat(s.g.Value()))
+	case s.gf != nil:
+		writeSample(w, f.name, s.labels, formatFloat(s.gf()))
+	case s.h != nil:
+		var cum uint64
+		for i := range s.h.counts {
+			cum += s.h.counts[i].Load()
+			le := "+Inf"
+			if i < len(s.h.bounds) {
+				le = formatFloat(s.h.bounds[i])
+			}
+			labels := s.labels
+			if labels != "" {
+				labels += ","
+			}
+			labels += `le="` + le + `"`
+			writeSample(w, f.name+"_bucket", labels, formatUint(cum))
+		}
+		writeSample(w, f.name+"_sum", s.labels, formatFloat(s.h.Sum()))
+		writeSample(w, f.name+"_count", s.labels, formatUint(cum))
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry as GET /metrics content.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Render(w)
+	})
+}

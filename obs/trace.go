@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"time"
+)
+
+// Log-based trace spans. A span is one timed stage of a request — the HTTP
+// middleware opens a root span per request, and the engine opens child
+// spans around store loads, predictor compiles, and search generations.
+// Finish emits one greppable log line:
+//
+//	span <id> parent=<id|-> trace=<rid> name=<stage> dur=<duration>
+//
+// The trace ID is the existing X-Request-Id, so `grep trace=<rid>` over the
+// client, router, and replica logs reconstructs the whole request tree —
+// across processes, because the span ID travels on the X-Span-Id header
+// (api.SpanIDHeader): the client stamps its current span, the router's
+// middleware adopts it as the remote parent, and the replica's spans hang
+// off the router's in turn.
+//
+// Tracing is logger-gated: with a nil logger StartSpan returns a nil span
+// (every method of which is a no-op) and an unchanged context, so untraced
+// paths cost two nil checks and zero allocations.
+
+// Span is one in-flight stage. Fields are fixed at StartSpan; Finish emits
+// the log line.
+type Span struct {
+	// Trace is the correlation token shared by every span of one request —
+	// the X-Request-Id.
+	Trace string
+	// ID identifies this span; children reference it as parent=.
+	ID string
+	// Parent is the enclosing span's ID ("" for a root span), possibly
+	// adopted from the X-Span-Id header of the incoming hop.
+	Parent string
+	// Name is the stage ("http GET /v1/search", "engine.compile", ...).
+	Name string
+
+	t0     time.Time
+	logger *log.Logger
+}
+
+// NewSpanID returns a fresh 16-hex-character span ID (same shape as a
+// request ID; degrades to a fixed ID if the entropy source fails).
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type spanKey struct{}
+
+type remoteParentKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span (nil if none). Clients use it to
+// stamp the X-Span-Id header on outgoing hops.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithRemoteParent records the span ID an incoming request carried
+// on its X-Span-Id header; the next StartSpan without a local parent adopts
+// it, linking this process's spans under the caller's.
+func ContextWithRemoteParent(ctx context.Context, spanID string) context.Context {
+	if spanID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, spanID)
+}
+
+// RemoteParentFromContext returns the adopted remote parent span ID ("" if
+// none).
+func RemoteParentFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(remoteParentKey{}).(string)
+	return id
+}
+
+// StartSpan opens a span named name under the current span in ctx (or the
+// remote parent adopted from the incoming header, for root spans). The
+// trace token is usually the request ID; when empty it is inherited from
+// the parent span. A nil logger disables tracing: the returned span is nil
+// (Finish on it is a no-op) and ctx is returned unchanged.
+func StartSpan(ctx context.Context, logger *log.Logger, trace, name string) (context.Context, *Span) {
+	if logger == nil {
+		return ctx, nil
+	}
+	parent := ""
+	if p := SpanFromContext(ctx); p != nil {
+		parent = p.ID
+		if trace == "" {
+			trace = p.Trace
+		}
+	} else {
+		parent = RemoteParentFromContext(ctx)
+	}
+	s := &Span{
+		Trace:  trace,
+		ID:     NewSpanID(),
+		Parent: parent,
+		Name:   name,
+		t0:     time.Now(),
+		logger: logger,
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// Finish emits the span's log line. Nil-safe.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	parent := s.Parent
+	if parent == "" {
+		parent = "-"
+	}
+	s.logger.Printf("span %s parent=%s trace=%s name=%s dur=%s",
+		s.ID, parent, s.Trace, s.Name, time.Since(s.t0).Round(time.Microsecond))
+}

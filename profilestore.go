@@ -89,4 +89,10 @@ type StoreStats struct {
 	// memory by the LRU bound since the store was opened.
 	Evictions    uint64
 	EvictedBytes uint64
+	// Revalidations304 and RevalidationsFull count index revalidations a
+	// remote store performed against its peer: conditional GETs answered
+	// 304 Not Modified vs. full index fetches. Local on-disk stores report
+	// zero for both.
+	Revalidations304  uint64
+	RevalidationsFull uint64
 }

@@ -1,0 +1,201 @@
+package router_test
+
+// Distributed observability tests: /metrics on the router and on a
+// replica expose the tier's key series after traffic, and one traced
+// request's span log lines assemble into a client → router → replica →
+// engine tree.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mipp/api"
+	"mipp/client"
+	"mipp/obs"
+)
+
+// seriesValue returns the sample value of the first series line whose
+// name{labels} prefix matches, or -1 when absent.
+func seriesValue(exposition, prefix string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			rest = strings.TrimSpace(rest)
+			if i := strings.IndexByte(rest, ' '); i >= 0 {
+				rest = rest[i+1:]
+			}
+			if v, err := strconv.ParseFloat(rest, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func TestClusterMetrics(t *testing.T) {
+	c := newCluster(t)
+	predict := `{"schema_version":1,"workload":"mcf","config":{"name":"reference"}}`
+	if status, body := post(t, c.routerTS.URL, "/v1/predict", predict); status != 200 {
+		t.Fatalf("predict via router: %d: %s", status, body)
+	}
+	if status, _ := post(t, c.routerTS.URL, "/v1/evaluate",
+		`{"schema_version":1,"workloads":["mcf","gcc"],"configs":[{"name":"reference"}],"options":{}}`); status != 200 {
+		t.Fatalf("evaluate via router: %d", status)
+	}
+
+	status, routerMetrics := get(t, c.routerTS.URL, "/metrics")
+	if status != 200 {
+		t.Fatalf("router /metrics: %d", status)
+	}
+	// Exactly one replica answered the predict; the evaluate fan-out hit
+	// one per workload. Sum across members instead of pinning placement.
+	var forwards float64
+	for _, ts := range c.replicas {
+		member := fmt.Sprintf(`mipp_router_forwards_total{member=%q}`, ts.URL)
+		if v := seriesValue(routerMetrics, member); v >= 0 {
+			forwards += v
+		} else {
+			t.Errorf("router /metrics missing %s", member)
+		}
+		healthy := fmt.Sprintf(`mipp_router_member_healthy{member=%q}`, ts.URL)
+		if v := seriesValue(routerMetrics, healthy); v != 1 {
+			t.Errorf("%s = %v, want 1", healthy, v)
+		}
+	}
+	if forwards < 3 {
+		t.Errorf("sum of mipp_router_forwards_total = %v, want >= 3 (predict + 2-workload evaluate)", forwards)
+	}
+	if v := seriesValue(routerMetrics, "mipp_router_ring_spread"); v < 1 || v > 2 {
+		t.Errorf("mipp_router_ring_spread = %v, want within [1, 2] for 3×%d vnodes", v, 128)
+	}
+	if v := seriesValue(routerMetrics, "mipp_router_fanout_seconds_count"); v < 1 {
+		t.Errorf("mipp_router_fanout_seconds_count = %v, want >= 1 after an evaluate fan-out", v)
+	}
+	if v := seriesValue(routerMetrics, `mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`); v != 1 {
+		t.Errorf(`router requests_total{2xx, predict} = %v, want 1`, v)
+	}
+
+	// The replica that served the predict exposes the serving-tier series,
+	// including the store read-backs (these engines are store-backed).
+	served := false
+	for _, ts := range c.replicas {
+		status, m := get(t, ts.URL, "/metrics")
+		if status != 200 {
+			t.Fatalf("replica /metrics: %d", status)
+		}
+		for _, series := range []string{
+			"mipp_store_objects",
+			`mipp_store_revalidations_total{result="full"}`,
+			`mipp_store_revalidations_total{result="not_modified"}`,
+			"mipp_kernel_batches_total",
+			"mipp_engine_predictor_cache_misses_total",
+		} {
+			if seriesValue(m, series) < 0 {
+				t.Errorf("replica /metrics missing %s", series)
+			}
+		}
+		if seriesValue(m, `mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`) >= 1 {
+			served = true
+		}
+	}
+	if !served {
+		t.Error("no replica's /metrics shows the forwarded predict")
+	}
+}
+
+// spanLine matches the obs span log format:
+// span <id> parent=<id|-> trace=<rid> name=<stage> dur=<d>
+var spanLine = regexp.MustCompile(`span (\S+) parent=(\S+) trace=(\S+) name=(.+) dur=\S+`)
+
+type spanRec struct{ id, parent, trace, name string }
+
+func parseSpans(logText, trace string) []spanRec {
+	var out []spanRec
+	for _, m := range spanLine.FindAllStringSubmatch(logText, -1) {
+		if m[3] == trace {
+			out = append(out, spanRec{id: m[1], parent: m[2], trace: m[3], name: m[4]})
+		}
+	}
+	return out
+}
+
+func findSpan(spans []spanRec, name string) (spanRec, bool) {
+	for _, s := range spans {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return spanRec{}, false
+}
+
+// TestTracePropagation drives one prediction through client → router →
+// replica with tracing on at every hop and asserts the three processes'
+// span lines link into a single tree under one trace ID.
+func TestTracePropagation(t *testing.T) {
+	c := newCluster(t)
+	clientLog := &lockedBuf{}
+	rid := "trace-test-rid"
+	ctx := api.ContextWithRequestID(context.Background(), rid)
+	ctx, clientSpan := obs.StartSpan(ctx, log.New(clientLog, "", 0), rid, "client.predict")
+
+	cl := client.New(c.routerTS.URL)
+	if _, err := cl.Predict(ctx, &api.PredictRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Config:        api.ConfigSpec{Name: "reference"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clientSpan.Finish()
+
+	routerSpans := parseSpans(c.routerLog.String(), rid)
+	routerSpan, ok := findSpan(routerSpans, "http POST /v1/predict")
+	if !ok {
+		t.Fatalf("router log has no http span for trace %s:\n%s", rid, c.routerLog.String())
+	}
+	if routerSpan.parent != clientSpan.ID {
+		t.Errorf("router span parent = %s, want the client span %s", routerSpan.parent, clientSpan.ID)
+	}
+
+	var replicaSpans []spanRec
+	for _, buf := range c.replogs {
+		if spans := parseSpans(buf.String(), rid); len(spans) > 0 {
+			replicaSpans = spans
+			break
+		}
+	}
+	replicaSpan, ok := findSpan(replicaSpans, "http POST /v1/predict")
+	if !ok {
+		t.Fatalf("no replica logged an http span for trace %s", rid)
+	}
+	if replicaSpan.parent != routerSpan.id {
+		t.Errorf("replica span parent = %s, want the router span %s", replicaSpan.parent, routerSpan.id)
+	}
+
+	// The engine's spans hang off the replica's request span: compile under
+	// the request, store.load under compile (a cold predict resolves the
+	// profile inside the predictor compile).
+	compileSpan, ok := findSpan(replicaSpans, "engine.compile")
+	if !ok {
+		t.Fatalf("replica log has no engine.compile span; spans: %v", replicaSpans)
+	}
+	if compileSpan.parent != replicaSpan.id {
+		t.Errorf("engine.compile parent = %s, want the replica http span %s", compileSpan.parent, replicaSpan.id)
+	}
+	loadSpan, ok := findSpan(replicaSpans, "store.load")
+	if !ok {
+		t.Fatalf("replica log has no store.load span; spans: %v", replicaSpans)
+	}
+	if loadSpan.parent != compileSpan.id {
+		t.Errorf("store.load parent = %s, want the compile span %s", loadSpan.parent, compileSpan.id)
+	}
+	for _, s := range append(routerSpans, replicaSpans...) {
+		if s.trace != rid {
+			t.Errorf("span %s carries trace %s, want %s", s.id, s.trace, rid)
+		}
+	}
+}

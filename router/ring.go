@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+
+	"mipp/obs"
 )
 
 // The consistent-hash ring. Workload names hash onto a circle of virtual
@@ -30,12 +32,35 @@ type member struct {
 	healthy  atomic.Bool
 	inflight atomic.Int64
 	fails    atomic.Int32 // consecutive failed health checks
+
+	// forwards counts requests proxied to this member; transitions counts
+	// healthy↔down flips. Both register on the router's metrics registry
+	// with a member= label.
+	forwards    obs.Counter
+	transitions obs.Counter
 }
 
 // markDown records a connect failure observed by live traffic, taking the
 // member out of rotation immediately instead of waiting for the next
-// health-check tick.
-func (m *member) markDown() { m.healthy.Store(false) }
+// health-check tick. It reports whether this call was the transition (the
+// member was healthy), so callers can log exactly once per flip.
+func (m *member) markDown() bool {
+	if m.healthy.Swap(false) {
+		m.transitions.Inc()
+		return true
+	}
+	return false
+}
+
+// markUp returns the member to rotation, reporting whether this call was
+// the transition.
+func (m *member) markUp() bool {
+	if !m.healthy.Swap(true) {
+		m.transitions.Inc()
+		return true
+	}
+	return false
+}
 
 // ringPoint is one virtual node.
 type ringPoint struct {
@@ -140,6 +165,31 @@ func (r *ring) pick(key string) *member {
 		}
 	}
 	return fallback
+}
+
+// spread measures how evenly the virtual nodes divide the hash circle's
+// keyspace among members: the largest member's share of arc length over the
+// ideal 1/N share. 1.0 is perfectly even; DefaultVnodes keeps it within a
+// few percent. Fixed at construction, exposed as a gauge so an operator can
+// see a badly-balanced ring without reading code.
+func (r *ring) spread() float64 {
+	if len(r.points) == 0 || len(r.members) == 0 {
+		return 0
+	}
+	arcs := make(map[*member]uint64, len(r.members))
+	prev := r.points[len(r.points)-1].hash // wraparound arc belongs to point 0
+	for _, p := range r.points {
+		arcs[p.m] += p.hash - prev // uint64 wraparound handles the seam
+		prev = p.hash
+	}
+	var max uint64
+	for _, a := range arcs {
+		if a > max {
+			max = a
+		}
+	}
+	ideal := math.MaxUint64 / float64(len(r.members))
+	return float64(max) / ideal
 }
 
 // healthyMembers returns the members currently in rotation, sorted by URL.

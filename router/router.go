@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mipp/api"
+	"mipp/obs"
 )
 
 // Options configures a Router.
@@ -51,6 +52,9 @@ type Options struct {
 	HealthClient *http.Client
 	// Logger receives request and membership lines; nil disables logging.
 	Logger *log.Logger
+	// Metrics substitutes the registry /metrics serves (the default is a
+	// fresh registry chained to obs.Default()).
+	Metrics *obs.Registry
 }
 
 // Router fronts the replica set. It implements http.Handler.
@@ -66,6 +70,11 @@ type Router struct {
 	// seen, so polls, cancels and event streams follow the submit. A
 	// forgotten job (router restart) is re-found by probing replicas.
 	jobs sync.Map // job ID → *member
+
+	// metrics is the registry /metrics serves; fanout times the
+	// scatter-gather handlers' full fan-out (evaluate, workloads).
+	metrics *obs.Registry
+	fanout  *obs.Histogram
 
 	handler http.Handler
 }
@@ -112,24 +121,69 @@ func New(opts Options) (*Router, error) {
 	if rt.failLimit <= 0 {
 		rt.failLimit = 2
 	}
+	rt.metrics = opts.Metrics
+	if rt.metrics == nil {
+		rt.metrics = obs.NewRegistry(obs.WithBase(obs.Default()))
+	}
+	rt.fanout = rt.metrics.Histogram("mipp_router_fanout_seconds",
+		"Scatter-gather fan-out duration (evaluate, workloads): submit to last replica answer.", nil)
+	rt.metrics.GaugeFunc("mipp_router_ring_spread",
+		"Largest member's share of the hash circle over the ideal 1/N share (1.0 = perfectly even).",
+		rt.ring.spread)
+	for _, m := range rt.ring.members {
+		m := m
+		label := obs.Label{Key: "member", Value: m.url}
+		//mipp:allow obshygiene pre-registering one series per ring member at startup
+		rt.metrics.RegisterCounter("mipp_router_forwards_total",
+			"Requests proxied to this member.", &m.forwards, label)
+		//mipp:allow obshygiene pre-registering one series per ring member at startup
+		rt.metrics.RegisterCounter("mipp_router_health_transitions_total",
+			"Healthy/down flips of this member.", &m.transitions, label)
+		//mipp:allow obshygiene pre-registering one series per ring member at startup
+		rt.metrics.GaugeFunc("mipp_router_member_healthy",
+			"1 while the member is in rotation, 0 while marked down.",
+			func() float64 {
+				if m.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, label)
+		//mipp:allow obshygiene pre-registering one series per ring member at startup
+		rt.metrics.GaugeFunc("mipp_router_member_inflight",
+			"Requests currently proxied to this member.",
+			func() float64 { return float64(m.inflight.Load()) }, label)
+	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", rt.byWorkload)
-	mux.HandleFunc("POST /v1/sweep", rt.byWorkload)
-	mux.HandleFunc("POST /v1/pareto", rt.byWorkload)
-	mux.HandleFunc("POST /v1/evaluate", rt.handleEvaluate)
-	mux.HandleFunc("POST /v1/search", rt.handleSearchSubmit)
-	mux.HandleFunc("GET /v1/search/{id}", rt.byJob)
-	mux.HandleFunc("GET /v1/search/{id}/events", rt.byJob)
-	mux.HandleFunc("DELETE /v1/search/{id}", rt.byJob)
-	mux.HandleFunc("POST /v1/profiles", rt.handleRegister)
-	mux.HandleFunc("GET /v1/profiles/{name}", rt.byName)
-	mux.HandleFunc("DELETE /v1/profiles/{name}", rt.byName)
-	mux.HandleFunc("GET /v1/workloads", rt.handleWorkloads)
-	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	// route registers a handler wrapped in its per-route HTTP instruments,
+	// mirroring the replica server's mux (the pattern is the route label).
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.NewHTTPStats(rt.metrics, pattern).Wrap(h))
+	}
+	route("POST /v1/predict", rt.byWorkload)
+	route("POST /v1/sweep", rt.byWorkload)
+	route("POST /v1/pareto", rt.byWorkload)
+	route("POST /v1/evaluate", rt.handleEvaluate)
+	route("POST /v1/search", rt.handleSearchSubmit)
+	route("GET /v1/search/{id}", rt.byJob)
+	route("GET /v1/search/{id}/events", rt.byJob)
+	route("DELETE /v1/search/{id}", rt.byJob)
+	route("POST /v1/profiles", rt.handleRegister)
+	route("GET /v1/profiles/{name}", rt.byName)
+	route("DELETE /v1/profiles/{name}", rt.byName)
+	route("GET /v1/workloads", rt.handleWorkloads)
+	route("GET /healthz", rt.handleHealthz)
+	// The scrape endpoint is not instrumented: scrapes should not move the
+	// series they read.
+	mux.Handle("GET /metrics", rt.metrics.Handler())
 	rt.handler = rt.instrumented(mux)
 	return rt, nil
 }
+
+// MetricsRegistry returns the registry /metrics serves, so the daemon can
+// expose the same instruments on a separate debug listener
+// (obs.DebugHandler) next to pprof.
+func (rt *Router) MetricsRegistry() *obs.Registry { return rt.metrics }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.handler.ServeHTTP(w, r)
@@ -168,7 +222,10 @@ func (sw *statusWriter) Flush() {
 
 // instrumented assigns or adopts the X-Request-Id, echoes it, and logs one
 // line per request. The same id is forwarded to the replica, so a request
-// can be traced router → replica by grepping both logs for rid=.
+// can be traced router → replica by grepping both logs for rid=. With a
+// logger it also opens the router's root span for the request, adopting the
+// caller's X-Span-Id as the remote parent; send stamps the router's span on
+// the hop to the replica, so the replica's spans nest under it.
 func (rt *Router) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get(api.RequestIDHeader)
@@ -177,7 +234,12 @@ func (rt *Router) instrumented(next http.Handler) http.Handler {
 			r.Header.Set(api.RequestIDHeader, rid)
 		}
 		w.Header().Set(api.RequestIDHeader, rid)
-		r = r.WithContext(api.ContextWithRequestID(r.Context(), rid))
+		ctx := api.ContextWithRequestID(r.Context(), rid)
+		if remote := r.Header.Get(api.SpanIDHeader); remote != "" {
+			ctx = obs.ContextWithRemoteParent(ctx, remote)
+		}
+		ctx, span := obs.StartSpan(ctx, rt.logger, rid, "http "+r.Method+" "+r.URL.Path)
+		r = r.WithContext(ctx)
 		if rt.logger == nil {
 			next.ServeHTTP(w, r)
 			return
@@ -188,6 +250,7 @@ func (rt *Router) instrumented(next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		span.Finish()
 		rt.logf("%s %s %d %s rid=%s", r.Method, r.URL.Path, sw.status, time.Since(begin).Round(time.Microsecond), rid)
 	})
 }
@@ -238,6 +301,13 @@ func (rt *Router) send(r *http.Request, m *member, body []byte) (*http.Response,
 			req.Header.Set(h, v)
 		}
 	}
+	// The hop carries the router's OWN span as the replica's remote parent
+	// (X-Span-Id is deliberately not in proxyHeaders: passing the caller's
+	// span through would flatten the tree, hiding the router hop).
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		req.Header.Set(api.SpanIDHeader, sp.ID)
+	}
+	m.forwards.Inc()
 	return rt.hc.Do(req)
 }
 
@@ -512,6 +582,7 @@ func (rt *Router) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		data []byte
 	}
 	parts := make([]part, len(req.Workloads))
+	t := obs.StartTimer()
 	var wg sync.WaitGroup
 	for i, workload := range req.Workloads {
 		sub := req
@@ -529,6 +600,7 @@ func (rt *Router) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}(i, workload, subBody)
 	}
 	wg.Wait()
+	t.ObserveInto(rt.fanout)
 
 	merged := api.BatchResponse{SchemaVersion: api.SchemaVersion}
 	for i, p := range parts {
@@ -564,6 +636,7 @@ func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		m    *member
 	}
 	parts := make([]part, len(members))
+	t := obs.StartTimer()
 	var wg sync.WaitGroup
 	for i, m := range members {
 		wg.Add(1)
@@ -586,6 +659,7 @@ func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		}(i, m)
 	}
 	wg.Wait()
+	t.ObserveInto(rt.fanout)
 
 	seen := make(map[string]bool)
 	var workloads []api.WorkloadInfo
@@ -656,12 +730,12 @@ func (rt *Router) CheckHealth(ctx context.Context) {
 			}
 			if err == nil && resp.StatusCode/100 == 2 {
 				m.fails.Store(0)
-				if !m.healthy.Swap(true) {
+				if m.markUp() {
 					rt.logf("replica %s: healthy", m.url)
 				}
 				return
 			}
-			if fails := m.fails.Add(1); fails >= rt.failLimit && m.healthy.Swap(false) {
+			if fails := m.fails.Add(1); fails >= rt.failLimit && m.markDown() {
 				rt.logf("replica %s: marked down after %d failed health checks", m.url, fails)
 			}
 		}(m)

@@ -89,21 +89,29 @@ func newCluster(t *testing.T) *cluster {
 	}
 
 	c := &cluster{}
-	engine := func() *mipp.Engine {
+	engine := func(l *log.Logger) *mipp.Engine {
 		st, err := store.Open(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return mipp.NewEngine(mipp.WithEngineStore(st))
+		opts := []mipp.EngineOption{mipp.WithEngineStore(st)}
+		if l != nil {
+			// An engine logger turns on the engine-level trace spans
+			// (store.load, engine.compile), which the trace-propagation
+			// test asserts nest under the replica's HTTP span.
+			opts = append(opts, mipp.WithEngineLogger(l))
+		}
+		return mipp.NewEngine(opts...)
 	}
 	for i := 0; i < 3; i++ {
 		buf := &lockedBuf{}
-		ts := httptest.NewServer(server.New(engine(), server.WithLogger(log.New(buf, "", 0))))
+		l := log.New(buf, "", 0)
+		ts := httptest.NewServer(server.New(engine(l), server.WithLogger(l)))
 		t.Cleanup(ts.Close)
 		c.replicas = append(c.replicas, ts)
 		c.replogs = append(c.replogs, buf)
 	}
-	c.reference = httptest.NewServer(server.New(engine()))
+	c.reference = httptest.NewServer(server.New(engine(nil)))
 	t.Cleanup(c.reference.Close)
 
 	urls := make([]string, len(c.replicas))

@@ -1,0 +1,117 @@
+package server
+
+// /metrics endpoint tests: key series exist with the right labels after
+// traffic, counters are monotone across scrapes, error responses land in
+// their sentinel class, and instrumentation leaves response bytes alone.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricValue extracts the sample value of the series line starting with
+// prefix (exact name{labels} match followed by a space), or -1.
+func metricValue(t *testing.T, exposition, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q: %v", prefix, rest, err)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(testEngine(t))
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	predict := `{"schema_version":1,"workload":"mcf","config":{"name":"reference"}}`
+
+	// Traffic: two good predictions (byte-identical — instrumentation must
+	// not perturb the response), one sweep (moves the batched-kernel
+	// counters; single predicts use the scalar kernel), one unknown
+	// workload, one healthz.
+	first := do("POST", "/v1/predict", predict)
+	second := do("POST", "/v1/predict", predict)
+	if first.Code != http.StatusOK {
+		t.Fatalf("predict: %d: %s", first.Code, first.Body.String())
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("identical predicts returned different bytes through the instrumented stack")
+	}
+	if rec := do("POST", "/v1/sweep", `{"schema_version":1,"workload":"mcf","space":{"kind":"design","stride":9}}`); rec.Code != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := do("POST", "/v1/predict", `{"schema_version":1,"workload":"nope","config":{"name":"reference"}}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown workload: got %d", rec.Code)
+	}
+	if rec := do("GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: got %d", rec.Code)
+	}
+
+	rec := do("GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: got %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	body := rec.Body.String()
+
+	// Key series, with exact label sets (labels render sorted by key).
+	for series, want := range map[string]float64{
+		`mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`: 2,
+		`mipp_http_requests_total{code="4xx",route="POST /v1/predict"}`: 1,
+		`mipp_http_requests_total{code="5xx",route="POST /v1/predict"}`: 0, // pre-registered at boot
+		`mipp_http_request_seconds_count{route="POST /v1/predict"}`:     3,
+		`mipp_http_inflight{route="POST /v1/predict"}`:                  0,
+		`mipp_http_errors_total{sentinel="unknown_workload"}`:           1,
+		`mipp_http_errors_total{sentinel="busy"}`:                       0,
+		`mipp_search_jobs_inflight`:                                     0,
+	} {
+		if got := metricValue(t, body, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	// Present with traffic-dependent values (the engine is shared across
+	// the package's tests, so only existence and positivity are stable).
+	for _, series := range []string{
+		"mipp_engine_predictor_cache_misses_total",
+		"mipp_engine_compile_seconds_count",
+		"mipp_engine_store_load_seconds_count",
+		"mipp_kernel_batches_total",
+		"mipp_kernel_configs_total",
+		"mipp_engine_profiles",
+	} {
+		if got := metricValue(t, body, series); got < 0 {
+			t.Errorf("series %s missing from /metrics", series)
+		}
+	}
+	if got := metricValue(t, body, "mipp_kernel_configs_total"); got < 1 {
+		t.Errorf("mipp_kernel_configs_total = %v after a sweep, want >= 1", got)
+	}
+
+	// Monotone across scrapes: more traffic strictly advances the counter,
+	// and scraping itself must not move any series it reads.
+	before := metricValue(t, body, `mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`)
+	if rescrape := do("GET", "/metrics", "").Body.String(); metricValue(t, rescrape, `mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`) != before {
+		t.Error("scraping /metrics moved mipp_http_requests_total")
+	}
+	do("POST", "/v1/predict", predict)
+	after := metricValue(t, do("GET", "/metrics", "").Body.String(),
+		`mipp_http_requests_total{code="2xx",route="POST /v1/predict"}`)
+	if after != before+1 {
+		t.Errorf("requests_total went %v -> %v across one more predict, want +1", before, after)
+	}
+}

@@ -24,10 +24,14 @@
 //	PUT    /v1/store/objects/{digest}  replication: upload an envelope (?name=)
 //	DELETE /v1/store/objects/{digest}  replication: drop every name referencing digest
 //	GET    /healthz             liveness + registry, cache, search-job and store counters
+//	GET    /metrics             Prometheus text exposition of every instrument
 //
 // Every response echoes an X-Request-Id header (the caller's, or a fresh
 // one), and every request log line carries it as rid=, so a prediction can
-// be traced through mipp-router to the replica that answered it. The
+// be traced through mipp-router to the replica that answered it. With a
+// logger configured the middleware also opens a trace span per request
+// (adopting the caller's X-Span-Id as the remote parent), under which the
+// engine's store-load, compile, and search-generation spans nest. The
 // /v1/store endpoints exist only when the engine's backing store supports
 // content-addressed replication (mipp.ObjectStore); without one they
 // answer 404.
@@ -45,6 +49,7 @@ import (
 
 	"mipp"
 	"mipp/api"
+	"mipp/obs"
 )
 
 // DefaultMaxBodyBytes bounds request bodies (profiles for long traces run
@@ -63,6 +68,13 @@ type Server struct {
 	// content-addressed replication; nil otherwise (the /v1/store
 	// endpoints then answer 404).
 	objects mipp.ObjectStore
+	// metrics is the registry /metrics serves; per-route HTTP instruments,
+	// the engine's instruments, and the error-sentinel counters register on
+	// it at construction.
+	metrics *obs.Registry
+	// errors counts error responses by sentinel class, pre-registered so
+	// every class exposes a zero-valued series from boot.
+	errors map[string]*obs.Counter
 }
 
 // Option customizes a Server.
@@ -79,6 +91,14 @@ func WithMaxBodyBytes(n int64) Option {
 	return func(s *Server) { s.maxBody = n }
 }
 
+// WithMetricsRegistry substitutes the registry /metrics serves (the default
+// is a fresh registry chained to obs.Default(), so the kernel's process-wide
+// counters are included). Pass one registry to several servers only if their
+// instruments cannot collide.
+func WithMetricsRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
 // New wraps engine in the HTTP service surface.
 func New(engine *mipp.Engine, opts ...Option) *Server {
 	s := &Server{
@@ -90,27 +110,53 @@ func New(engine *mipp.Engine, opts ...Option) *Server {
 		o(s)
 	}
 	s.objects, _ = engine.ProfileStore().(mipp.ObjectStore)
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry(obs.WithBase(obs.Default()))
+	}
+	s.engine.MetricsInto(s.metrics)
+	s.errors = make(map[string]*obs.Counter, len(errorSentinels))
+	for _, sentinel := range errorSentinels {
+		//mipp:allow obshygiene pre-registering one series per sentinel at startup
+		s.errors[sentinel] = s.metrics.Counter("mipp_http_errors_total",
+			"Error responses, by sentinel class.", obs.Label{Key: "sentinel", Value: sentinel})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/profiles", handleJSON(s, s.engine.RegisterProfile))
-	mux.HandleFunc("GET /v1/profiles/{name}", s.handleProfileGet)
-	mux.HandleFunc("DELETE /v1/profiles/{name}", s.handleProfileDelete)
-	mux.HandleFunc("POST /v1/predict", handleJSON(s, s.engine.Predict))
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
-	mux.HandleFunc("POST /v1/pareto", handleJSON(s, s.engine.Pareto))
-	mux.HandleFunc("POST /v1/search", s.handleSearchSubmit)
-	mux.HandleFunc("GET /v1/search/{id}", s.handleSearchGet)
-	mux.HandleFunc("GET /v1/search/{id}/events", s.handleSearchEvents)
-	mux.HandleFunc("DELETE /v1/search/{id}", s.handleSearchCancel)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/store/index", s.handleStoreIndex)
-	mux.HandleFunc("GET /v1/store/objects/{digest}", s.handleStoreObjectGet)
-	mux.HandleFunc("PUT /v1/store/objects/{digest}", s.handleStoreObjectPut)
-	mux.HandleFunc("DELETE /v1/store/objects/{digest}", s.handleStoreObjectDelete)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// route registers a handler wrapped in its per-route HTTP instruments.
+	// The mux pattern doubles as the route label — instrumentation must
+	// happen here, at registration, because the matched pattern is not
+	// recoverable from an outer middleware.
+	route := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, obs.NewHTTPStats(s.metrics, pattern).Wrap(h))
+	}
+	routeFunc := func(pattern string, h http.HandlerFunc) { route(pattern, h) }
+	routeFunc("POST /v1/profiles", handleJSON(s, s.engine.RegisterProfile))
+	routeFunc("GET /v1/profiles/{name}", s.handleProfileGet)
+	routeFunc("DELETE /v1/profiles/{name}", s.handleProfileDelete)
+	routeFunc("POST /v1/predict", handleJSON(s, s.engine.Predict))
+	routeFunc("POST /v1/sweep", s.handleSweep)
+	routeFunc("POST /v1/evaluate", handleJSON(s, s.engine.Evaluate))
+	routeFunc("POST /v1/pareto", handleJSON(s, s.engine.Pareto))
+	routeFunc("POST /v1/search", s.handleSearchSubmit)
+	routeFunc("GET /v1/search/{id}", s.handleSearchGet)
+	routeFunc("GET /v1/search/{id}/events", s.handleSearchEvents)
+	routeFunc("DELETE /v1/search/{id}", s.handleSearchCancel)
+	routeFunc("GET /v1/workloads", s.handleWorkloads)
+	routeFunc("GET /v1/store/index", s.handleStoreIndex)
+	routeFunc("GET /v1/store/objects/{digest}", s.handleStoreObjectGet)
+	routeFunc("PUT /v1/store/objects/{digest}", s.handleStoreObjectPut)
+	routeFunc("DELETE /v1/store/objects/{digest}", s.handleStoreObjectDelete)
+	routeFunc("GET /healthz", s.handleHealthz)
+	// The scrape endpoint itself is not instrumented: scrapes should not
+	// move the series they read.
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	s.handlers = s.instrumented(mux)
 	return s
 }
+
+// MetricsRegistry returns the registry /metrics serves, so a daemon can
+// expose the same instruments on a separate debug listener
+// (obs.DebugHandler) next to pprof.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -138,7 +184,11 @@ func (w *statusWriter) Flush() {
 
 // instrumented is the outermost middleware: it assigns (or adopts) the
 // request ID, echoes it on the response, threads it through the request
-// context for the handlers' own log lines, and writes the request log.
+// context for the handlers' own log lines, opens the request's root trace
+// span (adopting an X-Span-Id header as the remote parent, so the span
+// hangs under the caller's), and writes the request log. Per-route metrics
+// live inside the mux (see New) because the route pattern is not visible
+// out here.
 func (s *Server) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get(api.RequestIDHeader)
@@ -146,7 +196,12 @@ func (s *Server) instrumented(next http.Handler) http.Handler {
 			rid = api.NewRequestID()
 		}
 		w.Header().Set(api.RequestIDHeader, rid)
-		r = r.WithContext(api.ContextWithRequestID(r.Context(), rid))
+		ctx := api.ContextWithRequestID(r.Context(), rid)
+		if remote := r.Header.Get(api.SpanIDHeader); remote != "" {
+			ctx = obs.ContextWithRemoteParent(ctx, remote)
+		}
+		ctx, span := obs.StartSpan(ctx, s.logger, rid, "http "+r.Method+" "+r.URL.Path)
+		r = r.WithContext(ctx)
 		if s.logger == nil {
 			next.ServeHTTP(w, r)
 			return
@@ -154,6 +209,7 @@ func (s *Server) instrumented(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
+		span.Finish()
 		s.logger.Printf("%s %s %d %s rid=%s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond), rid)
 	})
 }
@@ -166,11 +222,11 @@ func decodeRequest[Req any](s *Server, w http.ResponseWriter, r *http.Request) (
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
-		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		s.writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return nil, false
 	}
 	if err := drainTrailing(dec); err != nil {
-		writeError(w, decodeStatus(err), err)
+		s.writeError(w, decodeStatus(err), err)
 		return nil, false
 	}
 	return req, true
@@ -187,7 +243,7 @@ func handleJSON[Req any, Resp any](s *Server, call func(ctx context.Context, req
 		}
 		resp, err := call(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -210,7 +266,7 @@ func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.engine.SubmitSearch(r.Context(), req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	s.logf("search job %s: submitted workload=%s strategy=%s space=%d budget=%d rid=%s",
@@ -222,7 +278,7 @@ func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSearchGet(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.engine.SearchJob(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -232,7 +288,7 @@ func (s *Server) handleSearchCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	resp, err := s.engine.CancelSearch(r.Context(), id)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	s.logf("search job %s: cancel requested, state=%s after %d evaluations rid=%s",
@@ -273,7 +329,7 @@ func drainTrailing(dec *json.Decoder) error {
 func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.engine.ProfileInfo(r.Context(), r.PathValue("name"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -285,7 +341,7 @@ func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	resp, err := s.engine.DeleteProfile(r.Context(), name)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	s.logf("profile %q: deleted rid=%s", name, api.RequestIDFromContext(r.Context()))
@@ -295,7 +351,7 @@ func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.engine.Workloads(r.Context())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -358,6 +414,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// errorSentinels are the label values of mipp_http_errors_total,
+// pre-registered at construction so every class exposes a zero-valued
+// series from boot.
+var errorSentinels = []string{
+	"bad_request", "unknown_workload", "unknown_job", "busy", "canceled", "internal",
+}
+
+// sentinelFor classifies an error response for the error counter: the
+// Evaluator sentinels first, then the status-code class for errors born in
+// the transport layer (decode failures, oversized bodies).
+func sentinelFor(status int, err error) string {
+	switch {
+	case errors.Is(err, mipp.ErrUnknownWorkload):
+		return "unknown_workload"
+	case errors.Is(err, mipp.ErrUnknownJob):
+		return "unknown_job"
+	case errors.Is(err, mipp.ErrBusy):
+		return "busy"
+	case errors.Is(err, mipp.ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	}
+	return "internal"
+}
+
+// writeError writes the error envelope and counts it by sentinel class.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if c := s.errors[sentinelFor(status, err)]; c != nil {
+		c.Inc()
+	}
+	writeError(w, status, err)
 }
 
 // statusFor maps service errors onto HTTP statuses via the sentinel errors

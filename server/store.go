@@ -45,7 +45,7 @@ func storeProfileInfo(si mipp.ProfileStoreInfo) api.ProfileInfo {
 // too-old listing and hide the change forever.
 func (s *Server) handleStoreIndex(w http.ResponseWriter, r *http.Request) {
 	if s.objects == nil {
-		writeError(w, http.StatusNotFound, errNoObjectStore)
+		s.writeError(w, http.StatusNotFound, errNoObjectStore)
 		return
 	}
 	gen := s.objects.Generation()
@@ -74,17 +74,17 @@ func (s *Server) handleStoreIndex(w http.ResponseWriter, r *http.Request) {
 // and peers cache fetched objects forever.
 func (s *Server) handleStoreObjectGet(w http.ResponseWriter, r *http.Request) {
 	if s.objects == nil {
-		writeError(w, http.StatusNotFound, errNoObjectStore)
+		s.writeError(w, http.StatusNotFound, errNoObjectStore)
 		return
 	}
 	digest := r.PathValue("digest")
 	data, ok, err := s.objects.GetObject(digest)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -99,38 +99,38 @@ func (s *Server) handleStoreObjectGet(w http.ResponseWriter, r *http.Request) {
 // so the response's Profile carries the authoritative digest.
 func (s *Server) handleStoreObjectPut(w http.ResponseWriter, r *http.Request) {
 	if s.objects == nil {
-		writeError(w, http.StatusNotFound, errNoObjectStore)
+		s.writeError(w, http.StatusNotFound, errNoObjectStore)
 		return
 	}
 	digest := r.PathValue("digest")
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("object PUT needs a ?name= to register under"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("object PUT needs a ?name= to register under"))
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		writeError(w, decodeStatus(err), fmt.Errorf("read object body: %w", err))
+		s.writeError(w, decodeStatus(err), fmt.Errorf("read object body: %w", err))
 		return
 	}
 	sum := sha256.Sum256(data)
 	if got := "sha256:" + hex.EncodeToString(sum[:]); got != digest {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("object body digest %s does not match requested %s", got, digest))
 		return
 	}
 	p, err := mipp.DecodeProfile(data)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.engine.Register(name, p); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	si, ok := s.objects.Info(name)
 	if !ok {
-		writeError(w, http.StatusInternalServerError,
+		s.writeError(w, http.StatusInternalServerError,
 			fmt.Errorf("profile %q vanished after registration", name))
 		return
 	}
@@ -146,7 +146,7 @@ func (s *Server) handleStoreObjectPut(w http.ResponseWriter, r *http.Request) {
 // the engine so cached predictors are invalidated too.
 func (s *Server) handleStoreObjectDelete(w http.ResponseWriter, r *http.Request) {
 	if s.objects == nil {
-		writeError(w, http.StatusNotFound, errNoObjectStore)
+		s.writeError(w, http.StatusNotFound, errNoObjectStore)
 		return
 	}
 	digest := r.PathValue("digest")
@@ -162,13 +162,13 @@ func (s *Server) handleStoreObjectDelete(w http.ResponseWriter, r *http.Request)
 			if errors.Is(err, mipp.ErrUnknownWorkload) {
 				continue
 			}
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		deleted = append(deleted, name)
 	}
 	if len(deleted) == 0 {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown object %q", digest))
 		return
 	}
 	s.logf("store object %s: deleted (%v) rid=%s", digest, deleted, api.RequestIDFromContext(r.Context()))

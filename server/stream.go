@@ -23,7 +23,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	case "1", "true":
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream value %q (want 1)", v))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream value %q (want 1)", v))
 		return
 	}
 	req, ok := decodeRequest[api.SweepRequest](s, w, r)
@@ -73,7 +73,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	err := s.engine.SweepStream(r.Context(), req, sink)
 	switch {
 	case err != nil && !started:
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	case err != nil:
 		// The stream is already open: report the run-level failure in the
@@ -101,14 +101,14 @@ func (s *Server) handleSearchEvents(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("after"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad after value %q", v))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad after value %q", v))
 			return
 		}
 		after = n
 	}
 	ch, cancel, err := s.engine.SearchEvents(id, after)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	defer cancel()

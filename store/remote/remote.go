@@ -30,6 +30,7 @@ import (
 
 	"mipp"
 	"mipp/api"
+	"mipp/obs"
 )
 
 // DefaultRevalidateEvery is how long a synced index is trusted before the
@@ -68,8 +69,14 @@ type Store struct {
 	cached   int64
 	inflight map[string]chan struct{} // digest → in-progress fetch
 
-	hits, misses, loads     uint64
-	evictions, evictedBytes uint64
+	// Counters are obs instruments so Stats (the /healthz read-back) and
+	// /metrics share the same cells. reval304 and revalFull split index
+	// revalidations into conditional GETs answered 304 Not Modified vs.
+	// full index fetches — the cheap/expensive split that tells an
+	// operator whether the revalidation window is doing its job.
+	hits, misses, loads     obs.Counter
+	evictions, evictedBytes obs.Counter
+	reval304, revalFull     obs.Counter
 }
 
 // Option customizes a Store.
@@ -170,6 +177,7 @@ func (s *Store) sync() error {
 	}
 	defer drainClose(resp)
 	if resp.StatusCode == http.StatusNotModified {
+		s.reval304.Inc()
 		s.mu.Lock()
 		s.lastSync = time.Now()
 		s.mu.Unlock()
@@ -193,6 +201,7 @@ func (s *Store) sync() error {
 	for _, pi := range body.Profiles {
 		index[pi.Name] = storeInfo(pi)
 	}
+	s.revalFull.Inc()
 	s.mu.Lock()
 	s.index = index
 	s.gen = body.Generation
@@ -240,8 +249,8 @@ func (s *Store) installLocked(digest string, p *mipp.Profile, size int64) {
 			s.lru.Remove(el)
 			delete(s.cache, old.digest)
 			s.cached -= old.size
-			s.evictions++
-			s.evictedBytes += uint64(old.size)
+			s.evictions.Inc()
+			s.evictedBytes.Add(uint64(old.size))
 		}
 		el = prev
 	}
@@ -303,7 +312,7 @@ func (s *Store) loadShared(digest string) (*mipp.Profile, error) {
 	ch := s.inflight[digest]
 	delete(s.inflight, digest)
 	if err == nil {
-		s.loads++
+		s.loads.Inc()
 		s.installLocked(digest, p, int64(len(data)))
 	}
 	s.mu.Unlock()
@@ -329,13 +338,13 @@ func (s *Store) Get(name string) (*mipp.Profile, bool, error) {
 	}
 	digest := info.Digest
 	if ce := s.cache[digest]; ce != nil {
-		s.hits++
+		s.hits.Inc()
 		s.lru.MoveToFront(ce.elem)
 		p := ce.p
 		s.mu.Unlock()
 		return p, true, nil
 	}
-	s.misses++
+	s.misses.Inc()
 	s.mu.Unlock()
 	p, err := s.loadShared(digest)
 	if err != nil {
@@ -454,15 +463,17 @@ func (s *Store) Stats() mipp.StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return mipp.StoreStats{
-		Objects:          len(s.index),
-		ResidentEntries:  s.lru.Len(),
-		ResidentBytes:    s.cached,
-		MaxResidentBytes: s.maxCache,
-		Hits:             s.hits,
-		Misses:           s.misses,
-		Loads:            s.loads,
-		Evictions:        s.evictions,
-		EvictedBytes:     s.evictedBytes,
+		Objects:           len(s.index),
+		ResidentEntries:   s.lru.Len(),
+		ResidentBytes:     s.cached,
+		MaxResidentBytes:  s.maxCache,
+		Hits:              s.hits.Value(),
+		Misses:            s.misses.Value(),
+		Loads:             s.loads.Value(),
+		Evictions:         s.evictions.Value(),
+		EvictedBytes:      s.evictedBytes.Value(),
+		Revalidations304:  s.reval304.Value(),
+		RevalidationsFull: s.revalFull.Value(),
 	}
 }
 

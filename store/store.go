@@ -42,6 +42,7 @@ import (
 	"sync"
 
 	"mipp"
+	"mipp/obs"
 )
 
 const (
@@ -114,8 +115,11 @@ type Store struct {
 	residentBytes int64
 	generation    uint64 // of the last index loaded or written
 
-	hits, misses, loads     uint64
-	evictions, evictedBytes uint64
+	// Counters are obs instruments: still only mutated under mu, but
+	// readable lock-free, so Stats (the /healthz read-back) and /metrics
+	// share the same cells instead of duplicating them.
+	hits, misses, loads     obs.Counter
+	evictions, evictedBytes obs.Counter
 }
 
 // Option customizes a Store.
@@ -282,8 +286,8 @@ func (s *Store) evictLocked() {
 		if !e.pinned {
 			size := e.size
 			s.unmapLocked(e)
-			s.evictions++
-			s.evictedBytes += uint64(size)
+			s.evictions.Inc()
+			s.evictedBytes.Add(uint64(size))
 		}
 		el = prev
 	}
@@ -456,13 +460,13 @@ func (s *Store) Get(name string) (*mipp.Profile, bool, error) {
 		s.entries[name] = e
 	}
 	if e.resident != nil && e.digest == ie.Digest {
-		s.hits++
+		s.hits.Inc()
 		s.touchLocked(e)
 		p := e.resident
 		s.mu.Unlock()
 		return p, true, nil
 	}
-	s.misses++
+	s.misses.Inc()
 	s.mu.Unlock()
 
 	e.loadMu.Lock()
@@ -498,7 +502,7 @@ func (s *Store) Get(name string) (*mipp.Profile, bool, error) {
 	}
 
 	s.mu.Lock()
-	s.loads++
+	s.loads.Inc()
 	// Install only if the index still names the digest we loaded AND our
 	// entry is still the registered one; a racing Put/Delete owns the
 	// entry's residency otherwise (a Delete+re-Put replaces the entry
@@ -669,11 +673,11 @@ func (s *Store) Stats() mipp.StoreStats {
 		ResidentEntries:  s.lru.Len(),
 		ResidentBytes:    s.residentBytes,
 		MaxResidentBytes: s.maxResident,
-		Hits:             s.hits,
-		Misses:           s.misses,
-		Loads:            s.loads,
-		Evictions:        s.evictions,
-		EvictedBytes:     s.evictedBytes,
+		Hits:             s.hits.Value(),
+		Misses:           s.misses.Value(),
+		Loads:            s.loads.Value(),
+		Evictions:        s.evictions.Value(),
+		EvictedBytes:     s.evictedBytes.Value(),
 	}
 }
 

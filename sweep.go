@@ -81,6 +81,10 @@ func batchChunk(n, workers int) int {
 // is observed between configs inside each chunk (a context error surfaces
 // through the caller's ctx.Err() check).
 func sweepInto(ctx context.Context, pd *Predictor, configs []*Config, workers int, br *BatchResult) {
+	// The other batched-kernel entry point (PredictBatchInto counts its own
+	// calls); two atomic adds, nothing else.
+	kernelBatches.Inc()
+	kernelConfigs.Add(uint64(len(configs)))
 	pd.prepareBatch(br, len(configs))
 	chunk := batchChunk(len(configs), workers)
 	nchunks := (len(configs) + chunk - 1) / chunk

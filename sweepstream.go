@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mipp/api"
+	"mipp/obs"
 )
 
 // SweepSink receives a streamed sweep: Start once with the workload and the
@@ -40,7 +41,7 @@ func (e *Engine) SweepStream(ctx context.Context, req *api.SweepRequest, sink Sw
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	pd, err := e.Predictor(req.Workload, req.Options)
+	pd, err := e.predictor(ctx, req.Workload, req.Options)
 	if err != nil {
 		return err
 	}
@@ -64,7 +65,9 @@ func (e *Engine) SweepStream(ctx context.Context, req *api.SweepRequest, sink Sw
 	window := batchChunk(len(configs), workers) * workers
 	for lo := 0; lo < len(configs); lo += window {
 		hi := min(lo+window, len(configs))
+		t := obs.StartTimer()
 		sweepInto(ctx, pd, configs[lo:hi], workers, br)
+		t.ObserveInto(e.metrics.evaluateSeconds)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
