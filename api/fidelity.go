@@ -1,0 +1,30 @@
+package api
+
+import "mipp/fidelity"
+
+// The fidelity wire vocabulary: GET /v1/fidelity reads the engine's
+// model-vs-simulator error report. The report DTO aliases mipp/fidelity's
+// type directly — like SearchReport aliases search.Report — so an
+// in-process report and the same report read over the wire marshal to
+// byte-identical JSON.
+
+// FidelityReport is the wire form of the fidelity observatory's report:
+// overall CPI and power MAPE/bias, per-component error breakdowns, a
+// per-workload summary, and the worst sampled configurations with their
+// digests.
+type FidelityReport = fidelity.Report
+
+// FidelitySample is one recorded model-vs-simulator comparison on the wire.
+type FidelitySample = fidelity.Sample
+
+// FidelityStats is the compact fidelity aggregate embedded in /healthz.
+type FidelityStats = fidelity.Stats
+
+// FidelityResponse answers GET /v1/fidelity.
+type FidelityResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	// Enabled reports whether the serving engine runs a fidelity sampler;
+	// when false, Report is absent.
+	Enabled bool            `json:"enabled"`
+	Report  *FidelityReport `json:"report,omitempty"`
+}

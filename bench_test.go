@@ -19,6 +19,7 @@ import (
 	"mipp"
 	"mipp/api"
 	"mipp/arch"
+	"mipp/fidelity"
 	"mipp/internal/exp"
 )
 
@@ -174,6 +175,59 @@ func benchEngineEvaluate(b *testing.B, workers int) {
 func BenchmarkEngineEvaluate_1worker(b *testing.B) { benchEngineEvaluate(b, 1) }
 func BenchmarkEngineEvaluate_Nworkers(b *testing.B) {
 	benchEngineEvaluate(b, 0) // 0 = engine default (GOMAXPROCS)
+}
+
+// BenchmarkEngineEvaluateFidelity re-measures the batch serving path with
+// the fidelity sampler attached (PR 10): the per-config overhead is one
+// allocation-free FNV hash in offerFidelity, so throughput must track
+// BenchmarkEngineEvaluate_Nworkers — CI gates the ratio. SampleEvery is set
+// so the predicate runs on every served config but essentially never
+// selects, isolating the steady-state offer cost from simulation cost.
+func BenchmarkEngineEvaluateFidelity(b *testing.B) {
+	e := mipp.NewEngine(mipp.WithFidelitySampling(mipp.FidelityOptions{
+		SampleEvery: 1 << 20,
+		Budget:      -1, // unlimited: the budget fast path must not hide the hash
+		GroundTruth: benchGroundTruth{},
+	}))
+	defer e.Close()
+	for _, w := range []string{"mcf", "gamess"} {
+		p, err := mipp.NewProfiler().Profile(w, benchN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register(w, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Predictor(w, api.PredictorSpec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := &api.BatchRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workloads:     []string{"mcf", "gamess"},
+		Space:         &api.SpaceSpec{Kind: "design", Stride: 3},
+	}
+	items := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = len(resp.Items)
+	}
+	b.StopTimer()
+	if items > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(items*b.N)/b.Elapsed().Seconds(), "configs/s")
+	}
+}
+
+// benchGroundTruth is never meaningfully invoked (the predicate all but
+// never selects); it exists so the sampler is fully armed.
+type benchGroundTruth struct{}
+
+func (benchGroundTruth) GroundTruth(ctx context.Context, workload string, cfg *arch.Config) (fidelity.Measurement, error) {
+	return fidelity.Measurement{CPI: 1, Watts: 1}, nil
 }
 
 // BenchmarkEnginePredict measures single-query latency through the cached

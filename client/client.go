@@ -173,6 +173,22 @@ func (c *Client) Workloads(ctx context.Context) (*api.WorkloadsResponse, error) 
 	return resp, checkVersion(resp.SchemaVersion)
 }
 
+// Fidelity reads the server's model-vs-simulator error report. wait asks
+// the server to flush its sampler queue first (bounded by ctx), so a
+// caller that just issued predictions reads a report covering them. A
+// server without fidelity sampling answers Enabled=false with no report.
+func (c *Client) Fidelity(ctx context.Context, wait bool) (*api.FidelityResponse, error) {
+	path := "/v1/fidelity"
+	if wait {
+		path += "?wait=1"
+	}
+	resp := &api.FidelityResponse{}
+	if err := c.call(ctx, http.MethodGet, path, nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, checkVersion(resp.SchemaVersion)
+}
+
 // Predict implements mipp.Evaluator.
 func (c *Client) Predict(ctx context.Context, req *api.PredictRequest) (*api.PredictResponse, error) {
 	resp := &api.PredictResponse{}

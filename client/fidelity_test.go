@@ -1,0 +1,87 @@
+package client_test
+
+// Client.Fidelity round-trip: the typed accessor returns the same report
+// the engine holds, for enabled and disabled servers alike.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+	"mipp/client"
+	"mipp/fidelity"
+	"mipp/server"
+)
+
+type flatGroundTruth struct{}
+
+func (flatGroundTruth) GroundTruth(ctx context.Context, workload string, cfg *arch.Config) (fidelity.Measurement, error) {
+	return fidelity.Measurement{
+		CPI:      1,
+		CPIStack: fidelity.CPIStack{Base: 0.6, Branch: 0.1, ICache: 0.05, LLCHit: 0.1, DRAM: 0.15},
+		Watts:    12,
+		Power:    fidelity.PowerStack{Static: 4, Core: 4, FU: 1, Cache: 1.5, DRAM: 1, BPred: 0.5},
+	}, nil
+}
+
+func TestFidelityRoundTrip(t *testing.T) {
+	engine := mipp.NewEngine(mipp.WithFidelitySampling(mipp.FidelityOptions{
+		SampleEvery: 1,
+		Budget:      32,
+		GroundTruth: flatGroundTruth{},
+	}))
+	defer engine.Close()
+	p, err := mipp.NewProfiler().Profile("mcf", testUops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Register("mcf", p); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(engine))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	if _, err := c.Predict(ctx, &api.PredictRequest{
+		SchemaVersion: api.SchemaVersion,
+		Workload:      "mcf",
+		Config:        api.ConfigSpec{Name: "reference"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Fidelity(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Report == nil || resp.Report.Samples < 1 {
+		t.Fatalf("Fidelity = %+v", resp)
+	}
+
+	// The wire report matches the engine's own, byte for byte.
+	local, err := engine.FidelityReport(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(local)
+	got, _ := json.Marshal(resp.Report)
+	if string(got) != string(want) {
+		t.Fatalf("wire report differs from engine report:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestFidelityDisabledRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	resp, err := h.remote.Fidelity(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled || resp.Report != nil {
+		t.Fatalf("disabled server answered %+v", resp)
+	}
+}

@@ -59,12 +59,28 @@ func main() {
 		storeMax  = flag.Int64("store-resident-bytes", 0, "LRU bound on decoded profile bytes the store keeps in memory (0 = unbounded)")
 		workers   = flag.Int("workers", 0, "default evaluation worker-pool size (0 = GOMAXPROCS)")
 		debugAddr = flag.String("debug-addr", "", "separate listener for /metrics and /debug/pprof/* (empty = disabled; /metrics is always on -addr too)")
+
+		fidBudget = flag.Int("fidelity-budget", 0, "ground-truth simulations the fidelity sampler may run (0 = sampling off, -1 = unlimited); report on GET /v1/fidelity")
+		fidEvery  = flag.Int("fidelity-every", 16, "sample roughly 1 in this many served configs for ground-truth comparison")
+		fidUops   = flag.Int("fidelity-uops", 40_000, "regenerated stream length per workload for ground-truth simulations")
+		fidSeed   = flag.Int64("fidelity-seed", 0, "seed for the deterministic fidelity sample and its regenerated streams")
+		fidRate   = flag.Float64("fidelity-max-per-second", 2, "rate limit on ground-truth simulations (0 = unlimited)")
 	)
 	flag.Parse()
 
 	var engineOpts []mipp.EngineOption
 	if *workers > 0 {
 		engineOpts = append(engineOpts, mipp.WithEngineWorkers(*workers))
+	}
+	if *fidBudget != 0 {
+		engineOpts = append(engineOpts, mipp.WithFidelitySampling(mipp.FidelityOptions{
+			Seed:         *fidSeed,
+			SampleEvery:  *fidEvery,
+			Budget:       *fidBudget,
+			SimUops:      *fidUops,
+			MaxPerSecond: *fidRate,
+		}))
+		log.Printf("fidelity sampling on: budget=%d every=%d uops=%d seed=%d", *fidBudget, *fidEvery, *fidUops, *fidSeed)
 	}
 	switch {
 	case *storeDir != "" && *remoteURL != "":
@@ -132,6 +148,9 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	// Stop the engine's background workers (the fidelity sampler) after the
+	// listener drains: an in-flight /v1/fidelity?wait=1 finishes first.
+	engine.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
 	}

@@ -58,6 +58,11 @@ type Engine struct {
 
 	// search holds the asynchronous design-space search jobs (jobs.go).
 	search searchJobs
+
+	// fidOpts is set by WithFidelitySampling; fid is the running sampler
+	// (fidelity_engine.go), nil when the observatory is disabled.
+	fidOpts *FidelityOptions
+	fid     *fidelitySampler
 }
 
 type predictorKey struct {
@@ -114,6 +119,11 @@ func NewEngine(opts ...EngineOption) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.fidOpts != nil {
+		// The sampler needs the finished engine (profile resolution, the
+		// predictor cache), so it starts after every option has applied.
+		e.fid = newFidelitySampler(e, *e.fidOpts)
 	}
 	return e
 }
@@ -652,6 +662,7 @@ func (e *Engine) Predict(ctx context.Context, req *api.PredictRequest) (*api.Pre
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	e.offerFidelity(req.Workload, req.Options, cfg)
 	return &api.PredictResponse{
 		SchemaVersion: api.SchemaVersion,
 		Result:        apiResult(res, req.MicroCPI),
@@ -681,6 +692,7 @@ func (e *Engine) sweepOne(ctx context.Context, workload string, configs []*Confi
 	for i := range configs {
 		if br.Ok(i) {
 			results[i] = br.apiResult(i, false)
+			e.offerFidelity(workload, spec, configs[i])
 		}
 	}
 	var itemErrs []api.ItemError
@@ -785,6 +797,7 @@ func (e *Engine) Evaluate(ctx context.Context, req *api.BatchRequest) (*api.Batc
 				item.Error = br.Err(ci - sp.lo).Error()
 			case br.Ok(ci - sp.lo):
 				item.Result = br.apiResult(ci-sp.lo, false)
+				e.offerFidelity(req.Workloads[sp.wi], req.Options, configs[ci])
 			}
 		}
 	})

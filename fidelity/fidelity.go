@@ -1,0 +1,237 @@
+// Package fidelity measures the analytical model against the cycle-level
+// reference simulator while the tier serves: the paper's claim is that the
+// interval model predicts performance and power accurately enough to
+// replace simulation in design-space exploration, and this package is the
+// instrument that keeps that claim observable per CPI component, per power
+// component, per workload, over time.
+//
+// The vocabulary is small and deliberately wire-shaped:
+//
+//   - a Measurement is one side's view of a (workload, configuration) pair —
+//     CPI with its per-instruction component stack, watts with its component
+//     stack — produced either by the model (mipp.ModelMeasurement) or by the
+//     reference simulator (mipp.SimMeasurement);
+//   - a GroundTruth is the evaluator seam that produces the simulator-side
+//     Measurement on demand (mipp.NewSimGroundTruth runs internal/ooo; tests
+//     substitute synthetic ones);
+//   - a Pair couples the two sides; Pair.Sample decomposes it into signed
+//     per-component residuals (model − simulator, so positive means the
+//     model over-predicts);
+//   - the Recorder aggregates samples into obs instruments and into a
+//     deterministic, JSON-stable Report.
+//
+// Determinism contract: the Recorder has set semantics (samples are keyed
+// by digest, duplicates are dropped) and Report folds its sums in one
+// canonical order, so the same set of recorded pairs produces a
+// byte-identical Report regardless of arrival order, worker count, or how
+// many times a pair was re-served. That is what lets the report join the
+// repository's seeded byte-identity test discipline.
+package fidelity
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"mipp/arch"
+)
+
+// CPIComponents names the CPI-stack components, in stack order (the set of
+// Figure 6.1: base, branch misprediction recovery, instruction-cache
+// stalls, chained LLC-hit stalls, DRAM stalls).
+var CPIComponents = [5]string{"base", "branch", "icache", "llc", "dram"}
+
+// PowerComponents names the power-stack components, in stack order.
+var PowerComponents = [6]string{"static", "core", "fu", "cache", "dram", "bpred"}
+
+// CPIStack is a per-instruction CPI decomposition (or, for residuals, the
+// signed per-component difference of two such decompositions).
+type CPIStack struct {
+	Base   float64 `json:"base"`
+	Branch float64 `json:"branch"`
+	ICache float64 `json:"icache"`
+	LLCHit float64 `json:"llc"`
+	DRAM   float64 `json:"dram"`
+}
+
+// Components returns the stack as an array in CPIComponents order.
+func (s CPIStack) Components() [5]float64 {
+	return [5]float64{s.Base, s.Branch, s.ICache, s.LLCHit, s.DRAM}
+}
+
+// Total returns the sum over components.
+func (s CPIStack) Total() float64 {
+	return s.Base + s.Branch + s.ICache + s.LLCHit + s.DRAM
+}
+
+// Sub returns the signed difference s − o, component by component.
+func (s CPIStack) Sub(o CPIStack) CPIStack {
+	return CPIStack{
+		Base:   s.Base - o.Base,
+		Branch: s.Branch - o.Branch,
+		ICache: s.ICache - o.ICache,
+		LLCHit: s.LLCHit - o.LLCHit,
+		DRAM:   s.DRAM - o.DRAM,
+	}
+}
+
+// PowerStack is a per-component power decomposition in watts (or the signed
+// difference of two).
+type PowerStack struct {
+	Static float64 `json:"static"`
+	Core   float64 `json:"core"`
+	FU     float64 `json:"fu"`
+	Cache  float64 `json:"cache"`
+	DRAM   float64 `json:"dram"`
+	BPred  float64 `json:"bpred"`
+}
+
+// Components returns the stack as an array in PowerComponents order.
+func (s PowerStack) Components() [6]float64 {
+	return [6]float64{s.Static, s.Core, s.FU, s.Cache, s.DRAM, s.BPred}
+}
+
+// Total returns the sum over components.
+func (s PowerStack) Total() float64 {
+	return s.Static + s.Core + s.FU + s.Cache + s.DRAM + s.BPred
+}
+
+// Sub returns the signed difference s − o, component by component.
+func (s PowerStack) Sub(o PowerStack) PowerStack {
+	return PowerStack{
+		Static: s.Static - o.Static,
+		Core:   s.Core - o.Core,
+		FU:     s.FU - o.FU,
+		Cache:  s.Cache - o.Cache,
+		DRAM:   s.DRAM - o.DRAM,
+		BPred:  s.BPred - o.BPred,
+	}
+}
+
+// Measurement is one side's view of a (workload, configuration) pair: the
+// model's prediction, or the reference simulator's measurement, in the same
+// units so the two subtract component by component.
+type Measurement struct {
+	// CPI is cycles per macro-instruction; CPIStack is its per-instruction
+	// decomposition (the components sum to CPI up to model residue).
+	CPI      float64  `json:"cpi"`
+	CPIStack CPIStack `json:"cpi_stack"`
+	// Watts is total power; Power is its component decomposition.
+	Watts float64    `json:"watts"`
+	Power PowerStack `json:"power"`
+}
+
+// GroundTruth produces the reference (simulator-side) measurement for one
+// (workload, configuration) pair. mipp.NewSimGroundTruth backs it with the
+// cycle-level out-of-order simulator; tests substitute synthetic truths.
+// Implementations must honor ctx — ground-truth runs are orders of
+// magnitude slower than the model and must cancel promptly.
+type GroundTruth interface {
+	GroundTruth(ctx context.Context, workload string, cfg *arch.Config) (Measurement, error)
+}
+
+// Pair couples one model prediction with its simulator ground truth.
+type Pair struct {
+	// Workload is the registered profile name; Config the configuration
+	// name; Digest the content digest identifying the exact (workload,
+	// predictor options, configuration) triple (see Digest).
+	Workload string
+	Config   string
+	Digest   string
+	Model    Measurement
+	Sim      Measurement
+}
+
+// Sample decomposes the pair into signed residuals. Residuals are
+// model − simulator: positive means the model over-predicts.
+func (p Pair) Sample() Sample {
+	s := Sample{
+		Workload:      p.Workload,
+		Config:        p.Config,
+		Digest:        p.Digest,
+		Model:         p.Model,
+		Sim:           p.Sim,
+		CPIResidual:   p.Model.CPIStack.Sub(p.Sim.CPIStack),
+		PowerResidual: p.Model.Power.Sub(p.Sim.Power),
+	}
+	if p.Sim.CPI != 0 {
+		s.CPIErrorPct = 100 * (p.Model.CPI - p.Sim.CPI) / p.Sim.CPI
+	}
+	if p.Sim.Watts != 0 {
+		s.WattsErrorPct = 100 * (p.Model.Watts - p.Sim.Watts) / p.Sim.Watts
+	}
+	return s
+}
+
+// Sample is one recorded (model, simulator) comparison: both sides, their
+// signed per-component residuals, and the relative errors of the totals.
+type Sample struct {
+	Workload string      `json:"workload"`
+	Config   string      `json:"config"`
+	Digest   string      `json:"digest"`
+	Model    Measurement `json:"model"`
+	Sim      Measurement `json:"sim"`
+	// CPIResidual and PowerResidual are signed, model − simulator, in CPI
+	// (cycles per instruction) and watts respectively. Component residuals
+	// stay absolute on purpose: relative error explodes on components the
+	// simulator measures near zero.
+	CPIResidual   CPIStack   `json:"cpi_residual"`
+	PowerResidual PowerStack `json:"power_residual"`
+	// CPIErrorPct and WattsErrorPct are the signed relative errors of the
+	// totals, in percent (0 when the simulator side is zero).
+	CPIErrorPct   float64 `json:"cpi_error_pct"`
+	WattsErrorPct float64 `json:"watts_error_pct"`
+}
+
+// Digest identifies the exact comparison a sample answers: the registered
+// workload name, the predictor option key, and the complete configuration
+// (canonical JSON — config names alone are not unique across inline
+// configs). It is the Recorder's dedup key and the join key between a
+// report's worst list and the serving logs.
+func Digest(workload, optionsKey string, cfg *arch.Config) string {
+	h := sha256.New()
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	h.Write([]byte(optionsKey))
+	h.Write([]byte{0})
+	if cfg != nil {
+		data, err := json.Marshal(cfg)
+		if err == nil {
+			h.Write(data)
+		}
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Sampled is the deterministic sampling decision: whether the (workload,
+// configuration-name) pair falls in the 1-in-every sample for this seed.
+// It hashes rather than counts, so the decision depends only on the pair
+// and the seed — never on arrival order or worker interleaving — which is
+// what keeps sampled fidelity reports byte-identical at any concurrency.
+// every <= 1 selects everything. It allocates nothing: the serving paths
+// offer every config they touch through this predicate.
+func Sampled(seed int64, workload, config string, every int) bool {
+	if every <= 1 {
+		return true
+	}
+	// FNV-1a over seed, workload, NUL, config.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := uint64(seed)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (s & 0xff)) * prime64
+		s >>= 8
+	}
+	for i := 0; i < len(workload); i++ {
+		h = (h ^ uint64(workload[i])) * prime64
+	}
+	h = (h ^ 0) * prime64
+	for i := 0; i < len(config); i++ {
+		h = (h ^ uint64(config[i])) * prime64
+	}
+	return h%uint64(every) == 0
+}

@@ -1,0 +1,256 @@
+package fidelity
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mipp/arch"
+	"mipp/obs"
+)
+
+func testPair(i int) Pair {
+	// Synthetic but structured: the model over-predicts DRAM and
+	// under-predicts branch, scaled by the index, across two workloads.
+	w := "mcf"
+	if i%2 == 1 {
+		w = "gcc"
+	}
+	f := float64(i)
+	model := Measurement{
+		CPI:      1.0 + 0.01*f,
+		CPIStack: CPIStack{Base: 0.5, Branch: 0.1, ICache: 0.05, LLCHit: 0.1, DRAM: 0.25 + 0.01*f},
+		Watts:    10 + 0.1*f,
+		Power:    PowerStack{Static: 3, Core: 4, FU: 1, Cache: 1, DRAM: 0.5 + 0.1*f, BPred: 0.5},
+	}
+	sim := Measurement{
+		CPI:      1.0,
+		CPIStack: CPIStack{Base: 0.5, Branch: 0.12, ICache: 0.05, LLCHit: 0.1, DRAM: 0.23},
+		Watts:    10,
+		Power:    PowerStack{Static: 3, Core: 4, FU: 1, Cache: 1, DRAM: 0.5, BPred: 0.5},
+	}
+	return Pair{
+		Workload: w,
+		Config:   "cfg-" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+		Digest:   Digest(w, "", &arch.Config{Name: "cfg", ROB: i + 1}),
+		Model:    model,
+		Sim:      sim,
+	}
+}
+
+func TestSampleResiduals(t *testing.T) {
+	p := testPair(10)
+	s := p.Sample()
+	if got, want := s.CPIResidual.DRAM, 0.25+0.10-0.23; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DRAM residual = %v, want %v", got, want)
+	}
+	if got, want := s.CPIResidual.Branch, 0.1-0.12; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Branch residual = %v, want %v", got, want)
+	}
+	if got, want := s.CPIErrorPct, 100*(1.1-1.0)/1.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CPIErrorPct = %v, want %v", got, want)
+	}
+	if got, want := s.WattsErrorPct, 100*(11.0-10.0)/10.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("WattsErrorPct = %v, want %v", got, want)
+	}
+	// Zero sim side must not divide by zero.
+	z := Pair{Model: Measurement{CPI: 1}}.Sample()
+	if z.CPIErrorPct != 0 || z.WattsErrorPct != 0 {
+		t.Fatalf("zero-sim errors = %v/%v, want 0/0", z.CPIErrorPct, z.WattsErrorPct)
+	}
+}
+
+// TestReportDeterministic is the determinism contract: any arrival order,
+// any concurrency, duplicates included — same sample set, byte-identical
+// report JSON.
+func TestReportDeterministic(t *testing.T) {
+	const n = 40
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = testPair(i)
+	}
+
+	build := func(order []int, workers int) []byte {
+		rec := NewRecorder()
+		var wg sync.WaitGroup
+		ch := make(chan Pair)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range ch {
+					rec.Record(p)
+					rec.Record(p) // duplicates must be no-ops
+				}
+			}()
+		}
+		for _, i := range order {
+			ch <- pairs[i]
+		}
+		close(ch)
+		wg.Wait()
+		rep := rec.Report(5)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	base := build(rand.New(rand.NewSource(1)).Perm(n), 1)
+	for seed := int64(2); seed < 6; seed++ {
+		got := build(rand.New(rand.NewSource(seed)).Perm(n), int(seed))
+		if string(got) != string(base) {
+			t.Fatalf("report differs across orders/workers:\n%s\nvs\n%s", base, got)
+		}
+	}
+
+	var rep Report
+	if err := json.Unmarshal(base, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != n {
+		t.Fatalf("Samples = %d, want %d (duplicates must not count)", rep.Samples, n)
+	}
+	if len(rep.Worst) != 5 {
+		t.Fatalf("Worst = %d entries, want 5", len(rep.Worst))
+	}
+	// Worst list is sorted by |CPI error| descending; index n-1 has the
+	// largest error.
+	if rep.Worst[0].CPIErrorPct < rep.Worst[4].CPIErrorPct {
+		t.Fatalf("Worst not sorted: %v", rep.Worst)
+	}
+	if len(rep.CPIComponents) != 5 || len(rep.PowerComponents) != 6 {
+		t.Fatalf("component breakdowns = %d/%d, want 5/6",
+			len(rep.CPIComponents), len(rep.PowerComponents))
+	}
+	if rep.CPI.BiasPct <= 0 {
+		t.Fatalf("BiasPct = %v, want > 0 (the synthetic model over-predicts)", rep.CPI.BiasPct)
+	}
+	if rep.CPI.MaxConfig == "" || rep.CPI.MaxWorkload == "" {
+		t.Fatal("max locators empty")
+	}
+}
+
+func TestRecorderStatsAndMetrics(t *testing.T) {
+	rec := NewRecorder()
+	reg := obs.NewRegistry()
+	rec.MetricsInto(reg)
+	for i := 0; i < 10; i++ {
+		if !rec.Record(testPair(i)) {
+			t.Fatalf("Record(%d) reported duplicate", i)
+		}
+	}
+	if rec.Record(testPair(3)) {
+		t.Fatal("duplicate Record reported new")
+	}
+	rec.RecordFailure()
+
+	st := rec.Stats()
+	if st.Samples != 10 || st.Failures != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.CPIMAPEPct <= 0 || st.MaxAbsCPI < st.CPIMAPEPct {
+		t.Fatalf("Stats aggregates inconsistent: %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{
+		"mipp_fidelity_samples_total 10",
+		"mipp_fidelity_failures_total 1",
+		`mipp_fidelity_cpi_residual_count{component="dram"} 10`,
+		`mipp_fidelity_power_residual_count{component="bpred"} 10`,
+		`mipp_fidelity_workload_samples_total{workload="mcf"} 5`,
+		`mipp_fidelity_workload_samples_total{workload="gcc"} 5`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("missing series %q in:\n%s", series, out)
+		}
+	}
+}
+
+// TestMetricsIntoReplays checks that samples recorded before MetricsInto
+// appear in the per-workload vec series registered later.
+func TestMetricsIntoReplays(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 6; i++ {
+		rec.Record(testPair(i))
+	}
+	reg := obs.NewRegistry()
+	rec.MetricsInto(reg)
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `mipp_fidelity_workload_samples_total{workload="mcf"} 3`) {
+		t.Errorf("pre-registration samples not replayed:\n%s", buf.String())
+	}
+}
+
+func TestSampled(t *testing.T) {
+	// Deterministic: same inputs, same answer.
+	for i := 0; i < 100; i++ {
+		if Sampled(7, "mcf", "cfg-1", 4) != Sampled(7, "mcf", "cfg-1", 4) {
+			t.Fatal("Sampled not deterministic")
+		}
+	}
+	if !Sampled(1, "w", "c", 0) || !Sampled(1, "w", "c", 1) {
+		t.Fatal("every <= 1 must select everything")
+	}
+	// Roughly 1-in-every selectivity over many names.
+	hits := 0
+	const trials, every = 4000, 8
+	for i := 0; i < trials; i++ {
+		if Sampled(42, "mcf", "cfg-"+string(rune('0'+i%10))+"-"+strconv.Itoa(i), every) {
+			hits++
+		}
+	}
+	if hits < trials/every/2 || hits > trials/every*2 {
+		t.Fatalf("selectivity %d/%d far from 1/%d", hits, trials, every)
+	}
+	// Different seeds select different sets (with overwhelming likelihood).
+	diff := 0
+	for i := 0; i < trials; i++ {
+		name := "cfg-" + strconv.Itoa(i)
+		if Sampled(1, "mcf", name, every) != Sampled(2, "mcf", name, every) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed does not influence selection")
+	}
+}
+
+func TestSampledAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(1000, func() {
+		Sampled(7, "mcf", "config-name-xyz", 16)
+	}); n != 0 {
+		t.Fatalf("Sampled allocates %v/op, want 0", n)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	a := &arch.Config{Name: "x", ROB: 128}
+	b := &arch.Config{Name: "x", ROB: 192}
+	if Digest("w", "", a) == Digest("w", "", b) {
+		t.Fatal("digest ignores config contents")
+	}
+	if Digest("w", "", a) != Digest("w", "", a) {
+		t.Fatal("digest not deterministic")
+	}
+	if Digest("w", "", a) == Digest("v", "", a) {
+		t.Fatal("digest ignores workload")
+	}
+	if Digest("w", "k1", a) == Digest("w", "k2", a) {
+		t.Fatal("digest ignores options key")
+	}
+}

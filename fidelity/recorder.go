@@ -1,0 +1,400 @@
+package fidelity
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"mipp/obs"
+)
+
+// Recorder accumulates fidelity samples into obs instruments and a
+// deterministic Report. It has set semantics: samples are keyed by digest,
+// so re-recording an already-seen (workload, options, config) triple is a
+// no-op — the sampler may race with the search escalation hook over the
+// same config and the report stays stable.
+//
+// Record takes a mutex and allocates; it runs on the sampler worker and
+// the escalation path, never inside a kernel hot path (the hotpath
+// analyzer enforces this).
+type Recorder struct {
+	mu       sync.Mutex
+	samples  map[string]Sample
+	failures uint64
+
+	// per-workload running aggregates, for the healthz section and the
+	// workload-labeled gauges without re-folding the sample set.
+	byWorkload map[string]*workloadAgg
+
+	// Instruments are created with the recorder so recording works before
+	// (or without) MetricsInto; MetricsInto attaches them to a registry.
+	recorded    obs.Counter
+	failed      obs.Counter
+	cpiResid    [5]*obs.SignedHistogram
+	powerResid  [6]*obs.SignedHistogram
+	cpiErrPct   *obs.SignedHistogram
+	wattsErrPct *obs.SignedHistogram
+
+	// vecs exist only after MetricsInto; guarded by mu.
+	workloadSamples *obs.CounterVec
+	cpiErrGauge     *obs.GaugeVec
+	wattsErrGauge   *obs.GaugeVec
+}
+
+type workloadAgg struct {
+	n           int
+	sumAbsCPI   float64 // sum |CPIErrorPct|
+	sumAbsWatts float64 // sum |WattsErrorPct|
+}
+
+// NewRecorder returns an empty recorder with its instruments constructed
+// but not yet registered; call MetricsInto to expose them.
+func NewRecorder() *Recorder {
+	r := &Recorder{
+		samples:    make(map[string]Sample),
+		byWorkload: make(map[string]*workloadAgg),
+	}
+	for i := range r.cpiResid {
+		//mipp:allow obshygiene one histogram per fixed CPI component, built once at construction
+		r.cpiResid[i] = obs.NewSignedHistogram(obs.ResidualBuckets...)
+	}
+	for i := range r.powerResid {
+		//mipp:allow obshygiene one histogram per fixed power component, built once at construction
+		r.powerResid[i] = obs.NewSignedHistogram(obs.ResidualBuckets...)
+	}
+	// Total-error histograms are in percent — scale the magnitudes up.
+	pct := make([]float64, len(obs.ResidualBuckets))
+	for i, b := range obs.ResidualBuckets {
+		pct[i] = b * 100
+	}
+	r.cpiErrPct = obs.NewSignedHistogram(pct...)
+	r.wattsErrPct = obs.NewSignedHistogram(pct...)
+	return r
+}
+
+// MetricsInto registers the recorder's instruments on reg under the
+// mipp_fidelity_* namespace. Call once at startup; samples recorded before
+// registration are already reflected (counters and histograms are shared),
+// and per-workload series recorded before registration are replayed.
+func (r *Recorder) MetricsInto(reg *obs.Registry) {
+	reg.RegisterCounter("mipp_fidelity_samples_total",
+		"Fidelity samples recorded (model vs simulator comparisons).", &r.recorded)
+	reg.RegisterCounter("mipp_fidelity_failures_total",
+		"Ground-truth evaluations that failed (simulator error or cancellation).", &r.failed)
+	for i, name := range CPIComponents {
+		//mipp:allow obshygiene pre-registering one series per fixed CPI component at startup
+		reg.RegisterSignedHistogram("mipp_fidelity_cpi_residual",
+			"Signed model-minus-simulator CPI residual per component (cycles/instruction).",
+			r.cpiResid[i], obs.Label{Key: "component", Value: name})
+	}
+	for i, name := range PowerComponents {
+		//mipp:allow obshygiene pre-registering one series per fixed power component at startup
+		reg.RegisterSignedHistogram("mipp_fidelity_power_residual",
+			"Signed model-minus-simulator power residual per component (watts).",
+			r.powerResid[i], obs.Label{Key: "component", Value: name})
+	}
+	reg.RegisterSignedHistogram("mipp_fidelity_cpi_error_pct_hist",
+		"Signed relative CPI error of the totals, percent.", r.cpiErrPct)
+	reg.RegisterSignedHistogram("mipp_fidelity_watts_error_pct_hist",
+		"Signed relative power error of the totals, percent.", r.wattsErrPct)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workloadSamples = reg.CounterVec("mipp_fidelity_workload_samples_total",
+		"Fidelity samples recorded per workload.", "workload")
+	r.cpiErrGauge = reg.GaugeVec("mipp_fidelity_cpi_error_pct",
+		"Mean absolute relative CPI error per workload, percent.", "workload")
+	r.wattsErrGauge = reg.GaugeVec("mipp_fidelity_watts_error_pct",
+		"Mean absolute relative power error per workload, percent.", "workload")
+	for w, agg := range r.byWorkload {
+		r.workloadSamples.With(w).Add(uint64(agg.n))
+		r.publishWorkloadLocked(w, agg)
+	}
+}
+
+// publishWorkloadLocked refreshes the per-workload error gauges. Caller
+// holds r.mu and has checked the vecs exist.
+func (r *Recorder) publishWorkloadLocked(w string, agg *workloadAgg) {
+	if r.cpiErrGauge == nil || agg.n == 0 {
+		return
+	}
+	r.cpiErrGauge.With(w).Set(agg.sumAbsCPI / float64(agg.n))
+	r.wattsErrGauge.With(w).Set(agg.sumAbsWatts / float64(agg.n))
+}
+
+// Record folds one (model, simulator) pair in. Duplicate digests are
+// dropped; the first recording wins. Reports whether the sample was new.
+func (r *Recorder) Record(p Pair) bool {
+	s := p.Sample()
+	r.mu.Lock()
+	if _, dup := r.samples[s.Digest]; dup {
+		r.mu.Unlock()
+		return false
+	}
+	r.samples[s.Digest] = s
+	agg := r.byWorkload[s.Workload]
+	if agg == nil {
+		agg = &workloadAgg{}
+		r.byWorkload[s.Workload] = agg
+	}
+	agg.n++
+	agg.sumAbsCPI += math.Abs(s.CPIErrorPct)
+	agg.sumAbsWatts += math.Abs(s.WattsErrorPct)
+	if r.workloadSamples != nil {
+		r.workloadSamples.With(s.Workload).Add(1)
+		r.publishWorkloadLocked(s.Workload, agg)
+	}
+	r.mu.Unlock()
+
+	// Instrument updates are lock-free; outside the mutex on purpose.
+	r.recorded.Add(1)
+	cr := s.CPIResidual.Components()
+	for i := range cr {
+		r.cpiResid[i].Observe(cr[i])
+	}
+	pr := s.PowerResidual.Components()
+	for i := range pr {
+		r.powerResid[i].Observe(pr[i])
+	}
+	r.cpiErrPct.Observe(s.CPIErrorPct)
+	r.wattsErrPct.Observe(s.WattsErrorPct)
+	return true
+}
+
+// RecordFailure counts a ground-truth evaluation that did not produce a
+// sample (simulator error, cancellation at shutdown).
+func (r *Recorder) RecordFailure() {
+	r.mu.Lock()
+	r.failures++
+	r.mu.Unlock()
+	r.failed.Add(1)
+}
+
+// Stats is the cheap aggregate view for health endpoints.
+type Stats struct {
+	Samples     int     `json:"samples"`
+	Failures    uint64  `json:"failures"`
+	CPIMAPEPct  float64 `json:"cpi_mape_pct"`
+	WattsMAPE   float64 `json:"watts_mape_pct"`
+	MaxAbsCPI   float64 `json:"max_abs_cpi_error_pct"`
+	MaxAbsWatts float64 `json:"max_abs_watts_error_pct"`
+}
+
+// Stats returns the overall aggregates without building a full report.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{Samples: len(r.samples), Failures: r.failures}
+	if st.Samples == 0 {
+		return st
+	}
+	var sumCPI, sumWatts float64
+	for _, s := range r.samples {
+		a, b := math.Abs(s.CPIErrorPct), math.Abs(s.WattsErrorPct)
+		sumCPI += a
+		sumWatts += b
+		if a > st.MaxAbsCPI {
+			st.MaxAbsCPI = a
+		}
+		if b > st.MaxAbsWatts {
+			st.MaxAbsWatts = b
+		}
+	}
+	st.CPIMAPEPct = sumCPI / float64(st.Samples)
+	st.WattsMAPE = sumWatts / float64(st.Samples)
+	return st
+}
+
+// Summary aggregates the relative error of one total (CPI or watts) over
+// every sample.
+type Summary struct {
+	// MAPEPct is the mean absolute relative error, percent; BiasPct the
+	// signed mean (positive: the model over-predicts on average).
+	MAPEPct   float64 `json:"mape_pct"`
+	BiasPct   float64 `json:"bias_pct"`
+	MaxAbsPct float64 `json:"max_abs_pct"`
+	// MaxWorkload/MaxConfig locate the worst sample.
+	MaxWorkload string `json:"max_workload,omitempty"`
+	MaxConfig   string `json:"max_config,omitempty"`
+}
+
+// ComponentError aggregates one stack component's signed residual in its
+// absolute unit (CPI or watts) — relative error is meaningless for
+// components the simulator measures near zero.
+type ComponentError struct {
+	Component   string  `json:"component"`
+	MeanAbs     float64 `json:"mean_abs"`
+	Mean        float64 `json:"mean"`
+	MaxAbs      float64 `json:"max_abs"`
+	MaxWorkload string  `json:"max_workload,omitempty"`
+	MaxConfig   string  `json:"max_config,omitempty"`
+}
+
+// Report is the JSON-stable fidelity report: overall summaries,
+// per-component breakdowns, per-workload MAPE, and the worst samples. Two
+// recorders holding the same sample set produce byte-identical reports.
+type Report struct {
+	Samples  int    `json:"samples"`
+	Failures uint64 `json:"failures"`
+
+	CPI   Summary `json:"cpi"`
+	Watts Summary `json:"watts"`
+
+	CPIComponents   []ComponentError `json:"cpi_components"`
+	PowerComponents []ComponentError `json:"power_components"`
+
+	// Workloads maps workload name -> per-workload CPI summary; rendered
+	// sorted by encoding/json's map-key ordering.
+	Workloads map[string]Summary `json:"workloads,omitempty"`
+
+	// Worst lists the N samples with the largest |CPI error|, worst first.
+	Worst []Sample `json:"worst,omitempty"`
+}
+
+// Report folds the recorded sample set into a Report, keeping the worstN
+// largest-|CPI-error| samples (worstN <= 0 keeps none). The fold order is
+// canonical — samples sorted by (workload, config, digest) — so the result
+// is independent of arrival order.
+func (r *Recorder) Report(worstN int) Report {
+	r.mu.Lock()
+	samples := make([]Sample, 0, len(r.samples))
+	for _, s := range r.samples {
+		samples = append(samples, s)
+	}
+	failures := r.failures
+	r.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i], samples[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Digest < b.Digest
+	})
+
+	rep := Report{Samples: len(samples), Failures: failures}
+	if len(samples) == 0 {
+		return rep
+	}
+
+	var cpiAgg, wattsAgg summaryAgg
+	workloadAggs := make(map[string]*summaryAgg)
+	var cpiComp [5]componentAgg
+	var powerComp [6]componentAgg
+	for _, s := range samples {
+		cpiAgg.add(s.CPIErrorPct, s)
+		wattsAgg.add(s.WattsErrorPct, s)
+		wa := workloadAggs[s.Workload]
+		if wa == nil {
+			wa = &summaryAgg{}
+			workloadAggs[s.Workload] = wa
+		}
+		wa.add(s.CPIErrorPct, s)
+		cr := s.CPIResidual.Components()
+		for i := range cr {
+			cpiComp[i].add(cr[i], s)
+		}
+		pr := s.PowerResidual.Components()
+		for i := range pr {
+			powerComp[i].add(pr[i], s)
+		}
+	}
+	rep.CPI = cpiAgg.summary()
+	rep.Watts = wattsAgg.summary()
+	rep.Workloads = make(map[string]Summary, len(workloadAggs))
+	for w, a := range workloadAggs {
+		rep.Workloads[w] = a.summary()
+	}
+	rep.CPIComponents = make([]ComponentError, len(cpiComp))
+	for i := range cpiComp {
+		rep.CPIComponents[i] = cpiComp[i].result(CPIComponents[i])
+	}
+	rep.PowerComponents = make([]ComponentError, len(powerComp))
+	for i := range powerComp {
+		rep.PowerComponents[i] = powerComp[i].result(PowerComponents[i])
+	}
+
+	if worstN > 0 {
+		worst := append([]Sample(nil), samples...)
+		// Stable tie-break: the canonical order above survives equal errors.
+		sort.SliceStable(worst, func(i, j int) bool {
+			return math.Abs(worst[i].CPIErrorPct) > math.Abs(worst[j].CPIErrorPct)
+		})
+		if worstN > len(worst) {
+			worstN = len(worst)
+		}
+		rep.Worst = worst[:worstN]
+	}
+	return rep
+}
+
+// summaryAgg folds signed percent errors into a Summary.
+type summaryAgg struct {
+	n           int
+	sum, sumAbs float64
+	maxAbs      float64
+	maxWorkload string
+	maxConfig   string
+}
+
+func (a *summaryAgg) add(pct float64, s Sample) {
+	a.n++
+	a.sum += pct
+	abs := math.Abs(pct)
+	a.sumAbs += abs
+	if abs > a.maxAbs {
+		a.maxAbs = abs
+		a.maxWorkload = s.Workload
+		a.maxConfig = s.Config
+	}
+}
+
+func (a *summaryAgg) summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		MAPEPct:     a.sumAbs / float64(a.n),
+		BiasPct:     a.sum / float64(a.n),
+		MaxAbsPct:   a.maxAbs,
+		MaxWorkload: a.maxWorkload,
+		MaxConfig:   a.maxConfig,
+	}
+}
+
+// componentAgg folds one component's signed absolute-unit residuals.
+type componentAgg struct {
+	n           int
+	sum, sumAbs float64
+	maxAbs      float64
+	maxWorkload string
+	maxConfig   string
+}
+
+func (a *componentAgg) add(v float64, s Sample) {
+	a.n++
+	a.sum += v
+	abs := math.Abs(v)
+	a.sumAbs += abs
+	if abs > a.maxAbs {
+		a.maxAbs = abs
+		a.maxWorkload = s.Workload
+		a.maxConfig = s.Config
+	}
+}
+
+func (a *componentAgg) result(name string) ComponentError {
+	ce := ComponentError{Component: name}
+	if a.n == 0 {
+		return ce
+	}
+	ce.MeanAbs = a.sumAbs / float64(a.n)
+	ce.Mean = a.sum / float64(a.n)
+	ce.MaxAbs = a.maxAbs
+	ce.MaxWorkload = a.maxWorkload
+	ce.MaxConfig = a.maxConfig
+	return ce
+}

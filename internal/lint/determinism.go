@@ -15,6 +15,7 @@ var DeterministicPackages = []string{
 	"mipp",
 	"mipp/api",
 	"mipp/arch",
+	"mipp/fidelity",
 	"mipp/search",
 	"mipp/store",
 	"mipp/internal/core",

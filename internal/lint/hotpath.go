@@ -32,14 +32,23 @@ import (
 //     per iteration; hoist the buffer above the loop and reuse it.
 //   - map-in-loop: a map composite literal inside a loop — allocates the
 //     map (and its buckets) per iteration.
+//   - fidelity-in-hotpath: any call into mipp/fidelity — digesting, sampling
+//     bookkeeping, and residual recording belong on the cold sampler
+//     goroutine, never on the per-configuration evaluation path. The kernel
+//     hands configs to Engine.offerFidelity after the batch completes; a
+//     fidelity call inside the kernel itself reintroduces hashing and
+//     locking per evaluation.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "enforces //mipp:hotpath: no fmt calls, string concatenation, " +
 		"capacity-less appends, scalar interface boxing, per-iteration closures, " +
-		"defers in loops, or per-iteration make/map allocations inside functions " +
-		"annotated as allocation-budgeted",
+		"defers in loops, per-iteration make/map allocations, or mipp/fidelity " +
+		"calls inside functions annotated as allocation-budgeted",
 	Run: runHotpath,
 }
+
+// fidelityPkgPath is the residual-tracking package barred from hot paths.
+const fidelityPkgPath = "mipp/fidelity"
 
 func runHotpath(pass *Pass) error {
 	for _, f := range pass.Files {
@@ -145,6 +154,17 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc, pa
 			"fmt.%s in hot path %s: allocates the formatted string and boxes every argument; move formatting off the evaluation path",
 			name, fd.Name.Name)
 		return
+	} else if pkg == fidelityPkgPath {
+		pass.Reportf(call.Pos(), "fidelity-in-hotpath",
+			"fidelity.%s in hot path %s: residual tracking hashes and locks; record fidelity on the cold sampler goroutine, not the evaluation path",
+			name, fd.Name.Name)
+		return
+	}
+	if name, ok := fidelityMethodCall(pass, call); ok {
+		pass.Reportf(call.Pos(), "fidelity-in-hotpath",
+			"%s call in hot path %s: residual tracking hashes and locks; record fidelity on the cold sampler goroutine, not the evaluation path",
+			name, fd.Name.Name)
+		return
 	}
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		switch id.Name {
@@ -161,6 +181,32 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc, pa
 		}
 	}
 	checkInterfaceBoxing(pass, fd, call)
+}
+
+// fidelityMethodCall reports whether call is a method call on a type
+// defined in mipp/fidelity (Recorder.Record, Pair.Sample, ...), returning a
+// human-readable "Type.Method" description.
+func fidelityMethodCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	recv, method := methodCallRecv(call)
+	if recv == nil {
+		return "", false
+	}
+	t := pass.TypeOf(recv)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != fidelityPkgPath {
+		return "", false
+	}
+	return "fidelity." + obj.Name() + "." + method, true
 }
 
 // checkAppend flags append whose destination is a local slice declared

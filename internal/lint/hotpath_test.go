@@ -10,3 +10,7 @@ import (
 func TestHotpath(t *testing.T) {
 	linttest.Run(t, "testdata/hotpath", lint.Hotpath)
 }
+
+func TestHotpathFidelity(t *testing.T) {
+	linttest.Run(t, "testdata/hotpathfidelity", lint.Hotpath)
+}

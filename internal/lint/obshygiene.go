@@ -13,9 +13,10 @@ const obsPkgPath = "mipp/obs"
 // obsConstructors are the package-level mipp/obs functions that build or
 // register an instrument — startup work that allocates and locks.
 var obsConstructors = map[string]bool{
-	"NewHistogram": true,
-	"NewHTTPStats": true,
-	"NewRegistry":  true,
+	"NewHistogram":       true,
+	"NewSignedHistogram": true,
+	"NewHTTPStats":       true,
+	"NewRegistry":        true,
 }
 
 // registryMethods are the *obs.Registry methods that register a series.
@@ -31,6 +32,10 @@ var registryMethods = map[string]bool{
 	"RegisterHistogram": true,
 	"CounterFunc":       true,
 	"GaugeFunc":         true,
+
+	"RegisterSignedHistogram": true,
+	"CounterVec":              true,
+	"GaugeVec":                true,
 }
 
 // ObsHygiene enforces the observability layer's construction discipline:
@@ -168,7 +173,7 @@ func isObsRegistry(t types.Type) bool {
 // checkMetricName flags a Registry registration whose first (name) argument
 // is not a compile-time constant string.
 func checkMetricName(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, what string) {
-	if len(call.Args) == 0 || what == "obs.NewHistogram" || what == "obs.NewRegistry" {
+	if len(call.Args) == 0 || what == "obs.NewHistogram" || what == "obs.NewSignedHistogram" || what == "obs.NewRegistry" {
 		return
 	}
 	arg := call.Args[0]

@@ -1,0 +1,40 @@
+// Fixture for the hotpath analyzer's fidelity-in-hotpath diagnostic:
+// residual tracking (digesting, sampling predicates, recorder updates) is
+// barred from //mipp:hotpath kernel functions — it belongs on the cold
+// sampler goroutine. coldSample at the bottom proves unannotated functions
+// stay silent.
+package fixture
+
+import (
+	"mipp/arch"
+	"mipp/fidelity"
+)
+
+//mipp:hotpath
+func hotDigest(workload string, cfg *arch.Config) string {
+	return fidelity.Digest(workload, "", cfg) // want `\[hotpath/fidelity-in-hotpath\] fidelity\.Digest`
+}
+
+//mipp:hotpath
+func hotSampled(seed int64, workload, config string) bool {
+	return fidelity.Sampled(seed, workload, config, 16) // want `\[hotpath/fidelity-in-hotpath\] fidelity\.Sampled`
+}
+
+//mipp:hotpath
+func hotRecord(rec *fidelity.Recorder, p fidelity.Pair) {
+	rec.Record(p) // want `\[hotpath/fidelity-in-hotpath\] fidelity\.Recorder\.Record`
+}
+
+//mipp:hotpath
+func hotSample(p fidelity.Pair) fidelity.Sample {
+	return p.Sample() // want `\[hotpath/fidelity-in-hotpath\] fidelity\.Pair\.Sample`
+}
+
+// coldSample is the sanctioned shape: the sampler goroutine, off the
+// evaluation path, may use the whole fidelity API.
+func coldSample(rec *fidelity.Recorder, p fidelity.Pair) bool {
+	if fidelity.Sampled(7, p.Workload, p.Config, 16) {
+		return rec.Record(p)
+	}
+	return false
+}

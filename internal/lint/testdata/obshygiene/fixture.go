@@ -58,3 +58,28 @@ func hotMutate(c *obs.Counter, h *obs.Histogram, xs []float64) {
 		h.Observe(x)
 	}
 }
+
+// hotVecRegister registers the fidelity-era instruments (signed histograms
+// and label vecs) inside a hot path: flagged like any other registration.
+//
+//mipp:hotpath
+func hotVecRegister(reg *obs.Registry) {
+	h := obs.NewSignedHistogram(obs.ResidualBuckets...)             // want `\[obshygiene/construct-in-hotpath\] obs\.NewSignedHistogram`
+	reg.RegisterSignedHistogram("mipp_fixture_residual", "help", h) // want `\[obshygiene/construct-in-hotpath\] Registry\.RegisterSignedHistogram`
+	reg.CounterVec("mipp_fixture_by_workload_total", "help", "w")   // want `\[obshygiene/construct-in-hotpath\] Registry\.CounterVec`
+	reg.GaugeVec("mipp_fixture_err_pct", "help", "w")               // want `\[obshygiene/construct-in-hotpath\] Registry\.GaugeVec`
+}
+
+// goodVecStartup: straight-line vec registration with literal names, then
+// dynamic label VALUES through With on the hot path. Silent.
+//
+//mipp:hotpath
+func hotVecMutate(cv *obs.CounterVec, workload string) {
+	cv.With(workload).Inc()
+}
+
+func goodVecStartup(reg *obs.Registry) *obs.CounterVec {
+	h := obs.NewSignedHistogram(obs.ResidualBuckets...)
+	reg.RegisterSignedHistogram("mipp_fixture_residual_ok", "help", h, obs.Label{Key: "component", Value: "dram"})
+	return reg.CounterVec("mipp_fixture_samples_total", "help", "workload")
+}

@@ -1,7 +1,10 @@
 package ooo
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"mipp/internal/config"
 	"mipp/internal/perf"
@@ -179,5 +182,41 @@ func TestUopClassesAccounted(t *testing.T) {
 	}
 	if r.Activity.PerClass[trace.FPDiv] == 0 {
 		t.Error("povray should execute FP divides")
+	}
+}
+
+func TestSimulateContextCancel(t *testing.T) {
+	s := workload.MustGenerate("mcf", 200_000, 0)
+
+	// Pre-canceled: the run must abort with context.Canceled wrapped.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, config.Reference(), s, Options{})
+	if err == nil {
+		t.Fatal("SimulateContext with canceled ctx returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+
+	// Expired deadline maps to DeadlineExceeded the same way.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if _, err := SimulateContext(dctx, config.Reference(), s, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+
+	// A background context changes nothing: same result as Simulate.
+	a, err := Simulate(config.Reference(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateContext(context.Background(), config.Reference(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stack != b.Stack {
+		t.Fatalf("SimulateContext diverged from Simulate: %d vs %d cycles", a.Cycles, b.Cycles)
 	}
 }

@@ -348,6 +348,17 @@ func (e *Engine) runSearchJob(ctx context.Context, job *searchJob, req *api.Sear
 	if req.MaxArea != nil {
 		opts.Constraints.MaxArea = *req.MaxArea
 	}
+	if e.fid != nil {
+		// Fidelity escalation (the thesis's §7.4 workflow): the configs a
+		// finished search recommends are exactly the ones worth a
+		// reference simulation, so they bypass the sampling predicate.
+		opts.EscalateTopK = e.fid.opts.TopK
+		opts.OnEscalate = func(evals []search.Eval) {
+			for _, ev := range evals {
+				e.forceFidelity(req.Workload, req.Options, space.At(ev.Index))
+			}
+		}
+	}
 
 	ev := e.instrumentSearchEvaluator(ctx, job, NewSearchEvaluator(pd, req.Workers))
 	rep, err := search.Run(ctx, ev, space, strategy, opts)

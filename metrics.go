@@ -94,6 +94,25 @@ func (e *Engine) MetricsInto(reg *obs.Registry) {
 	reg.RegisterCounter("mipp_stream_dropped_events_total",
 		"Search events dropped on slow subscriber channels.", &e.metrics.streamDropped)
 
+	if e.fid != nil {
+		e.fid.rec.MetricsInto(reg)
+		reg.RegisterCounter("mipp_fidelity_offered_total",
+			"Served configurations selected by the fidelity sampling predicate.", &e.fid.offered)
+		reg.RegisterCounter("mipp_fidelity_dropped_total",
+			"Selected configurations lost to a full sampler queue.", &e.fid.dropped)
+		reg.RegisterHistogram("mipp_fidelity_sim_seconds",
+			"Ground-truth reference simulation duration.", e.fid.simSeconds)
+		reg.GaugeFunc("mipp_fidelity_budget_remaining",
+			"Ground-truth simulations left in the sampler budget.", func() float64 {
+				if b := e.fid.budget.Load(); b > 0 && b < 1<<59 {
+					return float64(b)
+				} else if b <= 0 {
+					return 0
+				}
+				return -1 // unlimited
+			})
+	}
+
 	if e.store == nil {
 		return
 	}

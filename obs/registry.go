@@ -34,6 +34,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	sh     *SignedHistogram
 	cf     func() uint64
 	gf     func() float64
 }
@@ -289,6 +290,29 @@ func renderSeries(w *bufio.Writer, f *family, s *series) {
 		}
 		writeSample(w, f.name+"_sum", s.labels, formatFloat(s.h.Sum()))
 		writeSample(w, f.name+"_count", s.labels, formatUint(cum))
+	case s.sh != nil:
+		var cum uint64
+		for i := range s.sh.counts {
+			cum += s.sh.counts[i].Load()
+			le := "+Inf"
+			if i < len(s.sh.bounds) {
+				le = formatFloat(s.sh.bounds[i])
+			}
+			labels := s.labels
+			if labels != "" {
+				labels += ","
+			}
+			labels += `le="` + le + `"`
+			writeSample(w, f.name+"_bucket", labels, formatUint(cum))
+		}
+		writeSample(w, f.name+"_sum", s.labels, formatFloat(s.sh.Sum()))
+		writeSample(w, f.name+"_count", s.labels, formatUint(cum))
+		// The signed extension: render the observed envelope only once it
+		// exists — a ±Inf sample line would poison dashboards.
+		if cum > 0 {
+			writeSample(w, f.name+"_min", s.labels, formatFloat(s.sh.Min()))
+			writeSample(w, f.name+"_max", s.labels, formatFloat(s.sh.Max()))
+		}
 	}
 }
 

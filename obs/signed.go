@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// SignedHistogram counts observations of a signed quantity — model-minus-
+// simulator residuals — into buckets mirrored symmetrically around zero,
+// and tracks the running minimum and maximum so the extremes survive even
+// when they land in the open-ended tail buckets. Observe is lock-free: one
+// atomic bucket increment, one CAS on the sum bits, and one CAS each on the
+// min/max bits when the observation extends them (which becomes rare as the
+// envelope settles).
+//
+// It renders as a Prometheus histogram (cumulative le= buckets over the
+// signed bounds, then _sum and _count) extended with two extra sample
+// lines, _min and _max, emitted once at least one value has been observed.
+// A plain histogram over positive bounds cannot represent a signed error
+// distribution without losing the sign — and the sign is the point: it
+// separates a model that over-predicts from one that under-predicts.
+type SignedHistogram struct {
+	bounds []float64       // sorted signed upper bounds; +Inf bucket implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits of the running sum
+	min    atomic.Uint64   // float64 bits of the running minimum (+Inf until observed)
+	max    atomic.Uint64   // float64 bits of the running maximum (-Inf until observed)
+}
+
+// NewSignedHistogram returns a histogram whose buckets are the given
+// magnitudes mirrored around zero: magnitudes m1 < m2 < ... produce bounds
+// -mk, ..., -m1, 0, m1, ..., mk (plus the implicit +Inf bucket). Call it
+// once at startup — construction allocates. Non-positive magnitudes are
+// rejected by panic: they would duplicate the zero bound.
+func NewSignedHistogram(magnitudes ...float64) *SignedHistogram {
+	ms := append([]float64(nil), magnitudes...)
+	sort.Float64s(ms)
+	for _, m := range ms {
+		if m <= 0 {
+			panic("obs: NewSignedHistogram magnitudes must be positive (zero is always a bound)")
+		}
+	}
+	bounds := make([]float64, 0, 2*len(ms)+1)
+	for i := len(ms) - 1; i >= 0; i-- {
+		bounds = append(bounds, -ms[i])
+	}
+	bounds = append(bounds, 0)
+	bounds = append(bounds, ms...)
+	h := &SignedHistogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// ResidualBuckets are the default signed-residual magnitudes: half-decade
+// steps from ±0.001 to ±0.5, wide enough for both a per-instruction CPI
+// component residual and a per-component watts residual on the reference
+// design space.
+var ResidualBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5}
+
+// Observe records one signed value.
+func (h *SignedHistogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *SignedHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *SignedHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Min returns the smallest observed value (+Inf before any observation).
+func (h *SignedHistogram) Min() float64 { return math.Float64frombits(h.min.Load()) }
+
+// Max returns the largest observed value (-Inf before any observation).
+func (h *SignedHistogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// RegisterSignedHistogram attaches an existing signed histogram as a series.
+// It renders under the histogram TYPE with two extra _min/_max sample lines.
+func (r *Registry) RegisterSignedHistogram(name, help string, h *SignedHistogram, labels ...Label) {
+	r.add(name, help, kindHistogram, &series{sh: h}, labels)
+}

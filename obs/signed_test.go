@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSignedHistogramBounds(t *testing.T) {
+	h := NewSignedHistogram(0.01, 0.1)
+	want := []float64{-0.1, -0.01, 0, 0.01, 0.1}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for i := range want {
+		if h.bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", h.bounds, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive magnitude")
+		}
+	}()
+	NewSignedHistogram(0.1, -0.5)
+}
+
+func TestSignedHistogramObserve(t *testing.T) {
+	h := NewSignedHistogram(0.01, 0.1)
+	if got := h.Min(); !math.IsInf(got, 1) {
+		t.Fatalf("virgin Min = %v, want +Inf", got)
+	}
+	if got := h.Max(); !math.IsInf(got, -1) {
+		t.Fatalf("virgin Max = %v, want -Inf", got)
+	}
+	for _, v := range []float64{-0.5, -0.05, 0, 0.005, 0.2} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), -0.5-0.05+0+0.005+0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := h.Min(); got != -0.5 {
+		t.Fatalf("Min = %v, want -0.5", got)
+	}
+	if got := h.Max(); got != 0.2 {
+		t.Fatalf("Max = %v, want 0.2", got)
+	}
+	// Bucket placement: -0.5 beyond -0.1 bound lands in bucket 0; 0 on the
+	// zero bound; 0.2 in the +Inf overflow.
+	wantCounts := []uint64{1, 1, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got, w, wantCounts)
+		}
+	}
+}
+
+func TestSignedHistogramConcurrent(t *testing.T) {
+	h := NewSignedHistogram(ResidualBuckets...)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := float64(i%21-10) / 100 // -0.10 .. +0.10
+				h.Observe(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Min(); got != -0.1 {
+		t.Fatalf("Min = %v, want -0.1", got)
+	}
+	if got := h.Max(); got != 0.1 {
+		t.Fatalf("Max = %v, want 0.1", got)
+	}
+}
+
+// TestSignedHistogramRenderGolden pins the exposition format of the signed
+// extension: signed le= bounds, cumulative counts, and the _min/_max sample
+// lines after _sum/_count.
+func TestSignedHistogramRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	h := NewSignedHistogram(0.01, 0.1)
+	r.RegisterSignedHistogram("mipp_fidelity_demo_residual", "Signed residual.", h,
+		Label{"component", "base"})
+	empty := NewSignedHistogram(0.01, 0.1)
+	r.RegisterSignedHistogram("mipp_fidelity_demo_residual", "Signed residual.", empty,
+		Label{"component", "dram"})
+	h.Observe(-0.05)
+	h.Observe(0.002)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mipp_fidelity_demo_residual Signed residual.
+# TYPE mipp_fidelity_demo_residual histogram
+mipp_fidelity_demo_residual_bucket{component="base",le="-0.1"} 0
+mipp_fidelity_demo_residual_bucket{component="base",le="-0.01"} 1
+mipp_fidelity_demo_residual_bucket{component="base",le="0"} 1
+mipp_fidelity_demo_residual_bucket{component="base",le="0.01"} 2
+mipp_fidelity_demo_residual_bucket{component="base",le="0.1"} 2
+mipp_fidelity_demo_residual_bucket{component="base",le="+Inf"} 3
+mipp_fidelity_demo_residual_sum{component="base"} 0.452
+mipp_fidelity_demo_residual_count{component="base"} 3
+mipp_fidelity_demo_residual_min{component="base"} -0.05
+mipp_fidelity_demo_residual_max{component="base"} 0.5
+mipp_fidelity_demo_residual_bucket{component="dram",le="-0.1"} 0
+mipp_fidelity_demo_residual_bucket{component="dram",le="-0.01"} 0
+mipp_fidelity_demo_residual_bucket{component="dram",le="0"} 0
+mipp_fidelity_demo_residual_bucket{component="dram",le="0.01"} 0
+mipp_fidelity_demo_residual_bucket{component="dram",le="0.1"} 0
+mipp_fidelity_demo_residual_bucket{component="dram",le="+Inf"} 0
+mipp_fidelity_demo_residual_sum{component="dram"} 0
+mipp_fidelity_demo_residual_count{component="dram"} 0
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The empty series must not expose ±Inf envelope lines.
+	if strings.Contains(buf.String(), `_min{component="dram"}`) {
+		t.Error("empty signed histogram rendered a _min line")
+	}
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("mipp_demo_by_workload_total", "Per-workload demo.", "workload")
+	cv.With("mcf").Add(2)
+	cv.With("gcc").Inc()
+	if cv.With("mcf") != cv.With("mcf") {
+		t.Fatal("With not cached")
+	}
+	cv.With("mcf").Inc()
+	gv := r.GaugeVec("mipp_demo_err", "Per-workload error.", "workload")
+	gv.With("mcf").Set(1.5)
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mipp_demo_by_workload_total Per-workload demo.
+# TYPE mipp_demo_by_workload_total counter
+mipp_demo_by_workload_total{workload="gcc"} 1
+mipp_demo_by_workload_total{workload="mcf"} 3
+# HELP mipp_demo_err Per-workload error.
+# TYPE mipp_demo_err gauge
+mipp_demo_err{workload="mcf"} 1.5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on label arity mismatch")
+		}
+	}()
+	cv.With("a", "b")
+}

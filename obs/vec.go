@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// A vec is a family of series sharing one metric name whose label VALUES
+// are only known at run time — one fidelity error gauge per registered
+// workload, one sample counter per workload. The metric name and label KEYS
+// are still fixed at construction (obshygiene's grep-able-namespace rule),
+// so cardinality is bounded by the live value set, and With is the only
+// run-time registration path: it takes the vec's own lock, registers the
+// series on first use, and returns the cached instrument forever after.
+//
+// With locks and allocates on first use of a value set — it is registry
+// registration, not a hot-path operation. Callers on measured paths must
+// hold the returned instrument rather than calling With per observation.
+
+// vecCore is the shared (registry, name, keys, series-cache) state of
+// CounterVec and GaugeVec.
+type vecCore struct {
+	reg  *Registry
+	name string
+	help string
+	keys []string
+
+	mu     sync.Mutex
+	series map[string]int // joined values -> index into the typed store
+}
+
+func newVecCore(reg *Registry, name, help string, keys []string) vecCore {
+	if len(keys) == 0 {
+		panic(fmt.Sprintf("obs: vec %q needs at least one label key", name))
+	}
+	return vecCore{
+		reg:    reg,
+		name:   name,
+		help:   help,
+		keys:   append([]string(nil), keys...),
+		series: make(map[string]int),
+	}
+}
+
+// lookup returns the cached series index for values, or -1 with the labels
+// to register. The caller holds v.mu.
+func (v *vecCore) lookup(values []string) (int, []Label) {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: vec %q got %d label values for %d keys", v.name, len(values), len(v.keys)))
+	}
+	key := strings.Join(values, "\xff")
+	if i, ok := v.series[key]; ok {
+		return i, nil
+	}
+	labels := make([]Label, len(v.keys))
+	for i, k := range v.keys {
+		labels[i] = Label{Key: k, Value: values[i]}
+	}
+	v.series[key] = len(v.series)
+	return -1, labels
+}
+
+// CounterVec is a counter family with run-time label values.
+type CounterVec struct {
+	core     vecCore
+	counters []*Counter
+}
+
+// CounterVec creates a counter family on the registry. The name and label
+// keys are fixed now; each distinct value set registers its series on first
+// With.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{core: newVecCore(r, name, help, keys)}
+}
+
+// With returns the counter for the given label values, registering it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	v.core.mu.Lock()
+	defer v.core.mu.Unlock()
+	i, labels := v.core.lookup(values)
+	if i >= 0 {
+		return v.counters[i]
+	}
+	c := v.core.reg.Counter(v.core.name, v.core.help, labels...)
+	v.counters = append(v.counters, c)
+	return c
+}
+
+// GaugeVec is a gauge family with run-time label values.
+type GaugeVec struct {
+	core   vecCore
+	gauges []*Gauge
+}
+
+// GaugeVec creates a gauge family on the registry. The name and label keys
+// are fixed now; each distinct value set registers its series on first With.
+func (r *Registry) GaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{core: newVecCore(r, name, help, keys)}
+}
+
+// With returns the gauge for the given label values, registering it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	v.core.mu.Lock()
+	defer v.core.mu.Unlock()
+	i, labels := v.core.lookup(values)
+	if i >= 0 {
+		return v.gauges[i]
+	}
+	g := v.core.reg.Gauge(v.core.name, v.core.help, labels...)
+	v.gauges = append(v.gauges, g)
+	return g
+}

@@ -134,6 +134,17 @@ type Options struct {
 	// is only computed while a sink is attached, and the final Report is
 	// assembled the same way either way.
 	OnUpdate func(Update)
+	// EscalateTopK, with OnEscalate set, hands the report's top-K
+	// evaluations (the incumbent plus the best Pareto-front points, in
+	// deterministic order) to OnEscalate after the search completes — the
+	// ground-truth escalation seam: the configs a search is about to
+	// recommend are exactly the ones worth a reference simulation.
+	EscalateTopK int
+	// OnEscalate receives the top-K evaluations once, after the report is
+	// assembled. It may block (the search is already over) but runs under
+	// the search's ctx discipline: callers that need cancellation should
+	// capture a context.
+	OnEscalate func(evals []Eval)
 }
 
 // Progress is a per-generation progress snapshot.
@@ -230,6 +241,40 @@ type Report struct {
 	Front []Eval `json:"front"`
 	// Trace is the per-generation convergence trace.
 	Trace []TraceStep `json:"trace"`
+}
+
+// TopK returns up to k distinct evaluations worth escalating to a
+// ground-truth run: the incumbent first, then Pareto-front points by
+// ascending (Fitness, Index). The order is a pure function of the report,
+// so escalation stays as reproducible as the search itself.
+func (r *Report) TopK(k int) []Eval {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Eval, 0, k)
+	seen := make(map[int]bool, k)
+	if r.Best != nil {
+		out = append(out, *r.Best)
+		seen[r.Best.Index] = true
+	}
+	front := append([]Eval(nil), r.Front...)
+	slices.SortFunc(front, func(a, b Eval) int {
+		if c := cmp.Compare(a.Fitness, b.Fitness); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Index, b.Index)
+	})
+	for _, e := range front {
+		if len(out) >= k {
+			break
+		}
+		if seen[e.Index] {
+			continue
+		}
+		seen[e.Index] = true
+		out = append(out, e)
+	}
+	return out
 }
 
 // Strategy decides which points of the space to evaluate, generation by
@@ -647,5 +692,11 @@ func Run(ctx context.Context, ev Evaluator, space *arch.Space, st Strategy, opts
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return r.report(st.Name()), nil
+	rep := r.report(st.Name())
+	if opts.OnEscalate != nil && opts.EscalateTopK > 0 {
+		if top := rep.TopK(opts.EscalateTopK); len(top) > 0 {
+			opts.OnEscalate(top)
+		}
+	}
+	return rep, nil
 }

@@ -1,0 +1,142 @@
+package server
+
+// GET /v1/fidelity and the /healthz fidelity section: disabled engines
+// answer enabled=false (not 404), enabled engines return the seeded report
+// after ?wait=1, and the mipp_fidelity_* series reach /metrics.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mipp"
+	"mipp/api"
+	"mipp/arch"
+	"mipp/fidelity"
+)
+
+// flatGroundTruth is a trivially fast simulator stand-in so the handler
+// tests never pay a real cycle-level run.
+type flatGroundTruth struct{}
+
+func (flatGroundTruth) GroundTruth(ctx context.Context, workload string, cfg *arch.Config) (fidelity.Measurement, error) {
+	return fidelity.Measurement{
+		CPI:      1,
+		CPIStack: fidelity.CPIStack{Base: 0.6, Branch: 0.1, ICache: 0.05, LLCHit: 0.1, DRAM: 0.15},
+		Watts:    12,
+		Power:    fidelity.PowerStack{Static: 4, Core: 4, FU: 1, Cache: 1.5, DRAM: 1, BPred: 0.5},
+	}, nil
+}
+
+func fidelityServer(t *testing.T) (*Server, *mipp.Engine) {
+	t.Helper()
+	e := mipp.NewEngine(mipp.WithFidelitySampling(mipp.FidelityOptions{
+		SampleEvery: 1,
+		Budget:      32,
+		GroundTruth: flatGroundTruth{},
+	}))
+	t.Cleanup(e.Close)
+	p, err := mipp.NewProfiler().Profile("mcf", testUops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("mcf", p); err != nil {
+		t.Fatal(err)
+	}
+	return New(e), e
+}
+
+func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestFidelityEndpointDisabled(t *testing.T) {
+	rec := serve(t, "GET", "/v1/fidelity", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", rec.Code, rec.Body)
+	}
+	var resp api.FidelityResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled || resp.Report != nil {
+		t.Fatalf("disabled engine answered %+v", resp)
+	}
+	if resp.SchemaVersion != api.SchemaVersion {
+		t.Fatalf("schema_version = %d", resp.SchemaVersion)
+	}
+}
+
+func TestFidelityEndpoint(t *testing.T) {
+	srv, _ := fidelityServer(t)
+
+	// Serve one prediction through the handler so the sampler has history.
+	body := `{"schema_version":1,"workload":"mcf","config":{"name":"reference"}}`
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/predict", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict status = %d: %s", rec.Code, rec.Body)
+	}
+
+	rec = get(t, srv, "/v1/fidelity?wait=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fidelity status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp api.FidelityResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Report == nil {
+		t.Fatalf("fidelity response = %+v", resp)
+	}
+	if resp.Report.Samples < 1 {
+		t.Fatalf("Samples = %d, want >= 1", resp.Report.Samples)
+	}
+	if len(resp.Report.CPIComponents) != 5 {
+		t.Fatalf("CPIComponents = %d, want 5", len(resp.Report.CPIComponents))
+	}
+
+	// The report is a pure function of the recorded set: a second GET is
+	// byte-identical.
+	again := get(t, srv, "/v1/fidelity?wait=1")
+	if again.Body.String() != rec.Body.String() {
+		t.Fatalf("fidelity report unstable:\n%s\nvs\n%s", rec.Body, again.Body)
+	}
+
+	// The healthz payload carries the same sample count.
+	h := get(t, srv, "/healthz")
+	var health struct {
+		Fidelity *api.FidelityStats `json:"fidelity"`
+	}
+	if err := json.Unmarshal(h.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Fidelity == nil || health.Fidelity.Samples != resp.Report.Samples {
+		t.Fatalf("healthz fidelity = %+v, report samples = %d", health.Fidelity, resp.Report.Samples)
+	}
+
+	// And the series are on /metrics.
+	m := get(t, srv, "/metrics").Body.String()
+	for _, series := range []string{
+		"mipp_fidelity_samples_total",
+		"mipp_fidelity_cpi_residual_bucket",
+		"mipp_fidelity_budget_remaining",
+	} {
+		if !strings.Contains(m, series) {
+			t.Errorf("missing %s in /metrics:\n%s", series, m)
+		}
+	}
+}
+
+func TestHealthzNoFidelitySection(t *testing.T) {
+	rec := serve(t, "GET", "/healthz", "")
+	if strings.Contains(rec.Body.String(), `"fidelity"`) {
+		t.Fatalf("disabled engine leaked a fidelity section: %s", rec.Body)
+	}
+}

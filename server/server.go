@@ -19,6 +19,7 @@
 //	GET    /v1/search/{id}      poll a search job (progress, then the report)
 //	GET    /v1/search/{id}/events  SSE stream of progress/front/terminal events
 //	DELETE /v1/search/{id}      cancel a search job
+//	GET    /v1/fidelity         model-vs-simulator error report (?wait=1 flushes the sampler)
 //	GET    /v1/store/index             replication: catalog + generation (ETag/304)
 //	GET    /v1/store/objects/{digest}  replication: one canonical envelope by digest
 //	PUT    /v1/store/objects/{digest}  replication: upload an envelope (?name=)
@@ -141,6 +142,7 @@ func New(engine *mipp.Engine, opts ...Option) *Server {
 	routeFunc("GET /v1/search/{id}/events", s.handleSearchEvents)
 	routeFunc("DELETE /v1/search/{id}", s.handleSearchCancel)
 	routeFunc("GET /v1/workloads", s.handleWorkloads)
+	routeFunc("GET /v1/fidelity", s.handleFidelity)
 	routeFunc("GET /v1/store/index", s.handleStoreIndex)
 	routeFunc("GET /v1/store/objects/{digest}", s.handleStoreObjectGet)
 	routeFunc("PUT /v1/store/objects/{digest}", s.handleStoreObjectPut)
@@ -357,6 +359,25 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleFidelity serves the fidelity observatory's report. ?wait=1 flushes
+// the sampler queue first (bounded by the request context), so a test or CI
+// step that just served a batch reads a report covering it. On an engine
+// without fidelity sampling it answers enabled=false rather than 404 — the
+// route's existence should not depend on daemon flags.
+func (s *Server) handleFidelity(w http.ResponseWriter, r *http.Request) {
+	wait := r.URL.Query().Get("wait") == "1"
+	rep, err := s.engine.FidelityReport(r.Context(), wait)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FidelityResponse{
+		SchemaVersion: api.SchemaVersion,
+		Enabled:       s.engine.FidelityEnabled(),
+		Report:        rep,
+	})
+}
+
 // healthResponse is the /healthz body: liveness plus the engine counters a
 // load balancer or operator wants at a glance.
 type healthResponse struct {
@@ -372,6 +393,9 @@ type healthResponse struct {
 	// Store reports the backing profile store's counters; omitted when
 	// the engine runs without one.
 	Store *storeHealth `json:"store,omitempty"`
+	// Fidelity reports the fidelity observatory's aggregates; omitted when
+	// the engine runs without sampling.
+	Fidelity *api.FidelityStats `json:"fidelity,omitempty"`
 }
 
 // storeHealth is the /healthz view of mipp.StoreStats.
@@ -413,6 +437,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			EvictedBytes:     st.Store.EvictedBytes,
 		}
 	}
+	h.Fidelity = s.engine.FidelityStats()
 	writeJSON(w, http.StatusOK, h)
 }
 

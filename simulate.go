@@ -1,6 +1,8 @@
 package mipp
 
 import (
+	"context"
+
 	"mipp/internal/ooo"
 	"mipp/internal/power"
 )
@@ -18,6 +20,13 @@ type SimResult = ooo.Result
 // stream.
 func Simulate(cfg *Config, stream *Stream, opts SimOptions) (*SimResult, error) {
 	return ooo.Simulate(cfg, stream, opts)
+}
+
+// SimulateContext is Simulate with cancellation: a canceled context
+// abandons the run promptly with the context's error wrapped. The fidelity
+// sampler and any server-triggered ground-truth run use this entry point.
+func SimulateContext(ctx context.Context, cfg *Config, stream *Stream, opts SimOptions) (*SimResult, error) {
+	return ooo.SimulateContext(ctx, cfg, stream, opts)
 }
 
 // Energy returns the energy in joules for a run of the given duration at
